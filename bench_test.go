@@ -1,0 +1,422 @@
+package dcgn_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5), plus ablations over the design choices DESIGN.md calls
+// out. The experiments run in deterministic virtual time, so the numbers
+// of interest are the custom metrics (reported in virtual nanoseconds /
+// ratios), not ns/op wall time. `go test -bench=. -benchmem` regenerates
+// everything; cmd/dcgn-bench prints the same data as tables.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dcgn/internal/apps"
+	"dcgn/internal/core"
+	"dcgn/internal/gas"
+	"dcgn/internal/metrics"
+)
+
+func gasCfg(nodes, cpus, gpus int) gas.Config {
+	cfg := gas.DefaultConfig()
+	cfg.Nodes, cfg.CPUsPerNode, cfg.GPUsPerNode = nodes, cpus, gpus
+	return cfg
+}
+
+func dcgnCfg(nodes, cpus, gpus int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Nodes, cfg.CPUKernels, cfg.GPUs = nodes, cpus, gpus
+	return cfg
+}
+
+// BenchmarkTable1Barrier regenerates Table 1: barrier latency for MPI and
+// DCGN across node counts and CPU/GPU configurations.
+func BenchmarkTable1Barrier(b *testing.B) {
+	rows := []struct {
+		nodes, cpus, gpus int
+	}{
+		{1, 2, 0}, {1, 0, 2}, {1, 1, 1}, {1, 2, 2},
+		{2, 2, 0}, {2, 0, 2}, {2, 2, 2},
+		{4, 2, 0}, {4, 0, 2}, {4, 2, 2},
+	}
+	for _, row := range rows {
+		name := fmt.Sprintf("%dnode_%dC_%dG", row.nodes, row.nodes*row.cpus, row.nodes*row.gpus)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := apps.DCGNBarrier(core.DefaultConfig(), row.nodes, row.cpus, row.gpus)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(d.Nanoseconds()), "dcgn-ns")
+				if row.gpus == 0 {
+					m, err := apps.MPIBarrier(gas.DefaultConfig(), row.nodes, row.cpus)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(m.Nanoseconds()), "mpi-ns")
+					b.ReportMetric(float64(d)/float64(m), "ratio")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6Send regenerates Figure 6: one-way send time vs message
+// size for MVAPICH2 and every DCGN endpoint pairing.
+func BenchmarkFig6Send(b *testing.B) {
+	pairings := []struct {
+		name     string
+		src, dst apps.Endpoint
+	}{
+		{"CPUtoCPU", apps.EPCPU, apps.EPCPU},
+		{"CPUtoGPU", apps.EPCPU, apps.EPGPU},
+		{"GPUtoCPU", apps.EPGPU, apps.EPCPU},
+		{"GPUtoGPU", apps.EPGPU, apps.EPGPU},
+	}
+	for _, size := range apps.SendSizes {
+		b.Run(fmt.Sprintf("MVAPICH2/%s", sizeName(size)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := apps.MPISendOneWay(gas.DefaultConfig(), size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(d.Nanoseconds()), "oneway-ns")
+			}
+		})
+		for _, pr := range pairings {
+			b.Run(fmt.Sprintf("DCGN_%s/%s", pr.name, sizeName(size)), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					d, err := apps.DCGNSendOneWay(core.DefaultConfig(), pr.src, pr.dst, size)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(d.Nanoseconds()), "oneway-ns")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig7Broadcast regenerates Figure 7: broadcast completion time
+// with 8 ranks over 4 nodes for MVAPICH2-CPU, DCGN-CPU and DCGN-GPU.
+func BenchmarkFig7Broadcast(b *testing.B) {
+	for _, size := range apps.BcastSizes {
+		b.Run(fmt.Sprintf("MVAPICH2_8CPUs/%s", sizeName(size)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := apps.MPIBroadcast(gas.DefaultConfig(), size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(d.Nanoseconds()), "bcast-ns")
+			}
+		})
+		b.Run(fmt.Sprintf("DCGN_8CPUs/%s", sizeName(size)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := apps.DCGNBroadcastCPU(core.DefaultConfig(), size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(d.Nanoseconds()), "bcast-ns")
+			}
+		})
+		b.Run(fmt.Sprintf("DCGN_8GPUs/%s", sizeName(size)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := apps.DCGNBroadcastGPU(core.DefaultConfig(), size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(d.Nanoseconds()), "bcast-ns")
+			}
+		})
+	}
+}
+
+// BenchmarkFig5MandelbrotDistribution regenerates Figure 5's effect: the
+// fraction of strips that change owners between two jitter seeds.
+func BenchmarkFig5MandelbrotDistribution(b *testing.B) {
+	mc := apps.DefaultMandelConfig()
+	mc.Width, mc.Height = 512, 256
+	mc.JitterFrac = 0.25
+	for i := 0; i < b.N; i++ {
+		mc.Seed = 1
+		r1, err := apps.MandelbrotDCGN(dcgnCfg(4, 1, 2), mc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mc.Seed = 2
+		r2, err := apps.MandelbrotDCGN(dcgnCfg(4, 1, 2), mc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		moved := 0
+		for s := range r1.StripOwner {
+			if r1.StripOwner[s] != r2.StripOwner[s] {
+				moved++
+			}
+		}
+		b.ReportMetric(100*float64(moved)/float64(len(r1.StripOwner)), "strips-moved-%")
+	}
+}
+
+// BenchmarkSec51Mandelbrot regenerates the §5.1 Mandelbrot results:
+// speedup, efficiency and pixel throughput for GAS and DCGN on 8 GPUs.
+func BenchmarkSec51Mandelbrot(b *testing.B) {
+	mc := apps.DefaultMandelConfig()
+	for i := 0; i < b.N; i++ {
+		t1, err := apps.MandelbrotSingleGPU(gasCfg(1, 0, 1), mc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := apps.MandelbrotGAS(gasCfg(4, 1, 2), mc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := apps.MandelbrotDCGN(dcgnCfg(4, 1, 2), mc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.PixelsPerSec/1e6, "gas-Mpix/s")
+		b.ReportMetric(d.PixelsPerSec/1e6, "dcgn-Mpix/s")
+		b.ReportMetric(100*metrics.Efficiency(t1.Elapsed, g.Elapsed, 8), "gas-eff-%")
+		b.ReportMetric(100*metrics.Efficiency(t1.Elapsed, d.Elapsed, 8), "dcgn-eff-%")
+	}
+}
+
+// BenchmarkSec51Cannon regenerates the §5.1 Cannon results: efficiency of
+// GAS and DCGN at 1024x1024 on 4 GPUs.
+func BenchmarkSec51Cannon(b *testing.B) {
+	cc := apps.DefaultCannonConfig()
+	for i := 0; i < b.N; i++ {
+		t1, err := apps.MatmulSingleGPU(gasCfg(1, 0, 1), cc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := apps.CannonGAS(gasCfg(2, 0, 2), cc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := apps.CannonDCGN(dcgnCfg(2, 0, 2), cc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*metrics.Efficiency(t1.Elapsed, g.Elapsed, 4), "gas-eff-%")
+		b.ReportMetric(100*metrics.Efficiency(t1.Elapsed, d.Elapsed, 4), "dcgn-eff-%")
+	}
+}
+
+// BenchmarkSec51NBody regenerates the §5.1 N-body efficiency curve on
+// 8 GPUs for 4k/16k/32k bodies.
+func BenchmarkSec51NBody(b *testing.B) {
+	for _, bodies := range []int{4096, 16384, 32768} {
+		b.Run(fmt.Sprintf("%dbodies", bodies), func(b *testing.B) {
+			nc := apps.DefaultNBodyConfig()
+			nc.Bodies = bodies
+			for i := 0; i < b.N; i++ {
+				t1, err := apps.NBodySingleGPU(gasCfg(1, 0, 1), nc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				g, err := apps.NBodyGAS(gasCfg(4, 0, 2), nc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d, err := apps.NBodyDCGN(dcgnCfg(4, 0, 2), nc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*metrics.Efficiency(t1.Elapsed, g.Elapsed, 8), "gas-eff-%")
+				b.ReportMetric(100*metrics.Efficiency(t1.Elapsed, d.Elapsed, 8), "dcgn-eff-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPollInterval sweeps the GPU poll interval: the paper's
+// §3.2.3 latency-vs-CPU-load trade-off. Reported: GPU:GPU one-way latency
+// and the number of poll transactions the run needed.
+func BenchmarkAblationPollInterval(b *testing.B) {
+	for _, poll := range []time.Duration{15 * time.Microsecond, 60 * time.Microsecond, 120 * time.Microsecond, 480 * time.Microsecond} {
+		b.Run(poll.String(), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.PollInterval = poll
+			for i := 0; i < b.N; i++ {
+				d, err := apps.DCGNSendOneWay(cfg, apps.EPGPU, apps.EPGPU, 1024)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(d.Nanoseconds()), "oneway-ns")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSlotsPerGPU reproduces the paper's §3.1 motivation for
+// slots: a heavy-tailed work queue where one slow item stalls a
+// single-slot device but not a multi-slot one.
+func BenchmarkAblationSlotsPerGPU(b *testing.B) {
+	for _, slots := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%dslots", slots), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := apps.SlotsAblation(core.DefaultConfig(), apps.DefaultSlotsConfig(slots))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(d.Nanoseconds()), "makespan-ns")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEagerLimit sweeps the MPI eager/rendezvous threshold
+// around a 16 kB payload.
+func BenchmarkAblationEagerLimit(b *testing.B) {
+	for _, limit := range []int{1 << 10, 8 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("limit%dk", limit>>10), func(b *testing.B) {
+			cfg := gas.DefaultConfig()
+			cfg.MPI.EagerLimit = limit
+			for i := 0; i < b.N; i++ {
+				d, err := apps.MPISendOneWay(cfg, 16<<10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(d.Nanoseconds()), "oneway-ns")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTreeDispersal compares the paper's sequential local
+// dispersal of collective results against its proposed tree dispersal
+// (§3.2.3 "one optimization intended for the future"), on a single node
+// with 8 CPU ranks broadcasting 512 kB.
+func BenchmarkAblationTreeDispersal(b *testing.B) {
+	for _, tree := range []bool{false, true} {
+		name := "sequential"
+		if tree {
+			name = "tree"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Params.TreeDispersal = tree
+			for i := 0; i < b.N; i++ {
+				d, err := apps.DCGNBroadcastCPUShape(cfg, 1, 8, 512<<10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(d.Nanoseconds()), "bcast-ns")
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n == 0:
+		return "0B"
+	case n < 1<<20:
+		return fmt.Sprintf("%dkB", n>>10)
+	default:
+		return fmt.Sprintf("%dMB", n>>20)
+	}
+}
+
+// BenchmarkAblationFutureHardware quantifies the paper's §7 "Looking
+// Forward" prediction: with device-to-CPU signaling and direct device-NIC
+// transfers, DCGN's GPU-sourced message cost collapses toward the raw MPI
+// baseline ("performance to rival that of CPU-based communication
+// libraries").
+func BenchmarkAblationFutureHardware(b *testing.B) {
+	modes := []struct {
+		name           string
+		signal, direct bool
+	}{
+		{"classic-polling", false, false},
+		{"device-signal", true, false},
+		{"signal+gpudirect", true, true},
+	}
+	for _, size := range []int{0, 1 << 20} {
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("%s/%s", m.name, sizeName(size)), func(b *testing.B) {
+				cfg := core.DefaultConfig()
+				cfg.FutureHW.DeviceSignal = m.signal
+				cfg.FutureHW.GPUDirect = m.direct
+				for i := 0; i < b.N; i++ {
+					d, err := apps.DCGNSendOneWay(cfg, apps.EPGPU, apps.EPGPU, size)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(d.Nanoseconds()), "oneway-ns")
+				}
+			})
+		}
+		b.Run(fmt.Sprintf("raw-MPI-baseline/%s", sizeName(size)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := apps.MPISendOneWay(gas.DefaultConfig(), size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(d.Nanoseconds()), "oneway-ns")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMapReduceSlots runs the paper's §3.1 motivating
+// map-reduce in both scenarios — uniform element costs and a heavy tail —
+// across slot counts, quantifying when slot virtualization pays.
+func BenchmarkAblationMapReduceSlots(b *testing.B) {
+	for _, tail := range []bool{false, true} {
+		scenario := "uniform"
+		if tail {
+			scenario = "heavytail"
+		}
+		for _, slots := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/%dslots", scenario, slots), func(b *testing.B) {
+				mr := apps.DefaultMapReduceConfig(slots)
+				if !tail {
+					mr.SlowEvery = 0
+				}
+				for i := 0; i < b.N; i++ {
+					res, err := apps.MapReduceDCGN(dcgnCfg(1, 1, 1), mr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Verified {
+						b.Fatal("wrong reduction")
+					}
+					b.ReportMetric(float64(res.Elapsed.Nanoseconds()), "makespan-ns")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationPipelineVsDynamic compares the §2.3 static GAS pipeline
+// against DCGN's dynamic work queue under uniform and skewed stage costs.
+func BenchmarkAblationPipelineVsDynamic(b *testing.B) {
+	for _, skewed := range []bool{false, true} {
+		scenario := "uniform"
+		if skewed {
+			scenario = "skewed"
+		}
+		b.Run(scenario, func(b *testing.B) {
+			pc := apps.DefaultPipelineConfig(skewed)
+			for i := 0; i < b.N; i++ {
+				g, err := apps.PipelineGAS(gasCfg(2, 1, 2), pc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d, err := apps.PipelineDCGN(dcgnCfg(2, 1, 2), pc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !g.Verified || !d.Verified {
+					b.Fatal("verification failed")
+				}
+				b.ReportMetric(float64(g.Elapsed.Nanoseconds()), "gas-pipeline-ns")
+				b.ReportMetric(float64(d.Elapsed.Nanoseconds()), "dcgn-dynamic-ns")
+			}
+		})
+	}
+}

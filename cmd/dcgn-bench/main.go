@@ -1,0 +1,205 @@
+// Command dcgn-bench regenerates every table and figure of the paper's
+// evaluation (§5) as text: Table 1 (barrier timings), Fig. 6 (send times),
+// Fig. 7 (broadcast times) and the §5.1 application results (Mandelbrot,
+// Cannon's matrix multiplication, N-body). Absolute numbers come from the
+// calibrated simulation; EXPERIMENTS.md records them against the paper's.
+//
+// Usage:
+//
+//	dcgn-bench                 # run everything
+//	dcgn-bench -exp table1     # one experiment: table1|fig6|fig7|mandelbrot|cannon|nbody
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dcgn/internal/apps"
+	"dcgn/internal/core"
+	"dcgn/internal/gas"
+	"dcgn/internal/metrics"
+)
+
+var exp = flag.String("exp", "all", "experiment to run: all|table1|fig6|fig7|mandelbrot|cannon|nbody")
+
+func main() {
+	flag.Parse()
+	run := func(name string, fn func()) {
+		if *exp == "all" || *exp == name {
+			fn()
+			fmt.Println()
+		}
+	}
+	run("table1", table1)
+	run("fig6", fig6)
+	run("fig7", fig7)
+	run("mandelbrot", mandelbrot)
+	run("cannon", cannon)
+	run("nbody", nbody)
+	switch *exp {
+	case "all", "table1", "fig6", "fig7", "mandelbrot", "cannon", "nbody":
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}
+
+func table1() {
+	fmt.Println("== Table 1: Barrier timings for CPUs and GPUs ==")
+	rows := []struct {
+		nodes, cpus, gpus int // per-node counts
+	}{
+		{1, 2, 0}, {1, 0, 2}, {1, 1, 1}, {1, 2, 2},
+		{2, 2, 0}, {2, 0, 2}, {2, 2, 2},
+		{4, 2, 0}, {4, 0, 2}, {4, 2, 2},
+	}
+	var out [][]string
+	for _, r := range rows {
+		mpiCol, ratio := "—", "—"
+		var mpiT time.Duration
+		if r.gpus == 0 {
+			m, err := apps.MPIBarrier(gas.DefaultConfig(), r.nodes, r.cpus)
+			check(err)
+			mpiT = m
+			mpiCol = metrics.FormatDuration(m)
+		}
+		d, err := apps.DCGNBarrier(core.DefaultConfig(), r.nodes, r.cpus, r.gpus)
+		check(err)
+		if mpiT > 0 {
+			ratio = metrics.Ratio(d, mpiT)
+		}
+		cfgStr := fmt.Sprintf("%d CPUs/%d GPUs", r.nodes*r.cpus, r.nodes*r.gpus)
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.nodes), cfgStr, mpiCol, metrics.FormatDuration(d), ratio,
+		})
+	}
+	metrics.WriteAligned(os.Stdout, []string{"Nodes", "Configuration", "MPI (CPU)", "DCGN", "Ratio"}, out)
+}
+
+func fig6() {
+	fmt.Println("== Figure 6: Send times (one-way) vs message size ==")
+	s := metrics.NewSeries()
+	for _, size := range apps.SendSizes {
+		m, err := apps.MPISendOneWay(gas.DefaultConfig(), size)
+		check(err)
+		s.Add("MVAPICH2", float64(size), m)
+		cc, err := apps.DCGNSendOneWay(core.DefaultConfig(), apps.EPCPU, apps.EPCPU, size)
+		check(err)
+		s.Add("DCGN CPU:CPU", float64(size), cc)
+		cg, err := apps.DCGNSendOneWay(core.DefaultConfig(), apps.EPCPU, apps.EPGPU, size)
+		check(err)
+		s.Add("DCGN CPU:GPU", float64(size), cg)
+		gc, err := apps.DCGNSendOneWay(core.DefaultConfig(), apps.EPGPU, apps.EPCPU, size)
+		check(err)
+		s.Add("DCGN GPU:CPU", float64(size), gc)
+		gg, err := apps.DCGNSendOneWay(core.DefaultConfig(), apps.EPGPU, apps.EPGPU, size)
+		check(err)
+		s.Add("DCGN GPU:GPU", float64(size), gg)
+	}
+	s.WriteTable(os.Stdout, "Size", metrics.FormatBytes)
+}
+
+func fig7() {
+	fmt.Println("== Figure 7: Broadcast completion time, 8 ranks over 4 nodes ==")
+	s := metrics.NewSeries()
+	for _, size := range apps.BcastSizes {
+		m, err := apps.MPIBroadcast(gas.DefaultConfig(), size)
+		check(err)
+		s.Add("MVAPICH2 8 CPUs", float64(size), m)
+		c, err := apps.DCGNBroadcastCPU(core.DefaultConfig(), size)
+		check(err)
+		s.Add("DCGN 8 CPUs", float64(size), c)
+		g, err := apps.DCGNBroadcastGPU(core.DefaultConfig(), size)
+		check(err)
+		s.Add("DCGN 8 GPUs", float64(size), g)
+	}
+	s.WriteTable(os.Stdout, "Size", metrics.FormatBytes)
+}
+
+func mandelbrot() {
+	fmt.Println("== §5.1 Mandelbrot: dynamic work queue, 8 GPUs ==")
+	mc := apps.DefaultMandelConfig()
+	t1, err := apps.MandelbrotSingleGPU(gasCfg(1, 0, 1), mc)
+	check(err)
+	g, err := apps.MandelbrotGAS(gasCfg(4, 1, 2), mc)
+	check(err)
+	d, err := apps.MandelbrotDCGN(dcgnCfg(4, 1, 2), mc)
+	check(err)
+	fmt.Printf("single GPU baseline: %v (%.1f Mpixels/s)\n", t1.Elapsed, t1.PixelsPerSec/1e6)
+	metrics.WriteAligned(os.Stdout,
+		[]string{"Model", "Time", "Mpixels/s", "Speedup", "Efficiency"},
+		[][]string{
+			{"GAS+MPI", metrics.FormatDuration(g.Elapsed), fmt.Sprintf("%.1f", g.PixelsPerSec/1e6),
+				fmt.Sprintf("%.2fx", metrics.Speedup(t1.Elapsed, g.Elapsed)),
+				fmt.Sprintf("%.0f%%", 100*metrics.Efficiency(t1.Elapsed, g.Elapsed, 8))},
+			{"DCGN", metrics.FormatDuration(d.Elapsed), fmt.Sprintf("%.1f", d.PixelsPerSec/1e6),
+				fmt.Sprintf("%.2fx", metrics.Speedup(t1.Elapsed, d.Elapsed)),
+				fmt.Sprintf("%.0f%%", 100*metrics.Efficiency(t1.Elapsed, d.Elapsed, 8))},
+		})
+	fmt.Println("(paper: GAS 3.08x / 38% / ~17M px/s; DCGN 2.72x / 34% / ~15M px/s)")
+}
+
+func cannon() {
+	fmt.Println("== §5.1 Cannon's matrix multiplication: 1024x1024, 4 GPUs ==")
+	cc := apps.DefaultCannonConfig()
+	t1, err := apps.MatmulSingleGPU(gasCfg(1, 0, 1), cc)
+	check(err)
+	g, err := apps.CannonGAS(gasCfg(2, 0, 2), cc)
+	check(err)
+	d, err := apps.CannonDCGN(dcgnCfg(2, 0, 2), cc)
+	check(err)
+	fmt.Printf("single GPU baseline: %v\n", t1.Elapsed)
+	metrics.WriteAligned(os.Stdout,
+		[]string{"Model", "Time", "GFLOPS", "Efficiency"},
+		[][]string{
+			{"GAS+MPI", metrics.FormatDuration(g.Elapsed), fmt.Sprintf("%.1f", g.GFLOPS),
+				fmt.Sprintf("%.0f%%", 100*metrics.Efficiency(t1.Elapsed, g.Elapsed, 4))},
+			{"DCGN", metrics.FormatDuration(d.Elapsed), fmt.Sprintf("%.1f", d.GFLOPS),
+				fmt.Sprintf("%.0f%%", 100*metrics.Efficiency(t1.Elapsed, d.Elapsed, 4))},
+		})
+	fmt.Println("(paper: GAS 74%, DCGN 71%)")
+}
+
+func nbody() {
+	fmt.Println("== §5.1 N-body: brute force, 8 GPUs, efficiency vs bodies ==")
+	var rows [][]string
+	for _, bodies := range []int{4096, 16384, 32768} {
+		nc := apps.DefaultNBodyConfig()
+		nc.Bodies = bodies
+		t1, err := apps.NBodySingleGPU(gasCfg(1, 0, 1), nc)
+		check(err)
+		g, err := apps.NBodyGAS(gasCfg(4, 0, 2), nc)
+		check(err)
+		d, err := apps.NBodyDCGN(dcgnCfg(4, 0, 2), nc)
+		check(err)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", bodies),
+			metrics.FormatDuration(t1.StepTime),
+			fmt.Sprintf("%.0f%%", 100*metrics.Efficiency(t1.Elapsed, g.Elapsed, 8)),
+			fmt.Sprintf("%.0f%%", 100*metrics.Efficiency(t1.Elapsed, d.Elapsed, 8)),
+		})
+	}
+	metrics.WriteAligned(os.Stdout,
+		[]string{"Bodies", "1-GPU step", "GAS eff", "DCGN eff"}, rows)
+	fmt.Println("(paper: 28% @4k, 64% @16k, >90% @32k; DCGN == GAS)")
+}
+
+func gasCfg(nodes, cpus, gpus int) gas.Config {
+	cfg := gas.DefaultConfig()
+	cfg.Nodes, cfg.CPUsPerNode, cfg.GPUsPerNode = nodes, cpus, gpus
+	return cfg
+}
+
+func dcgnCfg(nodes, cpus, gpus int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Nodes, cfg.CPUKernels, cfg.GPUs = nodes, cpus, gpus
+	return cfg
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

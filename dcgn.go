@@ -1,0 +1,123 @@
+// Package dcgn is a Go reproduction of DCGN — "Distributed Computing on
+// GPU Networks" — the message-passing system for data-parallel
+// architectures of Stuart & Owens (IPDPS 2009, DOI
+// 10.1109/IPDPS.2009.5161065).
+//
+// DCGN is an MPI-like library in which data-parallel devices (GPUs) are
+// first-class communication targets: device kernels call Send, Recv,
+// Barrier, Bcast, Gather, Scatter and SendRecv directly, with the host-side
+// runtime discovering device-sourced requests by sleep-based polling of
+// device memory and relaying them through a per-node communication thread
+// that owns the underlying MPI library. MPI ranks are virtualized across
+// devices with "slots".
+//
+// Because no GPU hardware is assumed, the library runs against a
+// deterministic simulated substrate: a discrete-event scheduler
+// (internal/sim), a data-parallel device model (internal/device), a PCIe
+// bus (internal/pcie), a cluster fabric (internal/fabric) and a full
+// MPI-style library (internal/mpi) that doubles as the paper's MVAPICH2
+// baseline. Kernels execute real Go code and produce real results; timing
+// is analytic and deterministic, calibrated so the paper's measured ratios
+// hold (see EXPERIMENTS.md).
+//
+// A minimal ping-pong (the paper's Fig. 3):
+//
+//	cfg := dcgn.DefaultConfig()
+//	cfg.Nodes, cfg.CPUKernels, cfg.GPUs = 2, 1, 0
+//	job := dcgn.NewJob(cfg)
+//	job.SetCPUKernel(func(c *dcgn.CPUCtx) {
+//		x := make([]byte, 4)
+//		switch c.Rank() {
+//		case 0:
+//			c.Send(1, x)
+//			c.Recv(1, x)
+//		case 1:
+//			c.Recv(0, x)
+//			c.Send(0, x)
+//		}
+//	})
+//	report, err := job.Run()
+package dcgn
+
+import (
+	"dcgn/internal/core"
+	"dcgn/internal/device"
+	"dcgn/internal/fabric"
+	"dcgn/internal/mpi"
+	"dcgn/internal/pcie"
+)
+
+// Core job types. See the corresponding internal/core documentation for
+// full semantics; they are aliased here so the public API is a single
+// import.
+type (
+	// Config describes a DCGN job: cluster shape (nodes, CPU-kernel
+	// threads, GPUs, slots per GPU), poll interval, substrate timing and
+	// jitter.
+	Config = core.Config
+	// Params is DCGN's internal overhead model (queue, dispatch, notify,
+	// relay costs).
+	Params = core.Params
+	// Job is one configured DCGN application run.
+	Job = core.Job
+	// CPUCtx is the host-side kernel API (dcgn::send, dcgn::recv, ...).
+	CPUCtx = core.CPUCtx
+	// GPUCtx is the device-side kernel API (dcgn::gpu::send with slots).
+	GPUCtx = core.GPUCtx
+	// GPUSetup is the host-side pre/post-launch context for device buffer
+	// management.
+	GPUSetup = core.GPUSetup
+	// CommStatus reports a completed receive (source rank and byte count).
+	CommStatus = core.CommStatus
+	// Report summarizes a completed run (virtual elapsed time, traffic and
+	// polling statistics).
+	Report = core.Report
+	// RankMap is the paper's Cn + Gn*Sn rank-assignment rule.
+	RankMap = core.RankMap
+	// NodeSpec describes one node's resource shape for heterogeneous
+	// clusters (Config.PerNode).
+	NodeSpec = core.NodeSpec
+	// FutureHW enables the §7 "Looking Forward" hardware capabilities
+	// (device-to-CPU signaling, direct device-NIC transfers).
+	FutureHW = core.FutureHW
+)
+
+// Substrate types reachable from the public API (device buffers in GPU
+// setup callbacks, configuration of the simulated hardware).
+type (
+	// Device is the simulated data-parallel machine.
+	Device = device.Device
+	// DevPtr is a device-memory address.
+	DevPtr = device.Ptr
+	// Block is the execution context of one device thread-block.
+	Block = device.Block
+	// DeviceConfig describes a simulated device (SMs, GFLOPS, memory).
+	DeviceConfig = device.Config
+	// NetConfig describes the simulated cluster interconnect.
+	NetConfig = fabric.Config
+	// BusConfig describes the simulated PCIe bus.
+	BusConfig = pcie.Config
+	// MPIConfig tunes the underlying MPI library.
+	MPIConfig = mpi.Config
+)
+
+// AnySource matches any sending rank in Recv.
+const AnySource = core.AnySource
+
+// DevNull is the device null pointer.
+const DevNull = device.Null
+
+// ErrTruncate is reported when a message exceeds the posted receive
+// buffer.
+var ErrTruncate = core.ErrTruncate
+
+// NewJob creates a job for the given cluster configuration.
+func NewJob(cfg Config) *Job { return core.NewJob(cfg) }
+
+// DefaultConfig returns the paper's testbed shape — 4 nodes, each with two
+// dual-core-era CPUs (2 CPU-kernel threads) and two G92-class GPUs — with
+// substrate constants calibrated against the paper's measurements.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultParams returns the calibrated DCGN overhead model.
+func DefaultParams() Params { return core.DefaultParams() }

@@ -1,0 +1,119 @@
+package dcgn_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dcgn"
+)
+
+// TestPublicAPIPingPong exercises the doc-comment example end to end.
+func TestPublicAPIPingPong(t *testing.T) {
+	cfg := dcgn.DefaultConfig()
+	cfg.Nodes, cfg.CPUKernels, cfg.GPUs = 2, 1, 0
+	job := dcgn.NewJob(cfg)
+	var roundTrips int
+	job.SetCPUKernel(func(c *dcgn.CPUCtx) {
+		x := []byte{1, 2, 3, 4}
+		switch c.Rank() {
+		case 0:
+			if err := c.Send(1, x); err != nil {
+				t.Error(err)
+			}
+			if _, err := c.Recv(1, x); err != nil {
+				t.Error(err)
+			}
+			roundTrips++
+		case 1:
+			if _, err := c.Recv(0, x); err != nil {
+				t.Error(err)
+			}
+			if err := c.Send(0, x); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	rep, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roundTrips != 1 {
+		t.Fatal("ping-pong did not complete")
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+// TestPublicAPIGPUVirtualization reproduces the paper's Fig. 1 idea through
+// the public API: one GPU virtualized into multiple communication targets.
+func TestPublicAPIGPUVirtualization(t *testing.T) {
+	cfg := dcgn.DefaultConfig()
+	cfg.Nodes, cfg.CPUKernels, cfg.GPUs, cfg.SlotsPerGPU = 1, 1, 1, 2
+	job := dcgn.NewJob(cfg)
+
+	payload := []byte("hello from the device")
+	var heard [][]byte
+	job.SetCPUKernel(func(c *dcgn.CPUCtx) {
+		buf := make([]byte, 64)
+		for i := 0; i < 2; i++ {
+			st, err := c.Recv(dcgn.AnySource, buf)
+			if err != nil {
+				t.Error(err)
+			}
+			heard = append(heard, append([]byte(nil), buf[:st.Bytes]...))
+		}
+	})
+	job.SetGPUSetup(func(s *dcgn.GPUSetup) {
+		ptr := s.Dev.Mem().MustAlloc(64)
+		copy(s.Dev.Bytes(ptr, 64), payload)
+		s.Args["msg"] = ptr
+	})
+	job.SetGPUKernel(2, 8, func(g *dcgn.GPUCtx) {
+		slot := g.Block().Idx // block i drives slot i
+		ptr := g.Arg("msg").(dcgn.DevPtr)
+		if err := g.Send(slot, 0, ptr, len(payload)); err != nil {
+			t.Error(err)
+		}
+	})
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(heard) != 2 {
+		t.Fatalf("heard %d messages, want one per slot", len(heard))
+	}
+	for _, h := range heard {
+		if !bytes.Equal(h, payload) {
+			t.Fatal("payload corrupted")
+		}
+	}
+}
+
+// TestReportStatistics checks that the run report carries the polling and
+// traffic counters the paper's discussion is about.
+func TestReportStatistics(t *testing.T) {
+	cfg := dcgn.DefaultConfig()
+	cfg.Nodes, cfg.CPUKernels, cfg.GPUs = 2, 0, 1
+	cfg.PollInterval = 50 * time.Microsecond
+	job := dcgn.NewJob(cfg)
+	job.SetGPUSetup(func(s *dcgn.GPUSetup) {
+		s.Args["b"] = s.Dev.Mem().MustAlloc(256)
+	})
+	job.SetGPUKernel(1, 8, func(g *dcgn.GPUCtx) {
+		ptr := g.Arg("b").(dcgn.DevPtr)
+		other := 1 - g.Rank(0)
+		if g.Rank(0) == 0 {
+			g.Send(0, other, ptr, 256)
+		} else {
+			g.Recv(0, other, ptr, 256)
+		}
+	})
+	rep, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Polls == 0 || rep.BusCtlOps == 0 || rep.NetPackets == 0 || rep.Requests == 0 {
+		t.Fatalf("missing statistics: %+v", rep)
+	}
+}

@@ -1,0 +1,195 @@
+// Command nbody runs the paper's brute-force N-body simulation (§4
+// "One-to-All") through the public API: eight GPU targets each integrate
+// N/8 bodies against all N, then broadcast their updated bodies to every
+// other target — entirely device-sourced communication, no CPU kernels at
+// all ("no CPU kernels need be run", §3.2). It reports per-step times and
+// the parallel efficiency against a single-GPU run, reproducing the
+// paper's efficiency-vs-problem-size trend in miniature.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"dcgn"
+)
+
+var (
+	bodies = flag.Int("bodies", 512, "body count (must be divisible by 8)")
+	steps  = flag.Int("steps", 3, "time steps")
+	seed   = flag.Int64("seed", 1, "timing-jitter seed")
+)
+
+const bodyBytes = 32 // 3xf32 pos, 3xf32 vel, f32 mass, pad
+
+func putF32(buf []byte, v float32) {
+	bits := math.Float32bits(v)
+	buf[0], buf[1], buf[2], buf[3] = byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24)
+}
+
+func getF32(buf []byte) float32 {
+	return math.Float32frombits(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24)
+}
+
+func initBodies(n int) []byte {
+	buf := make([]byte, n*bodyBytes)
+	for i := 0; i < n; i++ {
+		b := buf[i*bodyBytes:]
+		putF32(b[0:], float32(math.Sin(float64(i)*0.7))*100)
+		putF32(b[4:], float32(math.Cos(float64(i)*1.3))*100)
+		putF32(b[8:], float32(math.Sin(float64(i)*2.1))*100)
+		putF32(b[24:], 1+float32(i%7))
+	}
+	return buf
+}
+
+// step integrates bodies [lo,hi) against all n bodies (softened gravity).
+func step(all []byte, lo, hi int) {
+	n := len(all) / bodyBytes
+	const dt, eps2 = 0.01, 0.5
+	type vec struct{ x, y, z float32 }
+	acc := make([]vec, hi-lo)
+	for i := lo; i < hi; i++ {
+		bi := all[i*bodyBytes:]
+		xi, yi, zi := getF32(bi), getF32(bi[4:]), getF32(bi[8:])
+		var a vec
+		for j := 0; j < n; j++ {
+			bj := all[j*bodyBytes:]
+			dx, dy, dz := getF32(bj)-xi, getF32(bj[4:])-yi, getF32(bj[8:])-zi
+			d2 := dx*dx + dy*dy + dz*dz + eps2
+			inv := float32(1 / math.Sqrt(float64(d2)))
+			f := getF32(bj[24:]) * inv * inv * inv
+			a.x += f * dx
+			a.y += f * dy
+			a.z += f * dz
+		}
+		acc[i-lo] = a
+	}
+	for i := lo; i < hi; i++ {
+		b := all[i*bodyBytes:]
+		a := acc[i-lo]
+		vx, vy, vz := getF32(b[12:])+a.x*dt, getF32(b[16:])+a.y*dt, getF32(b[20:])+a.z*dt
+		putF32(b[12:], vx)
+		putF32(b[16:], vy)
+		putF32(b[20:], vz)
+		putF32(b[0:], getF32(b[0:])+vx*dt)
+		putF32(b[4:], getF32(b[4:])+vy*dt)
+		putF32(b[8:], getF32(b[8:])+vz*dt)
+	}
+}
+
+// chargePerChunk is the device time per interaction (20 flops at an
+// achieved fraction of G92 peak).
+func charge(interactions float64) time.Duration {
+	return time.Duration(interactions * 20 / (500e9 * 0.12) * 1e9)
+}
+
+func run(targets int) (time.Duration, []byte, error) {
+	cfg := dcgn.DefaultConfig()
+	switch targets {
+	case 1:
+		cfg.Nodes, cfg.GPUs = 1, 1
+	case 8:
+		cfg.Nodes, cfg.GPUs = 4, 2
+	default:
+		return 0, nil, fmt.Errorf("unsupported target count %d", targets)
+	}
+	cfg.CPUKernels = 0
+	cfg.SlotsPerGPU = 1
+	cfg.JitterSeed = *seed
+	total := *bodies * bodyBytes
+	if cfg.Device.MemBytes < 2*total {
+		cfg.Device.MemBytes = 2*total + (1 << 20)
+	}
+	job := dcgn.NewJob(cfg)
+	rm := job.Ranks()
+	rankOf := make([]int, targets)
+	for t := range rankOf {
+		rankOf[t] = rm.GPURank(t/cfg.GPUs, t%cfg.GPUs, 0)
+	}
+	chunk := *bodies / targets
+
+	var elapsed time.Duration
+	var final []byte
+	job.SetGPUSetup(func(s *dcgn.GPUSetup) {
+		ptr := s.Dev.Mem().MustAlloc(total)
+		s.Dev.CopyIn(s.Proc, s.Bus, ptr, initBodies(*bodies))
+		s.Args["bodies"] = ptr
+		s.Args["t"] = s.Node*cfg.GPUs + s.GPU
+	})
+	job.SetGPUKernel(1, 8, func(g *dcgn.GPUCtx) {
+		t := g.Arg("t").(int)
+		ptr := g.Arg("bodies").(dcgn.DevPtr)
+		lo, hi := t*chunk, (t+1)*chunk
+		g.Barrier(0)
+		start := g.Block().Proc().Now()
+		for s := 0; s < *steps; s++ {
+			step(g.Block().Bytes(ptr, total), lo, hi)
+			g.Block().ChargeTime(charge(float64(chunk) * float64(*bodies)))
+			for root := 0; root < targets; root++ {
+				cPtr := ptr + dcgn.DevPtr(root*chunk*bodyBytes)
+				if err := g.Bcast(0, rankOf[root], cPtr, chunk*bodyBytes); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if t == 0 {
+			elapsed = g.Block().Proc().Now() - start
+		}
+	})
+	job.SetGPUTeardown(func(s *dcgn.GPUSetup) {
+		if s.Args["t"].(int) == 0 {
+			final = make([]byte, total)
+			s.Dev.CopyOut(s.Proc, s.Bus, s.Args["bodies"].(dcgn.DevPtr), final)
+		}
+	})
+	if _, err := job.Run(); err != nil {
+		return 0, nil, err
+	}
+	return elapsed, final, nil
+}
+
+func main() {
+	flag.Parse()
+	if *bodies%8 != 0 {
+		log.Fatal("-bodies must be divisible by 8")
+	}
+
+	t1, _, err := run(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t8, final, err := run(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify the distributed physics against the sequential integration.
+	ref := initBodies(*bodies)
+	for s := 0; s < *steps; s++ {
+		step(ref, 0, *bodies)
+	}
+	worst := 0.0
+	for i := 0; i < len(ref); i += 4 {
+		d := math.Abs(float64(getF32(ref[i:]) - getF32(final[i:])))
+		if d > worst {
+			worst = d
+		}
+	}
+
+	eff := float64(t1) / float64(t8) / 8
+	fmt.Printf("N-body: %d bodies, %d steps, 8 GPU targets (4 nodes x 2 GPUs)\n", *bodies, *steps)
+	fmt.Printf("single GPU: %v   8 GPUs: %v   speedup %.2fx   efficiency %.0f%%\n",
+		t1, t8, float64(t1)/float64(t8), 100*eff)
+	fmt.Printf("physics check vs sequential integration: max deviation %.2g", worst)
+	if worst < 1e-2 {
+		fmt.Println("  -> PASS")
+	} else {
+		fmt.Println("  -> FAIL")
+		log.Fatal("verification failed")
+	}
+	fmt.Println("\nRaise -bodies to watch efficiency climb (paper: 28% @4k, 64% @16k, >90% @32k).")
+}

@@ -1,0 +1,3 @@
+module dcgn
+
+go 1.22

@@ -1,0 +1,286 @@
+package apps
+
+import (
+	"testing"
+
+	"dcgn/internal/core"
+	"dcgn/internal/gas"
+	"dcgn/internal/metrics"
+)
+
+// smallDCGN returns a DCGN cluster sized (nodes, cpus, gpus) per node.
+func smallDCGN(nodes, cpus, gpus int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.CPUKernels = cpus
+	cfg.GPUs = gpus
+	return cfg
+}
+
+func smallGAS(nodes, cpus, gpus int) gas.Config {
+	cfg := gas.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.CPUsPerNode = cpus
+	cfg.GPUsPerNode = gpus
+	return cfg
+}
+
+func tinyMandel() MandelConfig {
+	mc := DefaultMandelConfig()
+	mc.Width, mc.Height = 128, 96
+	mc.MaxIter = 64
+	mc.StripRows = 8
+	return mc
+}
+
+func TestMandelbrotDCGNCorrect(t *testing.T) {
+	mc := tinyMandel()
+	res, err := MandelbrotDCGN(smallDCGN(2, 1, 2), mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := MandelReference(mc)
+	if len(res.Image) != len(ref) {
+		t.Fatalf("image size %d", len(res.Image))
+	}
+	for i := range ref {
+		if res.Image[i] != ref[i] {
+			t.Fatalf("pixel %d: got %d want %d", i, res.Image[i], ref[i])
+		}
+	}
+	// Every strip assigned to a real worker.
+	if len(res.StripOwner) != mc.strips() {
+		t.Fatalf("%d strip owners", len(res.StripOwner))
+	}
+	for s, w := range res.StripOwner {
+		if w < 0 || w >= res.Workers {
+			t.Fatalf("strip %d owned by %d", s, w)
+		}
+	}
+	if res.PixelsPerSec <= 0 {
+		t.Fatal("no throughput computed")
+	}
+}
+
+func TestMandelbrotGASCorrect(t *testing.T) {
+	mc := tinyMandel()
+	res, err := MandelbrotGAS(smallGAS(2, 1, 2), mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := MandelReference(mc)
+	for i := range ref {
+		if res.Image[i] != ref[i] {
+			t.Fatalf("pixel %d: got %d want %d", i, res.Image[i], ref[i])
+		}
+	}
+}
+
+func TestMandelbrotDynamicDistributionVariesWithSeed(t *testing.T) {
+	mc := tinyMandel()
+	mc.JitterFrac = 0.25
+	mc.Seed = 1
+	a, err := MandelbrotDCGN(smallDCGN(2, 1, 2), mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.Seed = 2
+	b, err := MandelbrotDCGN(smallDCGN(2, 1, 2), mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.StripOwner {
+		if a.StripOwner[i] != b.StripOwner[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two seeds produced identical work distributions (Fig. 5 effect missing)")
+	}
+	// Same seed must reproduce exactly (determinism).
+	c, err := MandelbrotDCGN(smallDCGN(2, 1, 2), mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.StripOwner {
+		if b.StripOwner[i] != c.StripOwner[i] {
+			t.Fatal("same seed gave different distributions")
+		}
+	}
+}
+
+func TestCannonDCGNCorrect(t *testing.T) {
+	cc := CannonConfig{N: 64, MatmulEff: 0.3, RealMath: true}
+	res, err := CannonDCGN(smallDCGN(2, 0, 2), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("Cannon DCGN result failed verification")
+	}
+	if res.Targets != 4 || res.Elapsed <= 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+}
+
+func TestCannonGASCorrect(t *testing.T) {
+	cc := CannonConfig{N: 64, MatmulEff: 0.3, RealMath: true}
+	res, err := CannonGAS(smallGAS(2, 0, 2), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("Cannon GAS result failed verification")
+	}
+}
+
+func TestCannonRejectsBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-square target count")
+		}
+	}()
+	cc := CannonConfig{N: 64, MatmulEff: 0.3}
+	CannonDCGN(smallDCGN(3, 0, 1), cc) //nolint:errcheck // panics first
+}
+
+func TestNBodyDCGNCorrect(t *testing.T) {
+	nc := NBodyConfig{Bodies: 128, Steps: 3, FlopsPerInteraction: 20, NBodyEff: 0.2, RealMath: true}
+	res, err := NBodyDCGN(smallDCGN(2, 0, 2), nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("N-body DCGN result failed verification")
+	}
+	if res.StepTime <= 0 {
+		t.Fatal("no step time")
+	}
+}
+
+func TestNBodyGASCorrect(t *testing.T) {
+	nc := NBodyConfig{Bodies: 128, Steps: 3, FlopsPerInteraction: 20, NBodyEff: 0.2, RealMath: true}
+	res, err := NBodyGAS(smallGAS(2, 0, 2), nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("N-body GAS result failed verification")
+	}
+}
+
+func TestNBodyDCGNAndGASAgreeWithReference(t *testing.T) {
+	// Both models must produce identical physics to the sequential code;
+	// Verified above checks it, here we additionally check single-GPU
+	// timing sanity: t1 >= per-target compute of the distributed run.
+	nc := NBodyConfig{Bodies: 256, Steps: 2, FlopsPerInteraction: 20, NBodyEff: 0.2, RealMath: true}
+	t1, err := NBodySingleGPU(smallGAS(1, 0, 1), nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := NBodyDCGN(smallDCGN(2, 0, 2), nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Elapsed <= 0 || tp.Elapsed <= 0 {
+		t.Fatal("missing timings")
+	}
+	eff := metrics.Efficiency(t1.Elapsed, tp.Elapsed, 4)
+	if eff <= 0 || eff > 1.05 {
+		t.Fatalf("nonsensical efficiency %.2f", eff)
+	}
+}
+
+func TestMicroBenchesRun(t *testing.T) {
+	if _, err := DCGNSendOneWay(core.DefaultConfig(), EPCPU, EPGPU, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MPISendOneWay(gas.DefaultConfig(), 1024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DCGNBroadcastCPU(core.DefaultConfig(), 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DCGNBroadcastGPU(core.DefaultConfig(), 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MPIBroadcast(gas.DefaultConfig(), 4096); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMandelbrotModelsProduceIdenticalImages: the two execution models
+// must compute the exact same image (only timing differs).
+func TestMandelbrotModelsProduceIdenticalImages(t *testing.T) {
+	mc := tinyMandel()
+	d, err := MandelbrotDCGN(smallDCGN(2, 1, 2), mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := MandelbrotGAS(smallGAS(2, 1, 2), mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Image {
+		if d.Image[i] != g.Image[i] {
+			t.Fatalf("pixel %d differs between models", i)
+		}
+	}
+}
+
+// TestCannonModelsAgree: both models verify against the direct multiply
+// and report comparable (not wildly divergent) timings.
+func TestCannonModelsAgree(t *testing.T) {
+	cc := CannonConfig{N: 64, MatmulEff: 0.3, RealMath: true}
+	d, err := CannonDCGN(smallDCGN(2, 0, 2), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := CannonGAS(smallGAS(2, 0, 2), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Verified || !g.Verified {
+		t.Fatal("verification failed")
+	}
+	// At a tiny N the fixed polling overhead dominates DCGN (the paper's
+	// small-message story), so DCGN must be slower here — but boundedly so.
+	ratio := float64(d.Elapsed) / float64(g.Elapsed)
+	if ratio < 1 || ratio > 30 {
+		t.Fatalf("unexpected tiny-matrix timing ratio %.1f: dcgn=%v gas=%v", ratio, d.Elapsed, g.Elapsed)
+	}
+}
+
+// TestMandelbrotStripSizesAllCorrect: correctness must hold across strip
+// granularities, including ones that do not divide the image height.
+func TestMandelbrotStripSizesAllCorrect(t *testing.T) {
+	for _, rows := range []int{1, 5, 8, 96, 100} {
+		mc := tinyMandel()
+		mc.StripRows = rows
+		res, err := MandelbrotDCGN(smallDCGN(2, 1, 2), mc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := MandelReference(mc)
+		for i := range ref {
+			if res.Image[i] != ref[i] {
+				t.Fatalf("strip=%d: pixel %d wrong", rows, i)
+			}
+		}
+	}
+}
+
+// TestNBodySingleTargetDegenerate: the distributed code paths must work
+// with a single target (no communication partners).
+func TestNBodySingleTargetDegenerate(t *testing.T) {
+	nc := NBodyConfig{Bodies: 64, Steps: 2, FlopsPerInteraction: 20, NBodyEff: 0.2, RealMath: true}
+	res, err := NBodyDCGN(smallDCGN(1, 0, 1), nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("single-target N-body failed verification")
+	}
+}

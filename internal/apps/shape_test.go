@@ -1,0 +1,251 @@
+package apps
+
+// Shape-regression tests: these pin the qualitative results of the paper's
+// evaluation (who wins, by roughly what factor, where crossovers fall) so
+// that refactoring the substrates cannot silently break the reproduction.
+// Exact values live in EXPERIMENTS.md; the bands here are deliberately
+// generous.
+
+import (
+	"testing"
+	"time"
+
+	"dcgn/internal/core"
+	"dcgn/internal/gas"
+	"dcgn/internal/metrics"
+)
+
+func TestShapeFig6SendCurves(t *testing.T) {
+	mpi0, err := MPISendOneWay(gas.DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc0, err := DCGNSendOneWay(core.DefaultConfig(), EPCPU, EPCPU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg0, err := DCGNSendOneWay(core.DefaultConfig(), EPGPU, EPGPU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg0, err := DCGNSendOneWay(core.DefaultConfig(), EPCPU, EPGPU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-byte ordering: MPI << DCGN CPU:CPU << mixed << GPU:GPU.
+	r := func(a, b time.Duration) float64 { return float64(a) / float64(b) }
+	if r(cc0, mpi0) < 10 || r(cc0, mpi0) > 60 {
+		t.Errorf("0B DCGN CPU:CPU / MPI = %.1f, want order of the paper's 28x", r(cc0, mpi0))
+	}
+	if r(gg0, mpi0) < 60 {
+		t.Errorf("0B DCGN GPU:GPU / MPI = %.1f, want ~2 orders of magnitude", r(gg0, mpi0))
+	}
+	if !(mpi0 < cc0 && cc0 < cg0 && cg0 < gg0) {
+		t.Errorf("0B ordering broken: mpi=%v cc=%v cg=%v gg=%v", mpi0, cc0, cg0, gg0)
+	}
+	// Large messages converge: 1MB CPU:CPU within ~25% of raw MPI; GPU:GPU
+	// within a small factor (the paper reports 1.5x of CPU:CPU MVAPICH2).
+	mpi1m, _ := MPISendOneWay(gas.DefaultConfig(), 1<<20)
+	cc1m, _ := DCGNSendOneWay(core.DefaultConfig(), EPCPU, EPCPU, 1<<20)
+	gg1m, _ := DCGNSendOneWay(core.DefaultConfig(), EPGPU, EPGPU, 1<<20)
+	if r(cc1m, mpi1m) > 1.25 {
+		t.Errorf("1MB DCGN CPU:CPU / MPI = %.2f, want near-parity (paper: 1.04)", r(cc1m, mpi1m))
+	}
+	if r(gg1m, mpi1m) > 4 {
+		t.Errorf("1MB DCGN GPU:GPU / MPI = %.2f, want small factor (paper: ~1.5)", r(gg1m, mpi1m))
+	}
+}
+
+func TestShapeFig7BroadcastCrossover(t *testing.T) {
+	// Small/medium DCGN CPU broadcasts beat MVAPICH2 (half the MPI ranks
+	// participate); DCGN GPU broadcasts are slower than both throughout.
+	for _, size := range []int{1 << 10, 8 << 10, 64 << 10} {
+		mpiT, err := MPIBroadcast(gas.DefaultConfig(), size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpuT, err := DCGNBroadcastCPU(core.DefaultConfig(), size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpuT, err := DCGNBroadcastGPU(core.DefaultConfig(), size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cpuT >= mpiT {
+			t.Errorf("size %d: DCGN CPU bcast (%v) should beat MVAPICH2 (%v) at small/medium sizes", size, cpuT, mpiT)
+		}
+		if gpuT <= mpiT {
+			t.Errorf("size %d: DCGN GPU bcast (%v) should be slower than MVAPICH2 (%v)", size, gpuT, mpiT)
+		}
+	}
+}
+
+func TestShapeTable1Barriers(t *testing.T) {
+	// CPU-only DCGN barriers are one order of magnitude over MPI;
+	// GPU-only barriers are another order up and grow with node count.
+	mpi1, err := MPIBarrier(gas.DefaultConfig(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcgnCPU, err := DCGNBarrier(core.DefaultConfig(), 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(dcgnCPU) / float64(mpi1)
+	if ratio < 5 || ratio > 40 {
+		t.Errorf("1-node 2-CPU barrier ratio %.1f, paper reports 12.67x", ratio)
+	}
+	gpu1, err := DCGNBarrier(core.DefaultConfig(), 1, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu4, err := DCGNBarrier(core.DefaultConfig(), 4, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpu1 < 5*dcgnCPU {
+		t.Errorf("GPU-only barrier (%v) should dwarf CPU-only (%v)", gpu1, dcgnCPU)
+	}
+	if gpu4 <= gpu1 {
+		t.Errorf("GPU barrier should grow with nodes: 1-node %v vs 4-node %v", gpu1, gpu4)
+	}
+	mixed, err := DCGNBarrier(core.DefaultConfig(), 1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed >= gpu1 {
+		t.Errorf("mixed barrier (%v) should be far cheaper than GPU-only (%v), as in Table 1", mixed, gpu1)
+	}
+}
+
+func TestShapeSec51Mandelbrot(t *testing.T) {
+	mc := DefaultMandelConfig()
+	t1, err := MandelbrotSingleGPU(smallGAS(1, 0, 1), mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gasR, err := MandelbrotGAS(smallGAS(4, 1, 2), mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcgnR, err := MandelbrotDCGN(smallDCGN(4, 1, 2), mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gasEff := metrics.Efficiency(t1.Elapsed, gasR.Elapsed, 8)
+	dcgnEff := metrics.Efficiency(t1.Elapsed, dcgnR.Elapsed, 8)
+	if gasEff < 0.30 || gasEff > 0.50 {
+		t.Errorf("GAS efficiency %.0f%%, paper reports 38%%", 100*gasEff)
+	}
+	if dcgnEff < 0.22 || dcgnEff > 0.42 {
+		t.Errorf("DCGN efficiency %.0f%%, paper reports 34%%", 100*dcgnEff)
+	}
+	if dcgnEff >= gasEff {
+		t.Errorf("DCGN (%.0f%%) should trail GAS (%.0f%%) slightly", 100*dcgnEff, 100*gasEff)
+	}
+	if dcgnR.PixelsPerSec >= gasR.PixelsPerSec {
+		t.Error("GAS should retain the pixels/s edge (paper: 17M vs 15M)")
+	}
+}
+
+func TestShapeSec51Cannon(t *testing.T) {
+	cc := DefaultCannonConfig()
+	t1, err := MatmulSingleGPU(smallGAS(1, 0, 1), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gasR, err := CannonGAS(smallGAS(2, 0, 2), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcgnR, err := CannonDCGN(smallDCGN(2, 0, 2), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gasEff := metrics.Efficiency(t1.Elapsed, gasR.Elapsed, 4)
+	dcgnEff := metrics.Efficiency(t1.Elapsed, dcgnR.Elapsed, 4)
+	if gasEff < 0.6 || gasEff > 0.88 {
+		t.Errorf("GAS efficiency %.0f%%, paper reports 74%%", 100*gasEff)
+	}
+	if dcgnEff < 0.55 || dcgnEff > 0.85 {
+		t.Errorf("DCGN efficiency %.0f%%, paper reports 71%%", 100*dcgnEff)
+	}
+	if dcgnEff >= gasEff {
+		t.Errorf("DCGN (%.0f%%) should trail GAS (%.0f%%) slightly", 100*dcgnEff, 100*gasEff)
+	}
+}
+
+func TestShapeSec51NBodyEfficiencyCurve(t *testing.T) {
+	// Efficiency must rise steeply with body count and exceed ~85% at 32k
+	// (the paper: 28% @4k, 64% @16k, >90% @32k).
+	var prev float64
+	for i, bodies := range []int{4096, 16384, 32768} {
+		nc := DefaultNBodyConfig()
+		nc.Bodies = bodies
+		t1, err := NBodySingleGPU(smallGAS(1, 0, 1), nc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dcgnR, err := NBodyDCGN(smallDCGN(4, 0, 2), nc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eff := metrics.Efficiency(t1.Elapsed, dcgnR.Elapsed, 8)
+		if eff <= prev {
+			t.Errorf("efficiency should rise with problem size: %.0f%% after %.0f%%", 100*eff, 100*prev)
+		}
+		if i == 0 && eff > 0.45 {
+			t.Errorf("4k-body efficiency %.0f%% too high (comm should dominate)", 100*eff)
+		}
+		if i == 2 && eff < 0.80 {
+			t.Errorf("32k-body efficiency %.0f%% too low (compute should dominate)", 100*eff)
+		}
+		prev = eff
+	}
+}
+
+// TestShapePollIntervalMonotonic pins the §3.2.3 trade-off: GPU message
+// latency rises monotonically with the poll interval.
+func TestShapePollIntervalMonotonic(t *testing.T) {
+	var prev time.Duration
+	for i, poll := range []time.Duration{15 * time.Microsecond, 120 * time.Microsecond, 480 * time.Microsecond} {
+		cfg := core.DefaultConfig()
+		cfg.PollInterval = poll
+		d, err := DCGNSendOneWay(cfg, EPGPU, EPGPU, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && d <= prev {
+			t.Fatalf("latency should rise with poll interval: %v at %v after %v", d, poll, prev)
+		}
+		prev = d
+	}
+}
+
+// TestShapeFutureHWConverges pins the §7 prediction end to end: enabling
+// device signaling + GPUDirect brings the 0-byte GPU:GPU send within an
+// order of magnitude of raw MPI-era CPU costs.
+func TestShapeFutureHWConverges(t *testing.T) {
+	classic, err := DCGNSendOneWay(core.DefaultConfig(), EPGPU, EPGPU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := core.DefaultConfig()
+	fcfg.FutureHW.DeviceSignal = true
+	fcfg.FutureHW.GPUDirect = true
+	future, err := DCGNSendOneWay(fcfg, EPGPU, EPGPU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := DCGNSendOneWay(core.DefaultConfig(), EPCPU, EPCPU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if future >= classic/2 {
+		t.Errorf("future HW (%v) should cut classic polling cost (%v) at least in half", future, classic)
+	}
+	if future > 3*cpu {
+		t.Errorf("future HW GPU send (%v) should approach DCGN CPU:CPU cost (%v)", future, cpu)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"dcgn/internal/device"
+)
+
+// a2aChunk is the chunk rank a sends to rank b in these tests.
+func a2aChunk(a, b, n int) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(a*16 + b + i%3)
+	}
+	return buf
+}
+
+func a2aVerify(t *testing.T, me int, recv []byte, total, chunk int) {
+	t.Helper()
+	for a := 0; a < total; a++ {
+		if !bytes.Equal(recv[a*chunk:(a+1)*chunk], a2aChunk(a, me, chunk)) {
+			t.Fatalf("rank %d: chunk from %d corrupted", me, a)
+		}
+	}
+}
+
+func TestAllToAllCPUOnly(t *testing.T) {
+	const chunk = 64
+	job := NewJob(cpuOnlyConfig(2, 2))
+	total := 4
+	job.SetCPUKernel(func(c *CPUCtx) {
+		send := make([]byte, total*chunk)
+		for b := 0; b < total; b++ {
+			copy(send[b*chunk:], a2aChunk(c.Rank(), b, chunk))
+		}
+		recv := make([]byte, total*chunk)
+		if err := c.AllToAll(send, recv); err != nil {
+			t.Error(err)
+		}
+		a2aVerify(t, c.Rank(), recv, total, chunk)
+	})
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAllMixedCPUGPU(t *testing.T) {
+	const chunk = 32
+	cfg := gpuConfig(2, 1, 1, 1) // ranks: 0 cpu, 1 gpu | 2 cpu, 3 gpu
+	job := NewJob(cfg)
+	total := 4
+	job.SetCPUKernel(func(c *CPUCtx) {
+		send := make([]byte, total*chunk)
+		for b := 0; b < total; b++ {
+			copy(send[b*chunk:], a2aChunk(c.Rank(), b, chunk))
+		}
+		recv := make([]byte, total*chunk)
+		if err := c.AllToAll(send, recv); err != nil {
+			t.Error(err)
+		}
+		a2aVerify(t, c.Rank(), recv, total, chunk)
+	})
+	job.SetGPUSetup(func(s *GPUSetup) {
+		s.Args["send"] = s.Dev.Mem().MustAlloc(total * chunk)
+		s.Args["recv"] = s.Dev.Mem().MustAlloc(total * chunk)
+	})
+	results := map[int][]byte{}
+	job.SetGPUKernel(1, 8, func(g *GPUCtx) {
+		me := g.Rank(0)
+		sendPtr := g.Arg("send").(device.Ptr)
+		recvPtr := g.Arg("recv").(device.Ptr)
+		buf := g.Block().Bytes(sendPtr, total*chunk)
+		for b := 0; b < total; b++ {
+			copy(buf[b*chunk:], a2aChunk(me, b, chunk))
+		}
+		if err := g.AllToAll(0, sendPtr, chunk, recvPtr); err != nil {
+			t.Error(err)
+		}
+		results[me] = append([]byte(nil), g.Block().Bytes(recvPtr, total*chunk)...)
+	})
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for me, recv := range results {
+		a2aVerify(t, me, recv, total, chunk)
+	}
+}
+
+func TestAllToAllHeterogeneous(t *testing.T) {
+	const chunk = 16
+	cfg := heteroConfig() // 7 ranks: 0,1 cpu | 2 cpu, 3,4 gpu slots | 5,6 gpus
+	job := NewJob(cfg)
+	rm := job.Ranks()
+	total := rm.Total()
+	results := map[int][]byte{}
+	job.SetCPUKernel(func(c *CPUCtx) {
+		send := make([]byte, total*chunk)
+		for b := 0; b < total; b++ {
+			copy(send[b*chunk:], a2aChunk(c.Rank(), b, chunk))
+		}
+		recv := make([]byte, total*chunk)
+		if err := c.AllToAll(send, recv); err != nil {
+			t.Error(err)
+		}
+		results[c.Rank()] = recv
+	})
+	job.SetGPUSetup(func(s *GPUSetup) {
+		slots := s.Job.Ranks().Spec(s.Node).SlotsPerGPU
+		s.Args["send"] = s.Dev.Mem().MustAlloc(slots * total * chunk)
+		s.Args["recv"] = s.Dev.Mem().MustAlloc(slots * total * chunk)
+	})
+	job.SetGPUKernel(2, 8, func(g *GPUCtx) {
+		slot := g.Block().Idx
+		if slot >= g.Slots() {
+			return
+		}
+		me := g.Rank(slot)
+		sendPtr := g.Arg("send").(device.Ptr) + device.Ptr(slot*total*chunk)
+		recvPtr := g.Arg("recv").(device.Ptr) + device.Ptr(slot*total*chunk)
+		buf := g.Block().Bytes(sendPtr, total*chunk)
+		for b := 0; b < total; b++ {
+			copy(buf[b*chunk:], a2aChunk(me, b, chunk))
+		}
+		if err := g.AllToAll(slot, sendPtr, chunk, recvPtr); err != nil {
+			t.Error(err)
+		}
+		results[me] = append([]byte(nil), g.Block().Bytes(recvPtr, total*chunk)...)
+	})
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != total {
+		t.Fatalf("only %d/%d ranks reported", len(results), total)
+	}
+	for me, recv := range results {
+		a2aVerify(t, me, recv, total, chunk)
+	}
+}

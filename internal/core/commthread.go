@@ -1,0 +1,519 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"dcgn/internal/device"
+	"dcgn/internal/mpi"
+	"dcgn/internal/pcie"
+	"dcgn/internal/sim"
+)
+
+// ErrTruncate is reported when a received message exceeds the posted
+// buffer.
+var ErrTruncate = errors.New("dcgn: message truncated (recv buffer too small)")
+
+// nodeState is the per-node DCGN process: queues, matching state and the
+// collective accumulator, all owned by the node's communication thread.
+type nodeState struct {
+	job     *Job
+	node    int
+	mpiRank *mpi.Rank
+	bus     *pcie.Bus
+	devs    []*device.Device
+	gpus    []*gpuThread
+
+	// queue funnels every request (local kernels, GPU monitors) and every
+	// inbound wire message to the comm thread.
+	queue *sim.Queue[commMsg]
+
+	// Matching state. DCGN has no tags: matching is FIFO per
+	// (source, destination) pair, with AnySource receives.
+	pendingSends []*request
+	pendingRecvs []*request
+	unexpected   []*inbound
+
+	// coll accumulates collective arrivals until every resident rank has
+	// joined (paper §3.2.3).
+	coll map[opKind]*collGroup
+
+	// Stats.
+	requestsHandled int
+}
+
+// collGroup gathers local arrivals for one in-progress collective.
+type collGroup struct {
+	root    int
+	size    int // per-rank payload size, must agree across members
+	members []*request
+}
+
+// start spawns the node's communication thread and its MPI receiver helper.
+// Both run for the life of the application (daemons).
+func (ns *nodeState) start() {
+	s := ns.job.sim
+	s.SpawnDaemon(fmt.Sprintf("comm:%d", ns.node), ns.runCommThread)
+	s.SpawnDaemon(fmt.Sprintf("mpi-recv:%d", ns.node), ns.runReceiver)
+}
+
+// runCommThread is the single thread that owns the underlying MPI: it
+// drains the work queue, performs local matching with memcpy, relays
+// remote traffic, and executes collective MPI calls once all local ranks
+// have arrived.
+func (ns *nodeState) runCommThread(p *sim.Proc) {
+	for {
+		msg := ns.queue.Get(p)
+		p.SleepJit(ns.job.cfg.Params.DispatchCost)
+		ns.requestsHandled++
+		switch {
+		case msg.req != nil:
+			ns.handleRequest(p, msg.req)
+		case msg.in != nil:
+			ns.handleInbound(p, msg.in)
+		}
+	}
+}
+
+// runReceiver blocks in MPI receives for inbound DCGN messages and funnels
+// them to the comm thread. It reuses one staging buffer; payloads are
+// copied out per message.
+func (ns *nodeState) runReceiver(p *sim.Proc) {
+	buf := make([]byte, ns.job.cfg.Params.MaxMsg+wireHeaderLen)
+	for {
+		st, err := ns.mpiRank.Recv(p, buf, mpi.AnySource, dcgnTag)
+		if err != nil {
+			panic(fmt.Sprintf("dcgn: receiver on node %d: %v", ns.node, err))
+		}
+		src, dst, payload, err := unpackWire(buf[:st.Count])
+		if err != nil {
+			panic(fmt.Sprintf("dcgn: receiver on node %d: %v", ns.node, err))
+		}
+		p.SleepJit(ns.job.cfg.Params.RemoteRelayCost)
+		data := append([]byte(nil), payload...)
+		ns.queue.Put(commMsg{in: &inbound{src: src, dst: dst, data: data}})
+	}
+}
+
+// handleRequest routes one local request.
+func (ns *nodeState) handleRequest(p *sim.Proc, req *request) {
+	switch req.op {
+	case opSend:
+		ns.handleSend(p, req)
+	case opRecv:
+		ns.handleRecv(p, req)
+	case opSendrecv:
+		ns.handleSendrecv(p, req)
+	case opBarrier, opBcast, opGather, opScatter, opAlltoall:
+		ns.handleCollective(p, req)
+	default:
+		panic(fmt.Sprintf("dcgn: unknown op %v", req.op))
+	}
+}
+
+// handleSendrecv splits a combined exchange into its send and receive
+// halves and completes the parent when both finish. The split happens
+// inside the comm thread, so a GPU-sourced exchange costs a single mailbox
+// round trip — the optimization §5.1 credits for Cannon's performance.
+func (ns *nodeState) handleSendrecv(p *sim.Proc, req *request) {
+	s := ns.job.sim
+	sendPart := &request{
+		op: opSend, rank: req.rank, peer: req.peer, buf: req.buf,
+		done: s.NewEvent(fmt.Sprintf("srv-send:%d", req.rank)),
+	}
+	recvPart := &request{
+		op: opRecv, rank: req.rank, peer: req.peer2, buf: req.recvBuf,
+		done: s.NewEvent(fmt.Sprintf("srv-recv:%d", req.rank)),
+	}
+	ns.handleRecv(p, recvPart)
+	ns.handleSend(p, sendPart)
+	s.Spawn("dcgn-sendrecv-join", func(h *sim.Proc) {
+		sendPart.done.Wait(h)
+		recvPart.done.Wait(h)
+		err := sendPart.err
+		if err == nil {
+			err = recvPart.err
+		}
+		req.complete(recvPart.status.Source, recvPart.status.Bytes, err)
+	})
+}
+
+// handleSend matches a local-destination send against posted receives or
+// relays a remote-destination send over MPI.
+func (ns *nodeState) handleSend(p *sim.Proc, req *request) {
+	dstNode := ns.job.rmap.Node(req.peer)
+	if dstNode != ns.node {
+		// Remote: a helper performs the (possibly rendezvous) MPI send so
+		// the comm thread keeps draining its queue; completion is signaled
+		// when the underlying send completes, as in the paper's dataflow
+		// (Fig. 2, steps 2-3).
+		msg := packWire(req.rank, req.peer, req.buf)
+		ns.job.sim.Spawn(fmt.Sprintf("dcgn-tx:%d", ns.node), func(h *sim.Proc) {
+			h.SleepJit(ns.job.cfg.Params.RemoteRelayCost)
+			err := ns.mpiRank.Send(h, msg, dstNode, dcgnTag)
+			h.SleepJit(ns.job.cfg.Params.NotifyCost)
+			req.complete(req.rank, len(req.buf), err)
+		})
+		return
+	}
+	// Local destination: match a posted receive (FIFO).
+	for i, rr := range ns.pendingRecvs {
+		if rr.rank == req.peer && (rr.peer == AnySource || rr.peer == req.rank) {
+			ns.pendingRecvs = append(ns.pendingRecvs[:i], ns.pendingRecvs[i+1:]...)
+			ns.deliverLocal(p, req, rr)
+			return
+		}
+	}
+	ns.pendingSends = append(ns.pendingSends, req)
+}
+
+// handleRecv matches a posted receive against pending local sends, then
+// against unexpected inbound messages; otherwise it is queued.
+func (ns *nodeState) handleRecv(p *sim.Proc, req *request) {
+	if req.peer != AnySource && ns.job.rmap.Node(req.peer) == ns.node {
+		// Potential local sender.
+		for i, sr := range ns.pendingSends {
+			if sr.peer == req.rank && sr.rank == req.peer {
+				ns.pendingSends = append(ns.pendingSends[:i], ns.pendingSends[i+1:]...)
+				ns.deliverLocal(p, sr, req)
+				return
+			}
+		}
+	}
+	if req.peer == AnySource {
+		for i, sr := range ns.pendingSends {
+			if sr.peer == req.rank {
+				ns.pendingSends = append(ns.pendingSends[:i], ns.pendingSends[i+1:]...)
+				ns.deliverLocal(p, sr, req)
+				return
+			}
+		}
+	}
+	for i, in := range ns.unexpected {
+		if in.dst == req.rank && (req.peer == AnySource || in.src == req.peer) {
+			ns.unexpected = append(ns.unexpected[:i], ns.unexpected[i+1:]...)
+			ns.deliverInbound(p, in, req, true)
+			return
+		}
+	}
+	ns.pendingRecvs = append(ns.pendingRecvs, req)
+}
+
+// handleInbound matches a wire message against posted receives.
+func (ns *nodeState) handleInbound(p *sim.Proc, in *inbound) {
+	for i, rr := range ns.pendingRecvs {
+		if rr.rank == in.dst && (rr.peer == AnySource || rr.peer == in.src) {
+			ns.pendingRecvs = append(ns.pendingRecvs[:i], ns.pendingRecvs[i+1:]...)
+			ns.deliverInbound(p, in, rr, false)
+			return
+		}
+	}
+	ns.unexpected = append(ns.unexpected, in)
+}
+
+// deliverLocal completes a matched local send/recv pair: the comm thread
+// performs the memcpy itself instead of using MPI (paper §6.2).
+func (ns *nodeState) deliverLocal(p *sim.Proc, send, recv *request) {
+	n := len(send.buf)
+	var err error
+	if n > len(recv.buf) {
+		n = len(recv.buf)
+		err = ErrTruncate
+	}
+	ns.chargeMemcpy(p, n)
+	copy(recv.buf[:n], send.buf[:n])
+	p.SleepJit(ns.job.cfg.Params.NotifyCost)
+	send.complete(send.rank, len(send.buf), err)
+	p.SleepJit(ns.job.cfg.Params.NotifyCost)
+	recv.complete(send.rank, n, err)
+}
+
+// deliverInbound completes a posted receive with a wire payload. A
+// pre-posted receive is delivered without a staging copy (the underlying
+// MPI lands data in the matched buffer); only messages that sat in the
+// unexpected queue pay the memcpy.
+func (ns *nodeState) deliverInbound(p *sim.Proc, in *inbound, recv *request, wasUnexpected bool) {
+	n := len(in.data)
+	var err error
+	if n > len(recv.buf) {
+		n = len(recv.buf)
+		err = ErrTruncate
+	}
+	if wasUnexpected {
+		ns.chargeMemcpy(p, n)
+	}
+	copy(recv.buf[:n], in.data[:n])
+	p.SleepJit(ns.job.cfg.Params.NotifyCost)
+	recv.complete(in.src, n, err)
+}
+
+// chargeMemcpy charges the comm thread for one staging copy.
+func (ns *nodeState) chargeMemcpy(p *sim.Proc, n int) {
+	if n == 0 {
+		return
+	}
+	p.SleepJit(time.Duration(float64(n) / ns.job.cfg.Params.LocalMemcpyBW * 1e9))
+}
+
+// localRanks returns how many virtual ranks live on this node.
+func (ns *nodeState) localRanks() int { return ns.job.rmap.PerNode(ns.node) }
+
+// handleCollective accumulates arrivals; once every resident rank has
+// initiated the collective, the underlying MPI collective runs and results
+// are dispersed locally (paper §3.2.3).
+func (ns *nodeState) handleCollective(p *sim.Proc, req *request) {
+	g := ns.coll[req.op]
+	if g == nil {
+		g = &collGroup{root: req.peer, size: -1}
+		ns.coll[req.op] = g
+	}
+	if req.peer != g.root {
+		panic(fmt.Sprintf("dcgn: collective %v root mismatch on node %d: %d vs %d", req.op, ns.node, req.peer, g.root))
+	}
+	if req.op != opBarrier {
+		n := collPayloadLen(req)
+		if g.size == -1 {
+			g.size = n
+		} else if g.size != n {
+			panic(fmt.Sprintf("dcgn: collective %v size mismatch on node %d: %d vs %d", req.op, ns.node, n, g.size))
+		}
+	}
+	g.members = append(g.members, req)
+	if len(g.members) < ns.localRanks() {
+		return
+	}
+	delete(ns.coll, req.op)
+	sort.Slice(g.members, func(i, j int) bool { return g.members[i].rank < g.members[j].rank })
+	switch req.op {
+	case opBarrier:
+		ns.execBarrier(p, g)
+	case opBcast:
+		ns.execBcast(p, g)
+	case opGather:
+		ns.execGather(p, g)
+	case opScatter:
+		ns.execScatter(p, g)
+	case opAlltoall:
+		ns.execAlltoall(p, g)
+	}
+}
+
+// execAlltoall implements the paper's general pattern for all-to-all: the
+// node concatenates its residents' contributions, one vector MPI
+// all-to-all runs per node (Alltoallv, since node populations may differ),
+// and per-rank chunks are dispersed locally.
+func (ns *nodeState) execAlltoall(p *sim.Proc, g *collGroup) {
+	rm := ns.job.rmap
+	total := rm.Total()
+	local := len(g.members)
+	if g.size%total != 0 {
+		panic(fmt.Sprintf("dcgn: alltoall buffer %d not divisible by %d ranks", g.size, total))
+	}
+	chunk := g.size / total
+	nodes := rm.Nodes()
+
+	// Node send buffer: for each destination node j, each local member a
+	// contributes its chunks addressed to node j's ranks (a-major order).
+	sendCounts := make([]int, nodes)
+	recvCounts := make([]int, nodes)
+	for j := 0; j < nodes; j++ {
+		sendCounts[j] = local * rm.PerNode(j) * chunk
+		recvCounts[j] = rm.PerNode(j) * local * chunk
+	}
+	sendBuf := make([]byte, 0, local*total*chunk)
+	for j := 0; j < nodes; j++ {
+		base := rm.Base(j) * chunk
+		span := rm.PerNode(j) * chunk
+		for _, m := range g.members {
+			ns.chargeMemcpy(p, span)
+			sendBuf = append(sendBuf, m.buf[base:base+span]...)
+		}
+	}
+	recvBuf := make([]byte, local*total*chunk)
+	if err := ns.mpiRank.Alltoallv(p, sendBuf, sendCounts, recvBuf, recvCounts); err != nil {
+		ns.failCollective(g, err)
+		return
+	}
+	// Disperse: the block from node i is laid out a-major (node i's local
+	// ranks), b-minor (our members); member lb's chunk from global rank a
+	// sits at displ(i) + (la*local + lb)*chunk.
+	displ := 0
+	for i := 0; i < nodes; i++ {
+		for la := 0; la < rm.PerNode(i); la++ {
+			a := rm.Base(i) + la
+			for lb, m := range g.members {
+				src := recvBuf[displ+(la*local+lb)*chunk:]
+				ns.chargeMemcpy(p, chunk)
+				copy(m.recvBuf[a*chunk:(a+1)*chunk], src[:chunk])
+			}
+		}
+		displ += recvCounts[i]
+	}
+	for _, m := range g.members {
+		p.SleepJit(ns.job.cfg.Params.NotifyCost)
+		m.complete(0, chunk, nil)
+	}
+}
+
+// collPayloadLen returns the per-rank payload size of a collective request.
+func collPayloadLen(req *request) int {
+	switch req.op {
+	case opBcast:
+		return len(req.buf)
+	case opGather:
+		return len(req.buf) // contribution size
+	case opScatter:
+		return len(req.recvBuf) // per-rank chunk size
+	case opAlltoall:
+		return len(req.buf) // full send buffer (Total * chunk)
+	}
+	return 0
+}
+
+// execBarrier runs the node-level MPI barrier and releases all local ranks.
+func (ns *nodeState) execBarrier(p *sim.Proc, g *collGroup) {
+	ns.mpiRank.Barrier(p)
+	for _, m := range g.members {
+		p.SleepJit(ns.job.cfg.Params.NotifyCost)
+		m.complete(0, 0, nil)
+	}
+}
+
+// execBcast runs the node-level MPI broadcast using the root's buffer if
+// the root is resident, otherwise the first arrival's buffer (the paper
+// picks one "at random"; first arrival keeps runs deterministic), then
+// copies into all other local buffers.
+func (ns *nodeState) execBcast(p *sim.Proc, g *collGroup) {
+	rootNode := ns.job.rmap.Node(g.root)
+	chosen := g.members[0]
+	for _, m := range g.members {
+		if m.rank == g.root {
+			chosen = m
+			break
+		}
+	}
+	if err := ns.mpiRank.Bcast(p, chosen.buf, rootNode); err != nil {
+		ns.failCollective(g, err)
+		return
+	}
+	ns.disperse(p, g, func(m *request) {
+		if m != chosen {
+			copy(m.buf, chosen.buf)
+		}
+	})
+	for _, m := range g.members {
+		p.SleepJit(ns.job.cfg.Params.NotifyCost)
+		m.complete(g.root, len(m.buf), nil)
+	}
+}
+
+// execGather concatenates local contributions in rank order, runs the
+// vector MPI gather (per-node counts differ only in heterogeneous setups,
+// but the vector variant is what the paper prescribes), and hands the root
+// its assembled buffer.
+func (ns *nodeState) execGather(p *sim.Proc, g *collGroup) {
+	rm := ns.job.rmap
+	rootNode := rm.Node(g.root)
+	chunk := g.size
+	nodeBuf := make([]byte, ns.localRanks()*chunk)
+	for i, m := range g.members {
+		ns.chargeMemcpy(p, chunk)
+		copy(nodeBuf[i*chunk:], m.buf)
+	}
+	counts := make([]int, rm.Nodes())
+	for i := range counts {
+		counts[i] = rm.PerNode(i) * chunk
+	}
+	var rootDst []byte
+	for _, m := range g.members {
+		if m.rank == g.root {
+			rootDst = m.recvBuf
+		}
+	}
+	if rootNode == ns.node && rootDst == nil {
+		panic("dcgn: gather root resident but no destination buffer")
+	}
+	if err := ns.mpiRank.Gatherv(p, nodeBuf, rootDst, counts, rootNode); err != nil {
+		ns.failCollective(g, err)
+		return
+	}
+	for _, m := range g.members {
+		p.SleepJit(ns.job.cfg.Params.NotifyCost)
+		m.complete(g.root, chunk, nil)
+	}
+}
+
+// execScatter runs the vector MPI scatter from the root's buffer and
+// disperses per-rank chunks locally.
+func (ns *nodeState) execScatter(p *sim.Proc, g *collGroup) {
+	rm := ns.job.rmap
+	rootNode := rm.Node(g.root)
+	chunk := g.size
+	counts := make([]int, rm.Nodes())
+	for i := range counts {
+		counts[i] = rm.PerNode(i) * chunk
+	}
+	var rootSrc []byte
+	for _, m := range g.members {
+		if m.rank == g.root {
+			rootSrc = m.buf
+		}
+	}
+	if rootNode == ns.node && rootSrc == nil {
+		panic("dcgn: scatter root resident but no source buffer")
+	}
+	nodeBuf := make([]byte, ns.localRanks()*chunk)
+	if err := ns.mpiRank.Scatterv(p, rootSrc, counts, nodeBuf, rootNode); err != nil {
+		ns.failCollective(g, err)
+		return
+	}
+	ns.disperse(p, g, func(m *request) {
+		i := sort.Search(len(g.members), func(j int) bool { return g.members[j].rank >= m.rank })
+		copy(m.recvBuf, nodeBuf[i*chunk:(i+1)*chunk])
+	})
+	for _, m := range g.members {
+		p.SleepJit(ns.job.cfg.Params.NotifyCost)
+		m.complete(g.root, chunk, nil)
+	}
+}
+
+// disperse performs the local result copies for a collective, charging
+// either sequential memcpys (the paper's implementation) or the proposed
+// tree-dispersal time (its "future optimization", for the ablation bench).
+func (ns *nodeState) disperse(p *sim.Proc, g *collGroup, cp func(m *request)) {
+	k := len(g.members) - 1 // copies needed
+	if k <= 0 {
+		for _, m := range g.members {
+			cp(m)
+		}
+		return
+	}
+	per := time.Duration(float64(collPayloadOf(g)) / ns.job.cfg.Params.LocalMemcpyBW * 1e9)
+	if ns.job.cfg.Params.TreeDispersal {
+		rounds := int(math.Ceil(math.Log2(float64(k + 1))))
+		p.SleepJit(time.Duration(rounds) * per)
+	} else {
+		p.SleepJit(time.Duration(k) * per)
+	}
+	for _, m := range g.members {
+		cp(m)
+	}
+}
+
+// collPayloadOf returns the dispersal copy size for a group.
+func collPayloadOf(g *collGroup) int {
+	if g.size < 0 {
+		return 0
+	}
+	return g.size
+}
+
+// failCollective propagates an underlying MPI error to every member.
+func (ns *nodeState) failCollective(g *collGroup, err error) {
+	for _, m := range g.members {
+		m.complete(g.root, 0, err)
+	}
+}

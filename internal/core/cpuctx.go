@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dcgn/internal/sim"
+)
+
+// CPUCtx is the host-side DCGN API available inside CPU kernels (the
+// paper's dcgn namespace: dcgn::send, dcgn::recv, dcgn::getRank, ...).
+// Every call relays a request to the node's communication thread through
+// the thread-safe work queue and blocks until completion — CPU kernels
+// never touch MPI directly (paper §3.2.4: "developers are not allowed to
+// directly call MPI functions").
+type CPUCtx struct {
+	job  *Job
+	ns   *nodeState
+	p    *sim.Proc
+	rank int
+}
+
+// Rank returns this kernel thread's virtual rank (dcgn::getRank).
+func (c *CPUCtx) Rank() int { return c.rank }
+
+// Size returns the total number of virtual ranks in the job.
+func (c *CPUCtx) Size() int { return c.job.rmap.Total() }
+
+// Node returns the node index this kernel runs on.
+func (c *CPUCtx) Node() int { return c.ns.node }
+
+// Proc exposes the simulated proc, for explicit compute-cost charging.
+func (c *CPUCtx) Proc() *sim.Proc { return c.p }
+
+// Now returns the current virtual time.
+func (c *CPUCtx) Now() time.Duration { return c.p.Now() }
+
+// Compute charges d of CPU work to this kernel.
+func (c *CPUCtx) Compute(d time.Duration) { c.p.SleepJit(d) }
+
+// Send transmits buf to rank dst, blocking until the communication thread
+// reports completion (local: matched+copied; remote: underlying MPI send
+// complete).
+func (c *CPUCtx) Send(dst int, buf []byte) error {
+	req := c.relay(opSend, dst, buf, nil)
+	return req.err
+}
+
+// Recv receives into buf from rank src (or AnySource) and reports the
+// delivery status.
+func (c *CPUCtx) Recv(src int, buf []byte) (CommStatus, error) {
+	req := c.relay(opRecv, src, buf, nil)
+	return req.status, req.err
+}
+
+// SendRecv posts a send of sendBuf to dst and a receive from src (or
+// AnySource) into recvBuf as one combined request — the exchange primitive
+// Cannon's algorithm rotates chunks with (§5.1).
+func (c *CPUCtx) SendRecv(dst int, sendBuf []byte, src int, recvBuf []byte) (CommStatus, error) {
+	req := &request{
+		op:    opSendrecv,
+		rank:  c.rank,
+		peer:  dst,
+		peer2: src,
+		buf:   sendBuf,
+		done:  c.job.sim.NewEvent(fmt.Sprintf("cpu-req:%d", c.rank)),
+	}
+	req.recvBuf = recvBuf
+	c.p.SleepJit(c.job.cfg.Params.EnqueueCost)
+	c.job.trace.record(c.job, req, false)
+	c.ns.queue.Put(commMsg{req: req})
+	req.done.Wait(c.p)
+	return req.status, req.err
+}
+
+// SendRecvReplace exchanges buf with a partner in place.
+func (c *CPUCtx) SendRecvReplace(dst, src int, buf []byte) (CommStatus, error) {
+	tmp := make([]byte, len(buf))
+	st, err := c.SendRecv(dst, buf, src, tmp)
+	if err != nil {
+		return st, err
+	}
+	copy(buf, tmp[:st.Bytes])
+	return st, nil
+}
+
+// Barrier blocks until every rank in the job has entered the barrier.
+func (c *CPUCtx) Barrier() {
+	req := c.relay(opBarrier, 0, nil, nil)
+	if req.err != nil {
+		panic(fmt.Sprintf("dcgn: barrier: %v", req.err))
+	}
+}
+
+// Bcast joins a broadcast rooted at rank root; buf supplies the payload at
+// the root and receives it elsewhere. All ranks must pass equal-length
+// buffers.
+func (c *CPUCtx) Bcast(root int, buf []byte) error {
+	req := c.relay(opBcast, root, buf, nil)
+	return req.err
+}
+
+// Gather contributes send to a gather rooted at rank root; at the root,
+// recv receives Size()*len(send) bytes in rank order (recv may be nil
+// elsewhere).
+func (c *CPUCtx) Gather(root int, send, recv []byte) error {
+	req := c.relay(opGather, root, send, recv)
+	return req.err
+}
+
+// Scatter receives this rank's chunk into recv from a scatter rooted at
+// rank root; at the root, send supplies Size()*len(recv) bytes in rank
+// order (send may be nil elsewhere).
+func (c *CPUCtx) Scatter(root int, send, recv []byte) error {
+	req := c.relay(opScatter, root, send, recv)
+	return req.err
+}
+
+// AllToAll exchanges chunk j of this rank's send buffer into position
+// Rank() of rank j's recv buffer; both buffers are Size()*chunk bytes with
+// chunks packed in rank order. Implemented with the paper's general
+// collective pattern (§3.2.3).
+func (c *CPUCtx) AllToAll(send, recv []byte) error {
+	if len(send) != len(recv) {
+		panic("dcgn: AllToAll buffers must have equal length")
+	}
+	req := c.relay(opAlltoall, 0, send, recv)
+	return req.err
+}
+
+// AsyncOp is a handle to a nonblocking DCGN operation started with ISend
+// or IRecv (the "asynchronous sends and receives" §5.1 mentions users
+// would otherwise manage manually).
+type AsyncOp struct {
+	req *request
+}
+
+// Wait blocks until the operation completes.
+func (a *AsyncOp) Wait(c *CPUCtx) (CommStatus, error) {
+	a.req.done.Wait(c.p)
+	return a.req.status, a.req.err
+}
+
+// Test reports whether the operation has completed, without blocking.
+func (a *AsyncOp) Test() (CommStatus, bool) {
+	if !a.req.done.Fired() {
+		return CommStatus{}, false
+	}
+	return a.req.status, true
+}
+
+// ISend starts a nonblocking send. The buffer must not be modified until
+// Wait reports completion.
+func (c *CPUCtx) ISend(dst int, buf []byte) *AsyncOp {
+	return c.relayAsync(opSend, dst, buf, nil)
+}
+
+// IRecv starts a nonblocking receive into buf from src (or AnySource).
+func (c *CPUCtx) IRecv(src int, buf []byte) *AsyncOp {
+	return c.relayAsync(opRecv, src, buf, nil)
+}
+
+// relayAsync posts one request and returns without waiting.
+func (c *CPUCtx) relayAsync(op opKind, peer int, buf, recvBuf []byte) *AsyncOp {
+	req := &request{
+		op:   op,
+		rank: c.rank,
+		peer: peer,
+		buf:  buf,
+		done: c.job.sim.NewEvent(fmt.Sprintf("cpu-areq:%d", c.rank)),
+	}
+	req.recvBuf = recvBuf
+	c.p.SleepJit(c.job.cfg.Params.EnqueueCost)
+	c.job.trace.record(c.job, req, false)
+	c.ns.queue.Put(commMsg{req: req})
+	return &AsyncOp{req: req}
+}
+
+// relay posts one request into the comm thread's queue and blocks on its
+// completion event.
+func (c *CPUCtx) relay(op opKind, peer int, buf, recvBuf []byte) *request {
+	req := &request{
+		op:   op,
+		rank: c.rank,
+		peer: peer,
+		buf:  buf,
+		done: c.job.sim.NewEvent(fmt.Sprintf("cpu-req:%d", c.rank)),
+	}
+	req.recvBuf = recvBuf
+	c.p.SleepJit(c.job.cfg.Params.EnqueueCost)
+	c.job.trace.record(c.job, req, false)
+	c.ns.queue.Put(commMsg{req: req})
+	req.done.Wait(c.p)
+	return req
+}

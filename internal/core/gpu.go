@@ -1,0 +1,353 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"dcgn/internal/device"
+	"dcgn/internal/pcie"
+	"dcgn/internal/sim"
+)
+
+// Mailbox layout: one fixed-size record per slot, resident in device global
+// memory. Device kernels fill the descriptor and flip status to posted; a
+// GPU-kernel thread on the host discovers it by polling over PCIe, services
+// it, writes results back, and flips status to done (paper §3.2.3: "these
+// calls don't interact with the network driver; they set regions of GPU
+// memory that are monitored by a GPU-kernel thread").
+const (
+	mailboxBytes = 64
+
+	mbStatus = 0  // u32: mbIdle | mbPosted | mbClaimed | mbDone
+	mbOp     = 4  // u32: opKind
+	mbPeer   = 8  // i64: peer rank / collective root
+	mbPtr    = 16 // u64: device address of payload
+	mbSize   = 24 // u64: payload length
+	mbPtr2   = 32 // u64: secondary buffer (gather root destination / scatter root source)
+	mbSize2  = 40 // u64: secondary buffer length
+	mbResN   = 48 // u32: result byte count
+	mbResSrc = 52 // i32: result source rank
+	mbErr    = 56 // u32: error code
+)
+
+const (
+	mbIdle uint32 = iota
+	mbPosted
+	mbClaimed
+	mbDone
+)
+
+// Mailbox error codes.
+const (
+	mbOK uint32 = iota
+	mbTrunc
+)
+
+// hostStage is the monitor-side state machine for one slot. The paper
+// (§5.2) observes that "three separate communications with the source GPU
+// must take place: the CPU polls GPU memory, the CPU copies the appropriate
+// memory from the GPU, and ... the CPU tells the GPU that the message was
+// sent" — each stage lands on a polling tick, which is where the large
+// GPU-sourced message overheads come from.
+type hostStage int
+
+const (
+	stageIdle hostStage = iota
+	stageDiscovered
+	stageRelayed
+)
+
+// slotState is the host-side bookkeeping for one device slot.
+type slotState struct {
+	rank int
+	mb   device.Ptr
+
+	stage hostStage
+	// Parsed descriptor, captured at discovery.
+	op          opKind
+	peerRaw     int64
+	ptr, ptr2   device.Ptr
+	size, size2 int
+	req         *request
+	doneReady   bool
+	// wake is fired when the done-flag write lands in device memory; the
+	// spinning device block observes it then. (Timing-equivalent stand-in
+	// for the device's spin loop on the status word.)
+	wake *sim.Event
+}
+
+// gpuThread is one GPU-kernel thread (paper §3.2.2): it owns one device,
+// launches kernels on it, and monitors its memory for communication
+// requests with sleep-based polling.
+type gpuThread struct {
+	ns    *nodeState
+	index int // device index within the node
+	dev   *device.Device
+	slots []*slotState
+
+	// doorbell is non-nil in FutureHW.DeviceSignal mode: the device rings
+	// it on post instead of waiting to be polled.
+	doorbell *sim.Queue[*slotState]
+
+	// Polls counts poll iterations (CPU-load metric for the ablation).
+	Polls int
+	// Hits counts polls that progressed at least one slot.
+	Hits int
+}
+
+// newGPUThread allocates the mailbox region and registers slot ranks.
+func newGPUThread(ns *nodeState, index int, dev *device.Device) *gpuThread {
+	gt := &gpuThread{ns: ns, index: index, dev: dev}
+	rm := ns.job.rmap
+	for s := 0; s < rm.Spec(ns.node).SlotsPerGPU; s++ {
+		gt.slots = append(gt.slots, &slotState{
+			rank: rm.GPURank(ns.node, index, s),
+			mb:   dev.Mem().MustAlloc(mailboxBytes),
+		})
+	}
+	return gt
+}
+
+// startMonitor spawns the polling daemon. Monitors of different GPUs are
+// staggered, and every monitor gets a (seeded) random initial phase: on a
+// real cluster the polling threads of different nodes are never
+// phase-aligned, which is why multi-node GPU-only barriers in Table 1 are
+// slower than single-node ones — some node's arrival always just missed a
+// poll tick.
+func (gt *gpuThread) startMonitor() {
+	cfg := gt.ns.job.cfg
+	if cfg.FutureHW.DeviceSignal {
+		// Future hardware (§7): the device signals the CPU, so the
+		// GPU-kernel thread blocks on a doorbell instead of polling.
+		gt.doorbell = sim.NewQueue[*slotState](gt.ns.job.sim, fmt.Sprintf("doorbell:%d.%d", gt.ns.node, gt.index))
+		gt.ns.job.sim.SpawnDaemon(fmt.Sprintf("gpu-sig:%d.%d", gt.ns.node, gt.index), func(p *sim.Proc) {
+			for {
+				ss := gt.doorbell.Get(p)
+				gt.serviceSignaled(p, ss)
+			}
+		})
+		return
+	}
+	nodeGPUs := gt.ns.job.rmap.Spec(gt.ns.node).GPUs
+	offset := cfg.PollInterval * time.Duration(gt.index) / time.Duration(max(1, nodeGPUs))
+	offset += time.Duration(gt.ns.job.sim.Rand().Int63n(int64(cfg.PollInterval)))
+	gt.ns.job.sim.SpawnDaemon(fmt.Sprintf("gpu-mon:%d.%d", gt.ns.node, gt.index), func(p *sim.Proc) {
+		p.Sleep(offset)
+		for {
+			p.SleepJit(cfg.PollInterval)
+			gt.poll(p)
+		}
+	})
+}
+
+// payloadBus returns the bus interface used for payload staging: the
+// normal DMA path, or the GPUDirect path with doorbell-cheap setup.
+func (gt *gpuThread) payloadBus() device.BusLike {
+	if gt.ns.job.cfg.FutureHW.GPUDirect {
+		return directBus{gt.ns.bus}
+	}
+	return gt.ns.bus
+}
+
+// serviceSignaled services one doorbell-announced request end to end:
+// claim, stage, relay, and (on a helper) immediate completion write-back —
+// no poll-tick alignment anywhere.
+func (gt *gpuThread) serviceSignaled(p *sim.Proc, ss *slotState) {
+	le := binary.LittleEndian
+	mb := gt.dev.Bytes(ss.mb, mailboxBytes)
+	if le.Uint32(mb[mbStatus:]) != mbPosted {
+		panic("dcgn: doorbell rung without posted request")
+	}
+	le.PutUint32(mb[mbStatus:], mbClaimed)
+	gt.ns.bus.Ctl(p, 4+mailboxBytes) // one transaction: claim + descriptor read
+	gt.parseDescriptor(ss, mb)
+	req := gt.buildRequest(p, ss)
+	ss.req = req
+	p.SleepJit(gt.ns.job.cfg.Params.EnqueueCost)
+	gt.ns.job.trace.record(gt.ns.job, req, true)
+	gt.ns.queue.Put(commMsg{req: req})
+	gt.ns.job.sim.Spawn(fmt.Sprintf("gpu-sig-wb:%d", ss.rank), func(h *sim.Proc) {
+		req.done.Wait(h)
+		gt.writeBack(h, ss, mb)
+	})
+}
+
+// poll performs one polling round: a control read of the whole mailbox
+// region, then one stage of progress per active slot.
+func (gt *gpuThread) poll(p *sim.Proc) {
+	gt.Polls++
+	gt.ns.bus.Ctl(p, len(gt.slots)*mailboxBytes)
+	hit := false
+	for _, ss := range gt.slots {
+		if gt.advance(p, ss) {
+			hit = true
+		}
+	}
+	if hit {
+		gt.Hits++
+	}
+}
+
+// advance moves one slot's state machine one stage. It reports whether any
+// work was done.
+func (gt *gpuThread) advance(p *sim.Proc, ss *slotState) bool {
+	le := binary.LittleEndian
+	mb := gt.dev.Bytes(ss.mb, mailboxBytes)
+	switch ss.stage {
+	case stageIdle:
+		if le.Uint32(mb[mbStatus:]) != mbPosted {
+			return false
+		}
+		// Stage 1: discovery. Claim the request and capture the
+		// descriptor (it travelled with the poll read).
+		le.PutUint32(mb[mbStatus:], mbClaimed)
+		gt.ns.bus.Ctl(p, 4)
+		gt.parseDescriptor(ss, mb)
+		ss.stage = stageDiscovered
+		return true
+
+	case stageDiscovered:
+		// Stage 2: stage outbound payloads device -> host (Fig. 2 step 1)
+		// and relay the request to the comm thread.
+		req := gt.buildRequest(p, ss)
+		ss.req = req
+		ss.doneReady = false
+		p.SleepJit(gt.ns.job.cfg.Params.EnqueueCost)
+		gt.ns.job.trace.record(gt.ns.job, req, true)
+		gt.ns.queue.Put(commMsg{req: req})
+		// A tiny helper marks the slot ready for its completion stage; the
+		// write-back itself happens on a poll tick (stage 3).
+		gt.ns.job.sim.Spawn(fmt.Sprintf("gpu-done:%d", ss.rank), func(h *sim.Proc) {
+			req.done.Wait(h)
+			ss.doneReady = true
+		})
+		ss.stage = stageRelayed
+		return true
+
+	case stageRelayed:
+		if !ss.doneReady {
+			return false
+		}
+		// Stage 3: completion write-back.
+		gt.writeBack(p, ss, mb)
+		return true
+	}
+	return false
+}
+
+// parseDescriptor captures the mailbox descriptor fields into the slot
+// state (the bytes travelled with the claiming bus transaction).
+func (gt *gpuThread) parseDescriptor(ss *slotState, mb []byte) {
+	le := binary.LittleEndian
+	ss.op = opKind(le.Uint32(mb[mbOp:]))
+	ss.peerRaw = int64(le.Uint64(mb[mbPeer:]))
+	ss.ptr = device.Ptr(le.Uint64(mb[mbPtr:]))
+	ss.size = int(le.Uint64(mb[mbSize:]))
+	ss.ptr2 = device.Ptr(le.Uint64(mb[mbPtr2:]))
+	ss.size2 = int(le.Uint64(mb[mbSize2:]))
+}
+
+// buildRequest stages outbound payloads device -> host (Fig. 2 step 1) and
+// creates the comm-thread request for a parsed descriptor.
+func (gt *gpuThread) buildRequest(p *sim.Proc, ss *slotState) *request {
+	bus := gt.payloadBus()
+	peer := int(ss.peerRaw)
+	req := &request{
+		op:   ss.op,
+		rank: ss.rank,
+		done: gt.ns.job.sim.NewEvent(fmt.Sprintf("gpu-req:%d", ss.rank)),
+	}
+	switch ss.op {
+	case opSend:
+		req.peer = peer
+		req.buf = make([]byte, ss.size)
+		gt.dev.CopyOut(p, bus, ss.ptr, req.buf)
+	case opRecv:
+		req.peer = peer
+		req.buf = make([]byte, ss.size)
+	case opSendrecv:
+		req.peer, req.peer2 = unpackPeers(ss.peerRaw)
+		req.buf = make([]byte, ss.size)
+		gt.dev.CopyOut(p, bus, ss.ptr, req.buf)
+		req.recvBuf = make([]byte, ss.size2)
+	case opBarrier:
+		req.peer = peer
+	case opBcast:
+		req.peer = peer
+		req.buf = make([]byte, ss.size)
+		if ss.rank == peer { // this slot is the broadcast root
+			gt.dev.CopyOut(p, bus, ss.ptr, req.buf)
+		}
+	case opGather:
+		req.peer = peer
+		req.buf = make([]byte, ss.size)
+		gt.dev.CopyOut(p, bus, ss.ptr, req.buf)
+		if ss.rank == peer {
+			req.recvBuf = make([]byte, ss.size2)
+		}
+	case opScatter:
+		req.peer = peer
+		req.recvBuf = make([]byte, ss.size)
+		if ss.rank == peer {
+			req.buf = make([]byte, ss.size2)
+			gt.dev.CopyOut(p, bus, ss.ptr2, req.buf)
+		}
+	case opAlltoall:
+		req.buf = make([]byte, ss.size)
+		gt.dev.CopyOut(p, bus, ss.ptr, req.buf)
+		req.recvBuf = make([]byte, ss.size2)
+	default:
+		panic(fmt.Sprintf("dcgn: bad mailbox op %d on rank %d", ss.op, ss.rank))
+	}
+	return req
+}
+
+// writeBack copies inbound payloads host -> device, writes result words and
+// the done flag, and releases the spinning block (Fig. 2 step 7).
+func (gt *gpuThread) writeBack(p *sim.Proc, ss *slotState, mb []byte) {
+	le := binary.LittleEndian
+	bus := gt.payloadBus()
+	req := ss.req
+	switch ss.op {
+	case opRecv:
+		gt.dev.CopyIn(p, bus, ss.ptr, req.buf[:req.status.Bytes])
+	case opSendrecv:
+		gt.dev.CopyIn(p, bus, ss.ptr2, req.recvBuf[:req.status.Bytes])
+	case opBcast:
+		if ss.rank != req.peer {
+			gt.dev.CopyIn(p, bus, ss.ptr, req.buf)
+		}
+	case opGather:
+		if ss.rank == req.peer {
+			gt.dev.CopyIn(p, bus, ss.ptr2, req.recvBuf)
+		}
+	case opScatter:
+		gt.dev.CopyIn(p, bus, ss.ptr, req.recvBuf)
+	case opAlltoall:
+		gt.dev.CopyIn(p, bus, ss.ptr2, req.recvBuf)
+	}
+	errCode := mbOK
+	if req.err == ErrTruncate {
+		errCode = mbTrunc
+	} else if req.err != nil {
+		panic(fmt.Sprintf("dcgn: GPU request failed: %v", req.err))
+	}
+	le.PutUint32(mb[mbResN:], uint32(req.status.Bytes))
+	le.PutUint32(mb[mbResSrc:], uint32(int32(req.status.Source)))
+	le.PutUint32(mb[mbErr:], errCode)
+	le.PutUint32(mb[mbStatus:], mbDone)
+	gt.ns.bus.Ctl(p, 20)
+	ss.req = nil
+	ss.stage = stageIdle
+	ss.wake.Fire()
+}
+
+// directBus is the GPUDirect payload path: DMA setup collapses to doorbell
+// cost because buffers are pinned and the device pushes/pulls directly.
+type directBus struct {
+	bus *pcie.Bus
+}
+
+func (d directBus) Down(p *sim.Proc, n int) { d.bus.Direct(p, n) }
+func (d directBus) Up(p *sim.Proc, n int)   { d.bus.Direct(p, n) }

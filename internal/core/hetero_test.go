@@ -1,0 +1,191 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"dcgn/internal/device"
+)
+
+// heteroConfig builds the heterogeneous cluster used by these tests:
+// node 0 contributes 2 CPU ranks (0,1); node 1 contributes 1 CPU (2) and
+// one GPU with 2 slots (3,4); node 2 contributes 2 GPUs with 1 slot each
+// (5,6). 7 ranks total.
+func heteroConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 3
+	cfg.PerNode = []NodeSpec{
+		{CPUKernels: 2},
+		{CPUKernels: 1, GPUs: 1, SlotsPerGPU: 2},
+		{GPUs: 2, SlotsPerGPU: 1},
+	}
+	cfg.Device.MemBytes = 4 << 20
+	return cfg
+}
+
+func TestHeterogeneousPointToPoint(t *testing.T) {
+	job := NewJob(heteroConfig())
+	rm := job.Ranks()
+	if rm.Total() != 7 {
+		t.Fatalf("total ranks %d", rm.Total())
+	}
+	// Every GPU rank sends its rank byte to CPU rank 0.
+	gpuRanks := []int{3, 4, 5, 6}
+	got := map[int]byte{}
+	job.SetCPUKernel(func(c *CPUCtx) {
+		if c.Rank() != 0 {
+			return
+		}
+		buf := make([]byte, 1)
+		for range gpuRanks {
+			st, err := c.Recv(AnySource, buf)
+			if err != nil {
+				t.Error(err)
+			}
+			got[st.Source] = buf[0]
+		}
+	})
+	job.SetGPUSetup(func(s *GPUSetup) {
+		s.Args["buf"] = s.Dev.Mem().MustAlloc(16)
+	})
+	// Grid must cover the largest slot count (2); excess blocks on
+	// single-slot devices idle.
+	job.SetGPUKernel(2, 8, func(g *GPUCtx) {
+		slot := g.Block().Idx
+		if slot >= g.Slots() {
+			return
+		}
+		ptr := g.Arg("buf").(device.Ptr) + device.Ptr(slot*8)
+		g.Block().Bytes(ptr, 1)[0] = byte(g.Rank(slot))
+		if err := g.Send(slot, 0, ptr, 1); err != nil {
+			t.Error(err)
+		}
+	})
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range gpuRanks {
+		if got[r] != byte(r) {
+			t.Fatalf("rank %d: got %d (%v)", r, got[r], got)
+		}
+	}
+}
+
+func TestHeterogeneousCollectives(t *testing.T) {
+	// Gather per-rank contributions at CPU root 0, then scatter distinct
+	// chunks back — the heterogeneous vector-collective path (§3.2.3:
+	// "the vector variants (e.g. MPI Scatterv) should be used").
+	const chunk = 32
+	cfg := heteroConfig()
+	job := NewJob(cfg)
+	rm := job.Ranks()
+	total := rm.Total()
+
+	gatherOK := false
+	scatterResults := map[int][]byte{}
+
+	contribution := func(rank int) []byte {
+		b := make([]byte, chunk)
+		for i := range b {
+			b[i] = byte(rank*10 + i%10)
+		}
+		return b
+	}
+	scatterChunk := func(rank int) []byte {
+		b := make([]byte, chunk)
+		for i := range b {
+			b[i] = byte(rank*7 + i%7)
+		}
+		return b
+	}
+
+	job.SetCPUKernel(func(c *CPUCtx) {
+		mine := contribution(c.Rank())
+		var gathered []byte
+		if c.Rank() == 0 {
+			gathered = make([]byte, total*chunk)
+		}
+		if err := c.Gather(0, mine, gathered); err != nil {
+			t.Error(err)
+		}
+		if c.Rank() == 0 {
+			ok := true
+			for r := 0; r < total; r++ {
+				if !bytes.Equal(gathered[r*chunk:(r+1)*chunk], contribution(r)) {
+					ok = false
+					t.Errorf("gather chunk for rank %d corrupted", r)
+				}
+			}
+			gatherOK = ok
+		}
+		// Scatter distinct chunks back out.
+		var src []byte
+		if c.Rank() == 0 {
+			src = make([]byte, total*chunk)
+			for r := 0; r < total; r++ {
+				copy(src[r*chunk:], scatterChunk(r))
+			}
+		}
+		dst := make([]byte, chunk)
+		if err := c.Scatter(0, src, dst); err != nil {
+			t.Error(err)
+		}
+		scatterResults[c.Rank()] = append([]byte(nil), dst...)
+	})
+	job.SetGPUSetup(func(s *GPUSetup) {
+		slots := s.Job.Ranks().Spec(s.Node).SlotsPerGPU
+		s.Args["send"] = s.Dev.Mem().MustAlloc(slots * chunk)
+		s.Args["recv"] = s.Dev.Mem().MustAlloc(slots * chunk)
+	})
+	job.SetGPUKernel(2, 8, func(g *GPUCtx) {
+		slot := g.Block().Idx
+		if slot >= g.Slots() {
+			return
+		}
+		rank := g.Rank(slot)
+		sendPtr := g.Arg("send").(device.Ptr) + device.Ptr(slot*chunk)
+		recvPtr := g.Arg("recv").(device.Ptr) + device.Ptr(slot*chunk)
+		copy(g.Block().Bytes(sendPtr, chunk), contribution(rank))
+		if err := g.Gather(slot, 0, sendPtr, chunk, device.Null); err != nil {
+			t.Error(err)
+		}
+		if err := g.Scatter(slot, 0, recvPtr, chunk, device.Null); err != nil {
+			t.Error(err)
+		}
+		scatterResults[rank] = append([]byte(nil), g.Block().Bytes(recvPtr, chunk)...)
+	})
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !gatherOK {
+		t.Fatal("gather verification failed")
+	}
+	for r := 0; r < total; r++ {
+		if !bytes.Equal(scatterResults[r], scatterChunk(r)) {
+			t.Fatalf("rank %d scatter chunk corrupted", r)
+		}
+	}
+}
+
+func TestHeterogeneousBarrier(t *testing.T) {
+	job := NewJob(heteroConfig())
+	arrived := 0
+	job.SetCPUKernel(func(c *CPUCtx) {
+		c.Barrier()
+		arrived++
+	})
+	job.SetGPUKernel(2, 8, func(g *GPUCtx) {
+		slot := g.Block().Idx
+		if slot >= g.Slots() {
+			return
+		}
+		g.Barrier(slot)
+		arrived++
+	})
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrived != 7 {
+		t.Fatalf("%d ranks passed the barrier, want 7", arrived)
+	}
+}

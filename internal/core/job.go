@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dcgn/internal/device"
+	"dcgn/internal/fabric"
+	"dcgn/internal/mpi"
+	"dcgn/internal/pcie"
+	"dcgn/internal/sim"
+)
+
+// Job is one DCGN application run: a cluster configuration plus the CPU
+// and GPU kernels to execute on it. Kernels are the computing primitive
+// (paper §3.2): DCGN launches them and services their communication; no
+// explicit GPU management is needed from the developer.
+type Job struct {
+	cfg  Config
+	rmap RankMap
+
+	sim   *sim.Sim
+	net   *fabric.Network
+	world *mpi.World
+	nodes []*nodeState
+
+	cpuKernel func(*CPUCtx)
+
+	trace *traceSink
+
+	gpuGrid     int
+	gpuBlockDim int
+	gpuSetup    func(*GPUSetup)
+	gpuKernel   func(*GPUCtx)
+	gpuTeardown func(*GPUSetup)
+}
+
+// GPUSetup is the host-side context handed to the GPU setup and teardown
+// callbacks: it is where applications allocate device buffers and upload
+// inputs before the kernel launches, and read results back afterwards —
+// "CUDA kernels are not capable of managing GPU memory; this must be
+// handled by the CPU" (paper §2.1).
+type GPUSetup struct {
+	Job  *Job
+	Node int
+	GPU  int // device index within the node
+	Dev  *device.Device
+	Bus  *pcie.Bus
+	Proc *sim.Proc
+	// Args is published to the kernel via GPUCtx.Arg.
+	Args map[string]any
+}
+
+// Ranks returns the virtual ranks of this device's slots.
+func (gs *GPUSetup) Ranks() []int {
+	rm := gs.Job.rmap
+	out := make([]int, rm.Spec(gs.Node).SlotsPerGPU)
+	for s := range out {
+		out[s] = rm.GPURank(gs.Node, gs.GPU, s)
+	}
+	return out
+}
+
+// NewJob creates a job for the given cluster configuration.
+func NewJob(cfg Config) *Job {
+	cfg.validate()
+	return &Job{cfg: cfg, rmap: NewRankMap(cfg.nodeSpecs())}
+}
+
+// Config returns the job configuration.
+func (j *Job) Config() Config { return j.cfg }
+
+// Ranks returns the job's rank map.
+func (j *Job) Ranks() RankMap { return j.rmap }
+
+// hasCPUs reports whether any node contributes CPU-kernel threads.
+func (j *Job) hasCPUs() bool {
+	for n := 0; n < j.rmap.Nodes(); n++ {
+		if j.rmap.Spec(n).CPUKernels > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// hasGPUs reports whether any node contributes devices.
+func (j *Job) hasGPUs() bool {
+	for n := 0; n < j.rmap.Nodes(); n++ {
+		if j.rmap.Spec(n).GPUs > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SetCPUKernel installs the kernel run by every CPU-kernel thread.
+func (j *Job) SetCPUKernel(fn func(*CPUCtx)) { j.cpuKernel = fn }
+
+// SetGPUKernel installs the kernel launched on every device, with the
+// given grid geometry.
+func (j *Job) SetGPUKernel(grid, blockDim int, fn func(*GPUCtx)) {
+	if grid <= 0 || blockDim <= 0 {
+		panic("core: invalid GPU kernel geometry")
+	}
+	j.gpuGrid, j.gpuBlockDim, j.gpuKernel = grid, blockDim, fn
+}
+
+// SetGPUSetup installs the host-side callback run on each device before
+// its kernel launches (buffer allocation, input upload).
+func (j *Job) SetGPUSetup(fn func(*GPUSetup)) { j.gpuSetup = fn }
+
+// SetGPUTeardown installs the host-side callback run on each device after
+// its kernel grid retires (result download, verification).
+func (j *Job) SetGPUTeardown(fn func(*GPUSetup)) { j.gpuTeardown = fn }
+
+// Report summarizes a completed run.
+type Report struct {
+	// Elapsed is the virtual wall-clock time of the whole job.
+	Elapsed time.Duration
+	// NetPackets / NetBytes count inter-node traffic.
+	NetPackets int
+	NetBytes   int64
+	// BusTransfers / BusCtlOps aggregate PCIe activity over all nodes.
+	BusTransfers int
+	BusCtlOps    int
+	// Polls / PollHits aggregate GPU-monitor polling activity; their ratio
+	// is the polling efficiency the paper's §3.2.3 trade-off discussion is
+	// about.
+	Polls    int
+	PollHits int
+	// Requests counts messages handled by all comm threads.
+	Requests int
+	// Trace holds per-request lifecycle records when Config.Trace is on.
+	Trace []TraceRecord
+}
+
+// Run executes the job to completion and reports virtual-time results.
+func (j *Job) Run() (Report, error) {
+	if j.cpuKernel == nil && j.gpuKernel == nil {
+		return Report{}, fmt.Errorf("dcgn: no kernels installed")
+	}
+
+	s := sim.New()
+	if j.cfg.JitterFrac > 0 || j.cfg.JitterSeed != 0 {
+		s.SetJitter(j.cfg.JitterFrac, j.cfg.JitterSeed)
+	}
+	s.SetMaxTime(j.cfg.MaxVirtualTime)
+	j.sim = s
+	if j.cfg.Trace {
+		j.trace = &traceSink{}
+	}
+	j.net = fabric.New(s, j.cfg.Nodes, j.cfg.Net)
+	nodeOf := make([]int, j.cfg.Nodes) // one underlying MPI rank per node
+	for i := range nodeOf {
+		nodeOf[i] = i
+	}
+	j.world = mpi.NewWorld(s, j.net, nodeOf, j.cfg.MPI)
+
+	j.nodes = nil
+	for n := 0; n < j.cfg.Nodes; n++ {
+		ns := &nodeState{
+			job:     j,
+			node:    n,
+			mpiRank: j.world.Rank(n),
+			bus:     pcie.New(s, fmt.Sprintf("n%d", n), j.cfg.Bus),
+			queue:   sim.NewQueue[commMsg](s, fmt.Sprintf("commq:%d", n)),
+			coll:    make(map[opKind]*collGroup),
+		}
+		for g := 0; g < j.rmap.Spec(n).GPUs; g++ {
+			devCfg := j.cfg.Device
+			devCfg.Name = fmt.Sprintf("gpu%d.%d", n, g)
+			dev := device.New(s, devCfg)
+			ns.devs = append(ns.devs, dev)
+			ns.gpus = append(ns.gpus, newGPUThread(ns, g, dev))
+		}
+		ns.start()
+		for _, gt := range ns.gpus {
+			gt.startMonitor()
+		}
+		j.nodes = append(j.nodes, ns)
+	}
+
+	// CPU-kernel threads.
+	if j.cpuKernel != nil {
+		for n := 0; n < j.cfg.Nodes; n++ {
+			for c := 0; c < j.rmap.Spec(n).CPUKernels; c++ {
+				ns := j.nodes[n]
+				rank := j.rmap.CPURank(n, c)
+				s.Spawn(fmt.Sprintf("cpu-kern:%d.%d", n, c), func(p *sim.Proc) {
+					j.cpuKernel(&CPUCtx{job: j, ns: ns, p: p, rank: rank})
+				})
+			}
+		}
+	} else if j.hasCPUs() {
+		return Report{}, fmt.Errorf("dcgn: CPU-kernel threads requested but no CPU kernel installed")
+	}
+
+	// GPU-kernel threads: setup, launch, wait, teardown.
+	if j.gpuKernel != nil {
+		for n := 0; n < j.cfg.Nodes; n++ {
+			for g := 0; g < j.rmap.Spec(n).GPUs; g++ {
+				ns := j.nodes[n]
+				gt := ns.gpus[g]
+				s.Spawn(fmt.Sprintf("gpu-kern:%d.%d", n, g), func(p *sim.Proc) {
+					setup := &GPUSetup{Job: j, Node: ns.node, GPU: gt.index, Dev: gt.dev, Bus: ns.bus, Proc: p, Args: map[string]any{}}
+					if j.gpuSetup != nil {
+						j.gpuSetup(setup)
+					}
+					l := gt.dev.Launch(p, j.gpuGrid, j.gpuBlockDim, func(b *device.Block) {
+						j.gpuKernel(&GPUCtx{b: b, gt: gt, args: setup.Args})
+					})
+					l.Wait(p)
+					if j.gpuTeardown != nil {
+						setup.Proc = p
+						j.gpuTeardown(setup)
+					}
+				})
+			}
+		}
+	} else if j.hasGPUs() && j.cpuKernel == nil {
+		return Report{}, fmt.Errorf("dcgn: GPUs requested but no GPU kernel installed")
+	}
+
+	err := s.Run()
+	rep := Report{Elapsed: s.Now(), NetPackets: j.net.PacketsSent, NetBytes: j.net.BytesSent}
+	if j.trace != nil {
+		rep.Trace = j.trace.records
+	}
+	for _, ns := range j.nodes {
+		rep.BusTransfers += ns.bus.Transfers
+		rep.BusCtlOps += ns.bus.CtlOps
+		rep.Requests += ns.requestsHandled
+		for _, gt := range ns.gpus {
+			rep.Polls += gt.Polls
+			rep.PollHits += gt.Hits
+		}
+	}
+	return rep, err
+}

@@ -1,0 +1,201 @@
+// Package core implements DCGN — Distributed Computing on GPU Networks
+// (Stuart & Owens, IPDPS 2009) — an MPI-like message-passing library in
+// which data-parallel devices are first-class communication targets.
+//
+// The architecture follows §3.2.2–§3.2.3 of the paper. Each node process
+// hosts three classes of threads:
+//
+//   - CPU-kernel threads execute user CPU kernels and relay their
+//     communication requests to the communication thread;
+//   - GPU-kernel threads launch device kernels, monitor device memory for
+//     device-sourced communication requests via sleep-based polling, and
+//     shuttle data over the PCIe bus;
+//   - exactly one communication thread per node owns the underlying MPI
+//     library, executes every MPI call, performs local (intra-node)
+//     matching with memcpy instead of MPI, and accumulates collective
+//     arrivals until every resident rank has joined.
+//
+// Ranks are virtualized with slots: node n owns Cn + Gn*Sn consecutive
+// ranks (CPU-kernel threads first, then GPU slots in (gpu, slot) order).
+package core
+
+import (
+	"time"
+
+	"dcgn/internal/device"
+	"dcgn/internal/fabric"
+	"dcgn/internal/mpi"
+	"dcgn/internal/pcie"
+)
+
+// Params holds DCGN's internal overhead model. The defaults are calibrated
+// so the paper's measured ratios hold (see DESIGN.md §5 and EXPERIMENTS.md):
+// a 0-byte DCGN CPU:CPU send ≈ 28x the raw MPI send, a 2-CPU single-node
+// barrier ≈ 12.7x MPI, a 0-byte GPU:GPU send ≈ 560x, and large-message
+// costs converging to within a few percent of raw MPI.
+type Params struct {
+	// EnqueueCost is charged to a kernel thread for posting one request
+	// into the comm thread's thread-safe work queue (lock + allocation +
+	// TSD lookup).
+	EnqueueCost time.Duration
+	// DispatchCost is charged on the comm thread per request it dequeues
+	// and routes (wakeup + demux).
+	DispatchCost time.Duration
+	// NotifyCost is charged on the comm thread per completion it signals
+	// back to a waiting kernel thread (condition-variable wake).
+	NotifyCost time.Duration
+	// RemoteRelayCost is charged per inter-node message on each side
+	// (header packing, request bookkeeping, and the extra queue hop through
+	// the MPI receiver helper). It is why a remote DCGN send costs ~28x a
+	// raw MPI send at 0 bytes while a single-node barrier is only ~13x.
+	RemoteRelayCost time.Duration
+	// LocalMemcpyBW is the bandwidth of intra-node staging copies performed
+	// by the comm thread (bytes/sec).
+	LocalMemcpyBW float64
+	// TreeDispersal enables the paper's proposed future optimization of
+	// copying collective results to local buffers in a tree instead of
+	// sequentially (§3.2.3); off by default, as in the paper.
+	TreeDispersal bool
+	// MaxMsg is the largest DCGN message payload; sized for staging
+	// buffers.
+	MaxMsg int
+}
+
+// FutureHW models the vendor additions the paper asks for (§5.2 "Looking
+// Forward", §7): "A method for signaling the CPU from the GPU, a direct
+// connection to the NIC, a direct GPU-to-GPU connection via PCI-e, and
+// buffers in system memory so the GPU may push data."
+type FutureHW struct {
+	// DeviceSignal lets the device raise a doorbell interrupt instead of
+	// being polled: requests are serviced immediately, eliminating the
+	// poll-interval alignment of every stage.
+	DeviceSignal bool
+	// GPUDirect moves payloads between device memory and the NIC without
+	// staging through host buffers: DMA setup latency drops to doorbell
+	// cost and the CPU relay bookkeeping per payload disappears.
+	GPUDirect bool
+}
+
+// DefaultParams returns the calibrated overhead model.
+func DefaultParams() Params {
+	return Params{
+		EnqueueCost:     5 * time.Microsecond,
+		DispatchCost:    10 * time.Microsecond,
+		NotifyCost:      7 * time.Microsecond,
+		RemoteRelayCost: 18 * time.Microsecond,
+		LocalMemcpyBW:   4e9,
+		MaxMsg:          64 << 20,
+	}
+}
+
+// Config describes one DCGN job: a homogeneous cluster (as in the paper's
+// testbed) of Nodes nodes, each contributing CPUKernels CPU-kernel threads,
+// GPUs devices and SlotsPerGPU communication slots per device.
+type Config struct {
+	Nodes       int
+	CPUKernels  int // Cn: CPU-kernel threads per node
+	GPUs        int // Gn: devices per node
+	SlotsPerGPU int // Sn: slots (virtualized ranks) per device
+
+	// PerNode optionally overrides the homogeneous counts above with a
+	// heterogeneous cluster shape; when set, its length must equal Nodes.
+	// The paper's rank rule and vector collectives handle this directly
+	// (§3.2.3: "Every node_n is given Cn + (Gn x Sn) ranks").
+	PerNode []NodeSpec
+
+	// PollInterval is the sleep between GPU-memory polls by a GPU-kernel
+	// thread (the paper's latency/CPU-load trade-off, §3.2.3).
+	PollInterval time.Duration
+
+	// FutureHW enables the hardware capabilities the paper's §7 "Looking
+	// Forward" predicts: with them, "DCGN and other libraries' performance
+	// [will] rival that of CPU-based communication libraries". Off by
+	// default (the paper's 2008 reality).
+	FutureHW FutureHW
+
+	Device device.Config
+	Net    fabric.Config
+	Bus    pcie.Config
+	MPI    mpi.Config
+	Params Params
+
+	// JitterFrac/JitterSeed add multiplicative timing noise (for the
+	// run-to-run variation experiments, Fig. 5). Zero disables jitter.
+	JitterFrac float64
+	JitterSeed int64
+
+	// MaxVirtualTime aborts runaway simulations; zero means one hour of
+	// virtual time.
+	MaxVirtualTime time.Duration
+
+	// Trace records every communication request's lifecycle into
+	// Report.Trace (op, ranks, post/done times). For debugging and the
+	// dcgn-trace inspection output; small overhead, off by default.
+	Trace bool
+}
+
+// DefaultConfig returns the paper's testbed shape: 4 nodes, 2 CPU-kernel
+// threads and 2 GPUs per node, 1 slot per GPU, with calibrated substrate
+// constants.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:        4,
+		CPUKernels:   2,
+		GPUs:         2,
+		SlotsPerGPU:  1,
+		PollInterval: 120 * time.Microsecond,
+		Device:       device.DefaultConfig("gpu"),
+		Net:          fabric.DefaultConfig(),
+		Bus:          pcie.DefaultConfig(),
+		MPI:          mpi.DefaultConfig(),
+		Params:       DefaultParams(),
+	}
+}
+
+// validate panics on nonsensical configurations.
+func (c *Config) validate() {
+	if c.Nodes <= 0 {
+		panic("core: need at least one node")
+	}
+	if len(c.PerNode) > 0 && len(c.PerNode) != c.Nodes {
+		panic("core: PerNode length must equal Nodes")
+	}
+	if len(c.PerNode) == 0 {
+		if c.CPUKernels < 0 || c.GPUs < 0 || c.SlotsPerGPU < 0 {
+			panic("core: negative resource count")
+		}
+		if c.GPUs > 0 && c.SlotsPerGPU == 0 {
+			c.SlotsPerGPU = 1 // paper: "each DPM has at least one slot"
+		}
+		if c.CPUKernels+c.GPUs*c.SlotsPerGPU == 0 {
+			panic("core: node contributes no ranks")
+		}
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 120 * time.Microsecond
+	}
+	if c.Params.MaxMsg == 0 {
+		c.Params = DefaultParams()
+	}
+	if c.MaxVirtualTime == 0 {
+		c.MaxVirtualTime = time.Hour
+	}
+}
+
+// nodeSpecs expands the configuration into per-node shapes.
+func (c *Config) nodeSpecs() []NodeSpec {
+	if len(c.PerNode) > 0 {
+		specs := append([]NodeSpec(nil), c.PerNode...)
+		for i := range specs {
+			if specs[i].GPUs > 0 && specs[i].SlotsPerGPU == 0 {
+				specs[i].SlotsPerGPU = 1
+			}
+		}
+		return specs
+	}
+	specs := make([]NodeSpec, c.Nodes)
+	for i := range specs {
+		specs[i] = NodeSpec{CPUKernels: c.CPUKernels, GPUs: c.GPUs, SlotsPerGPU: c.SlotsPerGPU}
+	}
+	return specs
+}

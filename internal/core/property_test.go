@@ -1,0 +1,202 @@
+package core
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dcgn/internal/device"
+)
+
+type devicePtr = device.Ptr
+
+// Property: DCGN's tagless matching delivers, for every (src, dst) pair,
+// exactly the sent payload sequence in FIFO order — across local and
+// remote paths, arbitrary cluster shapes, message sizes and timing skew.
+func TestP2PTrafficOracleProperty(t *testing.T) {
+	f := func(seed int64, nodesRaw, cpusRaw, msgsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := int(nodesRaw)%3 + 1
+		cpus := int(cpusRaw)%3 + 1
+		n := nodes * cpus
+		if n < 2 {
+			cpus = 2
+			n = nodes * cpus
+		}
+		msgs := int(msgsRaw)%8 + 1
+
+		cfg := DefaultConfig()
+		cfg.Nodes, cfg.CPUKernels, cfg.GPUs = nodes, cpus, 0
+		cfg.SlotsPerGPU = 0
+		job := NewJob(cfg)
+
+		// Pre-plan per-rank random compute delays so the kernel closures
+		// stay deterministic.
+		delays := make([][]time.Duration, n)
+		sizes := make([][]int, n)
+		for r := 0; r < n; r++ {
+			delays[r] = make([]time.Duration, msgs)
+			sizes[r] = make([]int, msgs)
+			for i := range delays[r] {
+				delays[r][i] = time.Duration(rng.Intn(500)) * time.Microsecond
+				sizes[r][i] = 8 + rng.Intn(4000)
+			}
+		}
+
+		ok := true
+		job.SetCPUKernel(func(c *CPUCtx) {
+			me := c.Rank()
+			next := (me + 1) % n
+			prev := (me - 1 + n) % n
+			// A ring of plain blocking sends would deadlock (local DCGN
+			// sends complete only when matched, §6.2); the combined
+			// SendRecv is the deadlock-free exchange. Both directions must
+			// stay FIFO per pair.
+			for i := 0; i < msgs; i++ {
+				c.Compute(delays[me][i])
+				out := make([]byte, sizes[me][i])
+				binary.LittleEndian.PutUint32(out, uint32(i))
+				out[len(out)-1] = byte(me)
+				in := make([]byte, sizes[prev][i])
+				st, err := c.SendRecv(next, out, prev, in)
+				if err != nil || st.Source != prev || st.Bytes != sizes[prev][i] {
+					ok = false
+					return
+				}
+				if binary.LittleEndian.Uint32(in) != uint32(i) || in[len(in)-1] != byte(prev) {
+					ok = false // overtaken or corrupted
+					return
+				}
+			}
+		})
+		if _, err := job.Run(); err != nil {
+			t.Logf("run error: %v", err)
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an AnySource sink receives exactly the multiset of messages
+// sent by all other ranks, with per-source FIFO preserved.
+func TestAnySourceMultisetProperty(t *testing.T) {
+	f := func(seed int64, msgsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		msgs := int(msgsRaw)%6 + 1
+		cfg := DefaultConfig()
+		cfg.Nodes, cfg.CPUKernels, cfg.GPUs = 2, 2, 0
+		cfg.SlotsPerGPU = 0
+		n := 4
+		job := NewJob(cfg)
+
+		delays := make([][]time.Duration, n)
+		for r := range delays {
+			delays[r] = make([]time.Duration, msgs)
+			for i := range delays[r] {
+				delays[r][i] = time.Duration(rng.Intn(300)) * time.Microsecond
+			}
+		}
+
+		ok := true
+		lastSeq := map[int]uint32{}
+		counts := map[int]int{}
+		job.SetCPUKernel(func(c *CPUCtx) {
+			if c.Rank() == 0 {
+				buf := make([]byte, 8)
+				for i := 0; i < (n-1)*msgs; i++ {
+					st, err := c.Recv(AnySource, buf)
+					if err != nil {
+						ok = false
+						return
+					}
+					seq := binary.LittleEndian.Uint32(buf)
+					if last, seen := lastSeq[st.Source]; seen && seq <= last {
+						ok = false // per-source order violated
+						return
+					}
+					lastSeq[st.Source] = seq
+					counts[st.Source]++
+				}
+				return
+			}
+			buf := make([]byte, 8)
+			for i := 0; i < msgs; i++ {
+				c.Compute(delays[c.Rank()][i])
+				binary.LittleEndian.PutUint32(buf, uint32(i+1))
+				if err := c.Send(0, buf); err != nil {
+					ok = false
+					return
+				}
+			}
+		})
+		if _, err := job.Run(); err != nil {
+			return false
+		}
+		if !ok {
+			return false
+		}
+		for r := 1; r < n; r++ {
+			if counts[r] != msgs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a run with a fixed seed is bit-reproducible — elapsed time and
+// message statistics identical across repeated executions (whole-stack
+// determinism).
+func TestJobDeterminismProperty(t *testing.T) {
+	run := func(seed int64) (time.Duration, int) {
+		cfg := gpuConfig(2, 1, 1, 2)
+		cfg.JitterFrac = 0.2
+		cfg.JitterSeed = seed
+		job := NewJob(cfg)
+		job.SetCPUKernel(func(c *CPUCtx) {
+			if c.Rank() == 0 {
+				buf := make([]byte, 64)
+				for i := 0; i < 4; i++ { // one message per GPU slot
+					if _, err := c.Recv(AnySource, buf); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+			c.Barrier()
+		})
+		job.SetGPUSetup(func(s *GPUSetup) {
+			s.Args["b"] = s.Dev.Mem().MustAlloc(128)
+		})
+		job.SetGPUKernel(2, 8, func(g *GPUCtx) {
+			slot := g.Block().Idx
+			if slot >= g.Slots() {
+				return
+			}
+			ptr := g.Arg("b").(devicePtr) + devicePtr(slot*64)
+			if err := g.Send(slot, 0, ptr, 64); err != nil {
+				panic(err)
+			}
+			g.Barrier(slot)
+		})
+		rep, err := job.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Elapsed, rep.Requests
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		e1, r1 := run(seed)
+		e2, r2 := run(seed)
+		if e1 != e2 || r1 != r2 {
+			t.Fatalf("seed %d: runs differ: (%v,%d) vs (%v,%d)", seed, e1, r1, e2, r2)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dcgn/internal/sim"
+)
+
+// CommStatus is DCGN's receive status (the paper's dcgn::CommStatus).
+type CommStatus struct {
+	// Source is the virtual rank the message came from.
+	Source int
+	// Bytes is the payload length delivered.
+	Bytes int
+}
+
+// opKind enumerates DCGN request types flowing through the comm thread's
+// work queue and over the wire.
+type opKind uint8
+
+const (
+	opSend opKind = iota + 1
+	opRecv
+	opBarrier
+	opBcast
+	opGather
+	opScatter
+	// opSendrecv is DCGN's combined exchange: one request (and, from a GPU,
+	// one mailbox transaction and one polling cycle instead of two) posting
+	// a send and a receive together. §5.1 credits this primitive for
+	// Cannon's algorithm performance.
+	opSendrecv
+	// opAlltoall follows the paper's "general pattern for use with gather,
+	// scatter, and all-to-all" (§3.2.3): accumulate local arrivals, one
+	// vector MPI call per node, then local dispersal.
+	opAlltoall
+)
+
+func (o opKind) String() string {
+	switch o {
+	case opSend:
+		return "send"
+	case opRecv:
+		return "recv"
+	case opBarrier:
+		return "barrier"
+	case opBcast:
+		return "bcast"
+	case opGather:
+		return "gather"
+	case opScatter:
+		return "scatter"
+	case opSendrecv:
+		return "sendrecv"
+	case opAlltoall:
+		return "alltoall"
+	}
+	return fmt.Sprintf("op%d", int(o))
+}
+
+// request is one communication request funneled to a node's comm thread.
+// All requests — from CPU-kernel threads and from GPU monitors alike — look
+// identical to the comm thread (paper §6.2).
+type request struct {
+	op   opKind
+	rank int // issuing virtual rank
+	peer int // send: destination; recv: source (or AnySource); collectives: root
+	// peer2 is the receive source of a sendrecv (peer is its destination).
+	peer2 int
+
+	// buf is the host-side payload/staging buffer. For sends it holds the
+	// outgoing data; for recvs and non-root collective participants it is
+	// the destination.
+	buf []byte
+	// recvBuf is the second buffer used by gather (root's destination) and
+	// scatter (root's source is buf... see gather/scatter handlers).
+	recvBuf []byte
+
+	done   *sim.Event
+	status CommStatus
+	err    error
+}
+
+// complete finishes a request and wakes its issuer.
+func (r *request) complete(src, n int, err error) {
+	r.status = CommStatus{Source: src, Bytes: n}
+	r.err = err
+	r.done.Fire()
+}
+
+// inbound is a message received from another node, already demultiplexed
+// from the underlying MPI by the receiver helper.
+type inbound struct {
+	src  int // sending virtual rank
+	dst  int // destination virtual rank (local to this node)
+	data []byte
+}
+
+// commMsg is what flows through a node's comm-thread queue.
+type commMsg struct {
+	req *request // nil for inbound wire messages
+	in  *inbound // nil for local requests
+}
+
+// packPeers encodes a sendrecv's destination and source ranks into one
+// 64-bit mailbox word (destination low, source high; both as int32 so
+// AnySource survives).
+func packPeers(dst, src int) int64 {
+	return int64(uint32(int32(dst))) | int64(int32(src))<<32
+}
+
+// unpackPeers is the inverse of packPeers.
+func unpackPeers(v int64) (dst, src int) {
+	return int(int32(uint32(v))), int(int32(v >> 32))
+}
+
+// dcgnTag is the MPI tag carrying all DCGN point-to-point traffic; messages
+// are demultiplexed by header, not by MPI matching.
+const dcgnTag = 770001
+
+// wireHeaderLen is the length of the DCGN message header on the wire.
+const wireHeaderLen = 24
+
+// packWire builds header+payload for one inter-node DCGN message.
+func packWire(src, dst int, payload []byte) []byte {
+	msg := make([]byte, wireHeaderLen+len(payload))
+	le := binary.LittleEndian
+	le.PutUint64(msg[0:], uint64(int64(src)))
+	le.PutUint64(msg[8:], uint64(int64(dst)))
+	le.PutUint64(msg[16:], uint64(len(payload)))
+	copy(msg[wireHeaderLen:], payload)
+	return msg
+}
+
+// unpackWire splits a received DCGN message. The returned payload aliases
+// msg.
+func unpackWire(msg []byte) (src, dst int, payload []byte, err error) {
+	if len(msg) < wireHeaderLen {
+		return 0, 0, nil, fmt.Errorf("core: short DCGN message (%d bytes)", len(msg))
+	}
+	le := binary.LittleEndian
+	src = int(int64(le.Uint64(msg[0:])))
+	dst = int(int64(le.Uint64(msg[8:])))
+	n := int(le.Uint64(msg[16:]))
+	if wireHeaderLen+n > len(msg) {
+		return 0, 0, nil, fmt.Errorf("core: DCGN message truncated: header says %d, have %d", n, len(msg)-wireHeaderLen)
+	}
+	return src, dst, msg[wireHeaderLen : wireHeaderLen+n], nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"dcgn/internal/sim"
+)
+
+// TraceRecord is one completed communication request, recorded when
+// Config.Trace is on. Post is when the request entered a comm-thread
+// queue; Done is when its issuer was released.
+type TraceRecord struct {
+	Op     string
+	Rank   int
+	Peer   int
+	Bytes  int
+	GPU    bool // issued by a device slot
+	Post   time.Duration
+	Done   time.Duration
+	Failed bool
+}
+
+// Latency is the request's time in the DCGN runtime.
+func (tr TraceRecord) Latency() time.Duration { return tr.Done - tr.Post }
+
+// traceSink collects records for the whole job.
+type traceSink struct {
+	records []TraceRecord
+}
+
+// record registers a completion callback on req that appends a trace
+// record when it fires.
+func (ts *traceSink) record(j *Job, req *request, gpu bool) {
+	if ts == nil {
+		return
+	}
+	post := j.sim.Now()
+	j.sim.SpawnDaemon("trace", func(p *sim.Proc) {
+		req.done.Wait(p)
+		ts.records = append(ts.records, TraceRecord{
+			Op:     req.op.String(),
+			Rank:   req.rank,
+			Peer:   req.peer,
+			Bytes:  len(req.buf),
+			GPU:    gpu,
+			Post:   post,
+			Done:   p.Now(),
+			Failed: req.err != nil,
+		})
+	})
+}
+
+// WriteTrace renders the trace as a chronological table.
+func WriteTrace(w io.Writer, records []TraceRecord) {
+	sorted := append([]TraceRecord(nil), records...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Post < sorted[j].Post })
+	fmt.Fprintf(w, "%-10s %-5s %-5s %-9s %-5s %-14s %-14s %s\n",
+		"op", "rank", "peer", "bytes", "src", "posted", "done", "latency")
+	for _, r := range sorted {
+		src := "cpu"
+		if r.GPU {
+			src = "gpu"
+		}
+		status := ""
+		if r.Failed {
+			status = "  FAILED"
+		}
+		fmt.Fprintf(w, "%-10s %-5d %-5d %-9d %-5s %-14v %-14v %v%s\n",
+			r.Op, r.Rank, r.Peer, r.Bytes, src, r.Post, r.Done, r.Latency(), status)
+	}
+}

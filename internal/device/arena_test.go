@@ -1,0 +1,179 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArenaAllocBasics(t *testing.T) {
+	a := NewArena(1 << 20)
+	p1, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == Null {
+		t.Fatal("allocation at null pointer")
+	}
+	if int64(p1)%allocAlign != 0 {
+		t.Fatalf("misaligned pointer %#x", int64(p1))
+	}
+	p2 := a.MustAlloc(100)
+	if p2 == p1 {
+		t.Fatal("overlapping allocations")
+	}
+	buf := a.Bytes(p1, 100)
+	if len(buf) != 100 {
+		t.Fatalf("Bytes len %d", len(buf))
+	}
+	a.Free(p1)
+	a.Free(p2)
+	if a.LiveAllocs() != 0 {
+		t.Fatalf("live allocs %d after frees", a.LiveAllocs())
+	}
+}
+
+func TestArenaExhaustionAndReuse(t *testing.T) {
+	a := NewArena(4 * allocAlign) // reserved null page + 3 usable units
+	var ptrs []Ptr
+	for {
+		p, err := a.Alloc(allocAlign)
+		if err != nil {
+			break
+		}
+		ptrs = append(ptrs, p)
+	}
+	if len(ptrs) != 3 {
+		t.Fatalf("got %d allocations, want 3", len(ptrs))
+	}
+	if _, err := a.Alloc(1); err == nil {
+		t.Fatal("expected out of memory")
+	}
+	for _, p := range ptrs {
+		a.Free(p)
+	}
+	// After freeing everything, the full region must be reusable as one
+	// block (coalescing works).
+	if _, err := a.Alloc(3 * allocAlign); err != nil {
+		t.Fatalf("coalescing failed: %v", err)
+	}
+}
+
+func TestArenaFreeNullIsNoop(t *testing.T) {
+	a := NewArena(1 << 12)
+	a.Free(Null)
+}
+
+func TestArenaDoubleFreePanics(t *testing.T) {
+	a := NewArena(1 << 12)
+	p := a.MustAlloc(64)
+	a.Free(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	a.Free(p)
+}
+
+func TestArenaOutOfBoundsAccessPanics(t *testing.T) {
+	a := NewArena(1 << 12)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OOB access did not panic")
+		}
+	}()
+	a.Bytes(Ptr(1<<12-8), 64)
+}
+
+func TestArenaZeroSizeAllocRejected(t *testing.T) {
+	a := NewArena(1 << 12)
+	if _, err := a.Alloc(0); err == nil {
+		t.Fatal("zero-size alloc accepted")
+	}
+	if _, err := a.Alloc(-5); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+}
+
+// Property: any interleaving of allocs and frees keeps allocations
+// non-overlapping, in-bounds and aligned, and the free-byte accounting
+// consistent.
+func TestArenaInvariantsProperty(t *testing.T) {
+	type op struct {
+		Alloc bool
+		Size  uint16
+		Which uint8
+	}
+	f := func(ops []op) bool {
+		const size = 1 << 16
+		a := NewArena(size)
+		type allocRec struct {
+			p Ptr
+			n int64
+		}
+		var livePtrs []allocRec
+		for _, o := range ops {
+			if o.Alloc {
+				n := int(o.Size%2048) + 1
+				p, err := a.Alloc(n)
+				if err != nil {
+					continue // full is fine
+				}
+				need := roundUp(int64(n))
+				// Bounds.
+				if int64(p) < allocAlign || int64(p)+need > size {
+					return false
+				}
+				// Overlap with any live allocation.
+				for _, r := range livePtrs {
+					if int64(p) < int64(r.p)+r.n && int64(r.p) < int64(p)+need {
+						return false
+					}
+				}
+				livePtrs = append(livePtrs, allocRec{p, need})
+			} else if len(livePtrs) > 0 {
+				i := int(o.Which) % len(livePtrs)
+				a.Free(livePtrs[i].p)
+				livePtrs = append(livePtrs[:i], livePtrs[i+1:]...)
+			}
+		}
+		// Accounting: free + live == total - reserved page.
+		var liveBytes int64
+		for _, r := range livePtrs {
+			liveBytes += r.n
+		}
+		return a.FreeBytes()+liveBytes == size-allocAlign
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: freeing everything always coalesces back to one maximal span.
+func TestArenaFullCoalesceProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		const size = 1 << 16
+		a := NewArena(size)
+		var ptrs []Ptr
+		for _, s := range sizes {
+			p, err := a.Alloc(int(s%4096) + 1)
+			if err == nil {
+				ptrs = append(ptrs, p)
+			}
+		}
+		// Free in reverse order (stresses both coalesce directions over
+		// the run).
+		for i := len(ptrs) - 1; i >= 0; i-- {
+			a.Free(ptrs[i])
+		}
+		if a.FreeBytes() != size-allocAlign {
+			return false
+		}
+		// Must be able to grab the whole arena in one allocation.
+		_, err := a.Alloc(size - allocAlign)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package fabric models the cluster interconnect: nodes with network
+// interfaces (NICs) joined by a non-blocking switch, plus an intra-node
+// shared-memory path.
+//
+// The timing model is LogGP-flavoured: a packet of n bytes occupies the
+// sender's NIC for SendOverhead + n/BW (outbound serialization and
+// contention), spends Lat in flight, then occupies the receiver's NIC for
+// RecvOverhead (inbound per-packet processing; incast of many small packets
+// serializes here). Intra-node packets skip the NICs and pay the
+// shared-memory latency/bandwidth instead — this is the MVAPICH2 IPC path of
+// the paper's testbed.
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"dcgn/internal/sim"
+)
+
+// Config describes interconnect timing. DefaultConfig approximates the
+// paper's InfiniBand DDR cluster.
+type Config struct {
+	// Lat is the one-way wire+switch latency.
+	Lat time.Duration
+	// BW is per-link bandwidth in bytes/second.
+	BW float64
+	// SendOverhead is per-packet NIC injection cost at the sender.
+	SendOverhead time.Duration
+	// RecvOverhead is per-packet processing cost at the receiver NIC.
+	RecvOverhead time.Duration
+	// ShmLat / ShmBW describe the intra-node (same physical node)
+	// shared-memory transport.
+	ShmLat time.Duration
+	ShmBW  float64
+}
+
+// DefaultConfig returns InfiniBand-DDR-class constants (2008 era).
+func DefaultConfig() Config {
+	return Config{
+		Lat:          1300 * time.Nanosecond,
+		BW:           1.25e9,
+		SendOverhead: 400 * time.Nanosecond,
+		RecvOverhead: 400 * time.Nanosecond,
+		// The IPC path copies through a shared segment (two memcpys), so it
+		// is slower than a direct in-process memcpy — the reason DCGN's
+		// small/medium CPU broadcasts beat MVAPICH2 in Fig. 7.
+		ShmLat: 600 * time.Nanosecond,
+		ShmBW:  2e9,
+	}
+}
+
+// Packet is one message on the wire. Payload is opaque to the fabric.
+type Packet struct {
+	Src, Dst int // node ids
+	Size     int // bytes charged on the wire
+	Payload  any
+}
+
+// Network is the switch fabric plus all node endpoints.
+type Network struct {
+	s     *sim.Sim
+	cfg   Config
+	nodes []*Node
+
+	// PacketsSent and BytesSent count inter-node traffic only.
+	PacketsSent int
+	BytesSent   int64
+}
+
+// New creates a network of n nodes.
+func New(s *sim.Sim, n int, cfg Config) *Network {
+	if n <= 0 {
+		panic("fabric: need at least one node")
+	}
+	if cfg.BW <= 0 || cfg.ShmBW <= 0 {
+		panic("fabric: non-positive bandwidth")
+	}
+	net := &Network{s: s, cfg: cfg}
+	for i := 0; i < n; i++ {
+		net.nodes = append(net.nodes, &Node{
+			net:     net,
+			id:      i,
+			sendNIC: s.NewResource(fmt.Sprintf("nic-tx%d", i), 1),
+			recvNIC: s.NewResource(fmt.Sprintf("nic-rx%d", i), 1),
+			Inbox:   sim.NewQueue[*Packet](s, fmt.Sprintf("inbox%d", i)),
+		})
+	}
+	return net
+}
+
+// Size returns the number of nodes.
+func (n *Network) Size() int { return len(n.nodes) }
+
+// Config returns the interconnect configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Node returns the endpoint with the given id.
+func (n *Network) Node(id int) *Node { return n.nodes[id] }
+
+// Node is one cluster endpoint. Consumers (an MPI progress engine) drain
+// Inbox.
+type Node struct {
+	net     *Network
+	id      int
+	sendNIC *sim.Resource
+	recvNIC *sim.Resource
+	// Inbox receives every packet addressed to this node, in arrival order.
+	Inbox *sim.Queue[*Packet]
+}
+
+// ID returns the node id.
+func (nd *Node) ID() int { return nd.id }
+
+// Send transmits a packet to node dst. The calling proc is blocked for the
+// outbound serialization time (NIC contention included); delivery completes
+// asynchronously after the flight latency and receiver processing.
+func (nd *Node) Send(p *sim.Proc, dst int, size int, payload any) {
+	if dst < 0 || dst >= len(nd.net.nodes) {
+		panic(fmt.Sprintf("fabric: bad destination node %d", dst))
+	}
+	pkt := &Packet{Src: nd.id, Dst: dst, Size: size, Payload: payload}
+	cfg := nd.net.cfg
+	if dst == nd.id {
+		// Intra-node shared-memory transport: sender pays the copy, a tiny
+		// helper completes delivery after the latency.
+		p.SleepJit(time.Duration(float64(size) / cfg.ShmBW * 1e9))
+		target := nd.net.nodes[dst]
+		// Delivery latency is deliberately NOT jittered: constant flight
+		// times preserve per-sender packet order (MPI non-overtaking).
+		nd.net.s.Spawn("shm-deliver", func(d *sim.Proc) {
+			d.Sleep(cfg.ShmLat)
+			target.Inbox.Put(pkt)
+		})
+		return
+	}
+	nd.net.PacketsSent++
+	nd.net.BytesSent += int64(size)
+	// Outbound: hold the TX NIC for overhead + serialization.
+	nd.sendNIC.Use(p, cfg.SendOverhead+time.Duration(float64(size)/cfg.BW*1e9))
+	// In flight + receiver processing.
+	target := nd.net.nodes[dst]
+	// Flight latency is NOT jittered so per-sender packet order is
+	// preserved (MPI non-overtaking); jitter applies to NIC serialization.
+	nd.net.s.Spawn("wire", func(w *sim.Proc) {
+		w.Sleep(cfg.Lat)
+		target.recvNIC.Use(w, cfg.RecvOverhead)
+		target.Inbox.Put(pkt)
+	})
+}

@@ -1,0 +1,165 @@
+package gas
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dcgn/internal/device"
+)
+
+func smallCfg(nodes, cpus, gpus int) Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.CPUsPerNode = cpus
+	cfg.GPUsPerNode = gpus
+	cfg.Device.MemBytes = 4 << 20
+	return cfg
+}
+
+func TestPlainMPIRanks(t *testing.T) {
+	var got []byte
+	_, err := Run(smallCfg(2, 1, 0), func(w *Worker) {
+		if w.IsGPU() {
+			t.Error("unexpected GPU rank")
+		}
+		buf := make([]byte, 16)
+		switch w.Rank.ID() {
+		case 0:
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+			w.Rank.Send(w.P, buf, 1, 0)
+		case 1:
+			w.Rank.Recv(w.P, buf, 0, 0)
+			got = buf
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != byte(i) {
+			t.Fatal("payload corrupted")
+		}
+	}
+}
+
+func TestGPUSlaveLoop(t *testing.T) {
+	// Rank 0 (CPU) sends work to rank 1 (GPU owner); the owner uploads,
+	// runs a kernel, downloads, and sends results back — the canonical
+	// GAS pattern.
+	const n = 1024
+	var result []byte
+	_, err := Run(smallCfg(1, 1, 1), func(w *Worker) {
+		switch {
+		case !w.IsGPU():
+			out := make([]byte, n)
+			for i := range out {
+				out[i] = byte(i % 50)
+			}
+			w.Rank.Send(w.P, out, 1, 0)
+			in := make([]byte, n)
+			w.Rank.Recv(w.P, in, 1, 0)
+			result = in
+		default:
+			host := make([]byte, n)
+			w.Rank.Recv(w.P, host, 0, 0)
+			ptr := w.Dev.Mem().MustAlloc(n)
+			w.CopyIn(ptr, host)
+			w.LaunchSync(4, 8, func(b *device.Block) {
+				per := n / b.GridDim
+				data := b.Bytes(ptr, n)
+				for i := b.Idx * per; i < (b.Idx+1)*per; i++ {
+					data[i] += 7
+				}
+				b.Charge(float64(per))
+			})
+			w.CopyOut(ptr, host)
+			w.Rank.Send(w.P, host, 0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range result {
+		if result[i] != byte(i%50)+7 {
+			t.Fatalf("result[%d] = %d", i, result[i])
+		}
+	}
+}
+
+func TestRankLayoutMatchesDCGN(t *testing.T) {
+	// 2 nodes x (1 CPU + 2 GPUs): ranks 0..2 node 0 (CPU first), 3..5
+	// node 1.
+	type info struct {
+		node, gpu int
+		isGPU     bool
+	}
+	seen := make(map[int]info)
+	_, err := Run(smallCfg(2, 1, 2), func(w *Worker) {
+		seen[w.Rank.ID()] = info{w.Node, w.GPU, w.IsGPU()}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]info{
+		0: {0, -1, false}, 1: {0, 0, true}, 2: {0, 1, true},
+		3: {1, -1, false}, 4: {1, 0, true}, 5: {1, 1, true},
+	}
+	for r, wv := range want {
+		if seen[r] != wv {
+			t.Fatalf("rank %d: got %+v want %+v", r, seen[r], wv)
+		}
+	}
+}
+
+func TestBarrierAcrossGASRanks(t *testing.T) {
+	var exits []time.Duration
+	_, err := Run(smallCfg(2, 2, 0), func(w *Worker) {
+		w.P.Sleep(time.Duration(w.Rank.ID()) * time.Millisecond)
+		w.Rank.Barrier(w.P)
+		exits = append(exits, w.P.Now())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exits {
+		if e < 3*time.Millisecond {
+			t.Fatalf("rank left barrier at %v", e)
+		}
+	}
+}
+
+func TestGPUBroadcastPattern(t *testing.T) {
+	// Broadcast then per-GPU verification: the N-body GAS communication
+	// pattern in miniature.
+	const n = 4096
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	ok := 0
+	_, err := Run(smallCfg(2, 0, 2), func(w *Worker) {
+		buf := make([]byte, n)
+		if w.Rank.ID() == 0 {
+			copy(buf, payload)
+		}
+		if err := w.Rank.Bcast(w.P, buf, 0); err != nil {
+			t.Error(err)
+		}
+		ptr := w.Dev.Mem().MustAlloc(n)
+		w.CopyIn(ptr, buf)
+		down := make([]byte, n)
+		w.CopyOut(ptr, down)
+		if bytes.Equal(down, payload) {
+			ok++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != 4 {
+		t.Fatalf("%d/4 GPUs verified", ok)
+	}
+}

@@ -1,0 +1,177 @@
+// Package metrics provides the timing-report and table/series formatting
+// used by the benchmark harness to regenerate the paper's tables and
+// figures as text.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample is one measured point of an experiment.
+type Sample struct {
+	// Label identifies the series (e.g. "DCGN GPU:GPU").
+	Label string
+	// X is the independent variable (message size in bytes, body count...).
+	X float64
+	// Value is the measured time.
+	Value time.Duration
+}
+
+// Series groups samples by label, preserving insertion order of labels.
+type Series struct {
+	order   []string
+	samples map[string][]Sample
+}
+
+// NewSeries creates an empty series collection.
+func NewSeries() *Series {
+	return &Series{samples: make(map[string][]Sample)}
+}
+
+// Add appends a sample.
+func (s *Series) Add(label string, x float64, v time.Duration) {
+	if _, ok := s.samples[label]; !ok {
+		s.order = append(s.order, label)
+	}
+	s.samples[label] = append(s.samples[label], Sample{Label: label, X: x, Value: v})
+}
+
+// Labels returns the series labels in insertion order.
+func (s *Series) Labels() []string { return s.order }
+
+// Get returns the samples of one label.
+func (s *Series) Get(label string) []Sample { return s.samples[label] }
+
+// Lookup returns the value at a given x for a label.
+func (s *Series) Lookup(label string, x float64) (time.Duration, bool) {
+	for _, sm := range s.samples[label] {
+		if sm.X == x {
+			return sm.Value, true
+		}
+	}
+	return 0, false
+}
+
+// WriteTable renders the series as an aligned table: one row per distinct
+// X (sorted ascending), one column per label.
+func (s *Series) WriteTable(w io.Writer, xName string, xFmt func(float64) string) {
+	xs := map[float64]bool{}
+	for _, label := range s.order {
+		for _, sm := range s.samples[label] {
+			xs[sm.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	headers := append([]string{xName}, s.order...)
+	rows := [][]string{}
+	for _, x := range sorted {
+		row := []string{xFmt(x)}
+		for _, label := range s.order {
+			if v, ok := s.Lookup(label, x); ok {
+				row = append(row, FormatDuration(v))
+			} else {
+				row = append(row, "—")
+			}
+		}
+		rows = append(rows, row)
+	}
+	WriteAligned(w, headers, rows)
+}
+
+// FormatDuration renders a duration in the paper's µs/ms style.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%d ns", d.Nanoseconds())
+	case d < 10*time.Millisecond:
+		return fmt.Sprintf("%.1f µs", float64(d.Nanoseconds())/1e3)
+	case d < 10*time.Second:
+		return fmt.Sprintf("%.2f ms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2f s", d.Seconds())
+	}
+}
+
+// FormatBytes renders a byte count in the paper's B/kB/MB style.
+func FormatBytes(n float64) string {
+	switch {
+	case n < 1024:
+		return fmt.Sprintf("%.0f B", n)
+	case n < 1<<20:
+		return fmt.Sprintf("%.0f kB", n/1024)
+	default:
+		return fmt.Sprintf("%.0f MB", n/(1<<20))
+	}
+}
+
+// Ratio formats a slowdown factor the way Table 1 does ("12.67x").
+func Ratio(slow, fast time.Duration) string {
+	if fast == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.2fx", float64(slow)/float64(fast))
+}
+
+// Efficiency is speedup(N units)/N, the paper's §5.1 definition.
+func Efficiency(t1, tN time.Duration, n int) float64 {
+	if tN == 0 || n == 0 {
+		return 0
+	}
+	return float64(t1) / float64(tN) / float64(n)
+}
+
+// Speedup is t1/tN.
+func Speedup(t1, tN time.Duration) float64 {
+	if tN == 0 {
+		return 0
+	}
+	return float64(t1) / float64(tN)
+}
+
+// WriteAligned renders rows under headers with space-padded columns.
+func WriteAligned(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	r := []rune(s)
+	if len(r) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(r))
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeriesAddAndLookup(t *testing.T) {
+	s := NewSeries()
+	s.Add("A", 1, time.Millisecond)
+	s.Add("B", 1, 2*time.Millisecond)
+	s.Add("A", 2, 3*time.Millisecond)
+	if got := s.Labels(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("labels %v", got)
+	}
+	v, ok := s.Lookup("A", 2)
+	if !ok || v != 3*time.Millisecond {
+		t.Fatalf("lookup: %v %v", v, ok)
+	}
+	if _, ok := s.Lookup("A", 99); ok {
+		t.Fatal("lookup of missing x succeeded")
+	}
+	if _, ok := s.Lookup("C", 1); ok {
+		t.Fatal("lookup of missing label succeeded")
+	}
+	if len(s.Get("B")) != 1 {
+		t.Fatal("Get returned wrong samples")
+	}
+}
+
+func TestSeriesWriteTable(t *testing.T) {
+	s := NewSeries()
+	s.Add("fast", 1024, 10*time.Microsecond)
+	s.Add("slow", 1024, 20*time.Millisecond)
+	s.Add("fast", 2048, 15*time.Microsecond)
+	var sb strings.Builder
+	s.WriteTable(&sb, "Size", FormatBytes)
+	out := sb.String()
+	for _, want := range []string{"Size", "fast", "slow", "1 kB", "2 kB", "10.0 µs", "20.00 ms", "—"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Nanosecond:    "500 ns",
+		3*time.Microsecond + 100: "3.1 µs",
+		2 * time.Millisecond:     "2000.0 µs",
+		150 * time.Millisecond:   "150.00 ms",
+		12 * time.Second:         "12.00 s",
+	}
+	for in, want := range cases {
+		if got := FormatDuration(in); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0 B",
+		512:     "512 B",
+		1024:    "1 kB",
+		65536:   "64 kB",
+		1 << 20: "1 MB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRatioAndEfficiency(t *testing.T) {
+	if got := Ratio(38*time.Microsecond, 3*time.Microsecond); got != "12.67x" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(time.Second, 0); got != "—" {
+		t.Errorf("Ratio with zero base = %q", got)
+	}
+	// The paper's definition: speedup with N units divided by N.
+	eff := Efficiency(100*time.Millisecond, 25*time.Millisecond, 8)
+	if eff < 0.499 || eff > 0.501 {
+		t.Errorf("Efficiency = %v, want 0.5", eff)
+	}
+	if Efficiency(time.Second, 0, 8) != 0 || Efficiency(time.Second, time.Second, 0) != 0 {
+		t.Error("degenerate efficiency should be 0")
+	}
+	if s := Speedup(100*time.Millisecond, 50*time.Millisecond); s != 2 {
+		t.Errorf("Speedup = %v", s)
+	}
+	if Speedup(time.Second, 0) != 0 {
+		t.Error("degenerate speedup should be 0")
+	}
+}
+
+func TestWriteAlignedPadsColumns(t *testing.T) {
+	var sb strings.Builder
+	WriteAligned(&sb, []string{"Col", "LongerHeader"}, [][]string{
+		{"aaaa", "b"},
+		{"c", "dddd"},
+	})
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	// All rows begin their second column at the same offset.
+	idx := strings.Index(lines[0], "LongerHeader")
+	if idx < 0 {
+		t.Fatal("header missing")
+	}
+	if !strings.HasPrefix(lines[2][idx:], "b") || !strings.HasPrefix(lines[3][idx:], "dddd") {
+		t.Fatalf("columns misaligned:\n%s", sb.String())
+	}
+}

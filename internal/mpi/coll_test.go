@@ -1,0 +1,385 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dcgn/internal/sim"
+)
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8} {
+		s := sim.New()
+		w := testWorld(s, n, min(n, 4))
+		var releaseTimes []time.Duration
+		var slowest time.Duration
+		runRanks(t, w, func(p *sim.Proc, r *Rank) {
+			// Each rank arrives at a different time; the slowest at n ms.
+			d := time.Duration(r.ID()+1) * time.Millisecond
+			if d > slowest {
+				slowest = d
+			}
+			p.Sleep(d)
+			r.Barrier(p)
+			releaseTimes = append(releaseTimes, p.Now())
+		})
+		for _, rt := range releaseTimes {
+			if rt < slowest {
+				t.Fatalf("n=%d: a rank left the barrier at %v, before the slowest arrived at %v", n, rt, slowest)
+			}
+			if rt > slowest+time.Millisecond {
+				t.Fatalf("n=%d: barrier exit %v unreasonably late", n, rt)
+			}
+		}
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 5, 8} {
+		for root := 0; root < n; root += max(1, n-1) {
+			for _, size := range []int{1, 1024, 100_000} {
+				s := sim.New()
+				w := testWorld(s, n, min(n, 4))
+				want := fill(size, byte(root+1))
+				runRanks(t, w, func(p *sim.Proc, r *Rank) {
+					buf := make([]byte, size)
+					if r.ID() == root {
+						copy(buf, want)
+					}
+					if err := r.Bcast(p, buf, root); err != nil {
+						t.Error(err)
+					}
+					if !bytes.Equal(buf, want) {
+						t.Errorf("n=%d root=%d size=%d rank=%d: corrupted", n, root, size, r.ID())
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestGatherScatterRoundtrip(t *testing.T) {
+	const n, chunk = 6, 500
+	s := sim.New()
+	w := testWorld(s, n, 3)
+	root := 2
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		mine := fill(chunk, byte(r.ID()))
+		var gathered []byte
+		if r.ID() == root {
+			gathered = make([]byte, n*chunk)
+		}
+		if err := r.Gather(p, mine, gathered, root); err != nil {
+			t.Error(err)
+		}
+		if r.ID() == root {
+			for i := 0; i < n; i++ {
+				if !bytes.Equal(gathered[i*chunk:(i+1)*chunk], fill(chunk, byte(i))) {
+					t.Errorf("gather chunk %d corrupted", i)
+				}
+			}
+		}
+		// Scatter the gathered data back out; every rank must get its own
+		// chunk again.
+		back := make([]byte, chunk)
+		if err := r.Scatter(p, gathered, back, root); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(back, mine) {
+			t.Errorf("rank %d scatter returned wrong chunk", r.ID())
+		}
+	})
+}
+
+func TestGathervScattervVariableSizes(t *testing.T) {
+	const n = 5
+	counts := []int{100, 0, 2500, 64, 9000}
+	s := sim.New()
+	w := testWorld(s, n, 2)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		mine := fill(counts[r.ID()], byte(r.ID()+1))
+		var gathered []byte
+		if r.ID() == 0 {
+			gathered = make([]byte, total)
+		}
+		if err := r.Gatherv(p, mine, gathered, counts, 0); err != nil {
+			t.Error(err)
+		}
+		if r.ID() == 0 {
+			off := 0
+			for i, c := range counts {
+				if !bytes.Equal(gathered[off:off+c], fill(c, byte(i+1))) {
+					t.Errorf("gatherv chunk %d corrupted", i)
+				}
+				off += c
+			}
+		}
+		back := make([]byte, counts[r.ID()])
+		if err := r.Scatterv(p, gathered, counts, back, 0); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(back, mine) {
+			t.Errorf("rank %d scatterv mismatch", r.ID())
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6} {
+		const chunk = 300
+		s := sim.New()
+		w := testWorld(s, n, min(n, 3))
+		runRanks(t, w, func(p *sim.Proc, r *Rank) {
+			mine := fill(chunk, byte(r.ID()*3))
+			all := make([]byte, n*chunk)
+			if err := r.Allgather(p, mine, all); err != nil {
+				t.Error(err)
+			}
+			for i := 0; i < n; i++ {
+				if !bytes.Equal(all[i*chunk:(i+1)*chunk], fill(chunk, byte(i*3))) {
+					t.Errorf("n=%d rank %d: allgather chunk %d corrupted", n, r.ID(), i)
+				}
+			}
+		})
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, n := range []int{2, 4, 5} {
+		const chunk = 128
+		s := sim.New()
+		w := testWorld(s, n, min(n, 2))
+		runRanks(t, w, func(p *sim.Proc, r *Rank) {
+			out := make([]byte, n*chunk)
+			for j := 0; j < n; j++ {
+				copy(out[j*chunk:], fill(chunk, byte(10*r.ID()+j)))
+			}
+			in := make([]byte, n*chunk)
+			if err := r.Alltoall(p, out, in, chunk); err != nil {
+				t.Error(err)
+			}
+			for i := 0; i < n; i++ {
+				// Chunk i of my inbox = chunk me of rank i's outbox.
+				want := fill(chunk, byte(10*i+r.ID()))
+				if !bytes.Equal(in[i*chunk:(i+1)*chunk], want) {
+					t.Errorf("n=%d rank %d chunk %d corrupted", n, r.ID(), i)
+				}
+			}
+		})
+	}
+}
+
+func TestReduceSumFloat64(t *testing.T) {
+	const n, elems = 7, 50
+	s := sim.New()
+	w := testWorld(s, n, 4)
+	root := 3
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		buf := make([]byte, elems*8)
+		for i := 0; i < elems; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64FromFloat(float64(r.ID()*100+i)))
+		}
+		var out []byte
+		if r.ID() == root {
+			out = make([]byte, elems*8)
+		}
+		if err := r.Reduce(p, buf, out, TFloat64, OpSum, root); err != nil {
+			t.Error(err)
+		}
+		if r.ID() == root {
+			for i := 0; i < elems; i++ {
+				got := floatFromUint64(binary.LittleEndian.Uint64(out[i*8:]))
+				want := 0.0
+				for rr := 0; rr < n; rr++ {
+					want += float64(rr*100 + i)
+				}
+				if got != want {
+					t.Errorf("elem %d: got %v want %v", i, got, want)
+				}
+			}
+		}
+	})
+}
+
+func TestAllreduceMinMaxInt32(t *testing.T) {
+	const n = 6
+	for _, op := range []Op{OpMin, OpMax, OpSum} {
+		s := sim.New()
+		w := testWorld(s, n, 3)
+		runRanks(t, w, func(p *sim.Proc, r *Rank) {
+			in := make([]byte, 4)
+			binary.LittleEndian.PutUint32(in, uint32(int32(r.ID()*10-25)))
+			out := make([]byte, 4)
+			if err := r.Allreduce(p, in, out, TInt32, op); err != nil {
+				t.Error(err)
+			}
+			got := int32(binary.LittleEndian.Uint32(out))
+			var want int32
+			switch op {
+			case OpMin:
+				want = -25
+			case OpMax:
+				want = int32((n-1)*10 - 25)
+			case OpSum:
+				for i := 0; i < n; i++ {
+					want += int32(i*10 - 25)
+				}
+			}
+			if got != want {
+				t.Errorf("op %d rank %d: got %d want %d", op, r.ID(), got, want)
+			}
+		})
+	}
+}
+
+func TestBackToBackCollectivesDoNotCrossTalk(t *testing.T) {
+	// Fast ranks entering collective k+1 while slow ranks are in k must not
+	// mis-match (relies on per-sender non-overtaking).
+	const n = 4
+	s := sim.New()
+	w := testWorld(s, n, 2)
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		for iter := 0; iter < 10; iter++ {
+			buf := make([]byte, 64)
+			if r.ID() == iter%n {
+				copy(buf, fill(64, byte(iter)))
+			}
+			if err := r.Bcast(p, buf, iter%n); err != nil {
+				t.Error(err)
+			}
+			if !bytes.Equal(buf, fill(64, byte(iter))) {
+				t.Errorf("iter %d rank %d: cross-talk", iter, r.ID())
+			}
+			// Deliberately skew ranks between collectives.
+			p.Sleep(time.Duration(r.ID()) * 100 * time.Microsecond)
+		}
+	})
+}
+
+// Property: Reduce(OpSum over int64) equals the sequential sum for random
+// world sizes, roots and contributions.
+func TestReducePropertyMatchesSequential(t *testing.T) {
+	f := func(contrib []int64, rootRaw uint8) bool {
+		n := len(contrib)
+		if n == 0 || n > 9 {
+			return true
+		}
+		root := int(rootRaw) % n
+		s := sim.New()
+		w := testWorld(s, n, min(n, 3))
+		var got int64
+		for i := 0; i < n; i++ {
+			r := w.Rank(i)
+			v := contrib[i]
+			s.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+				in := make([]byte, 8)
+				binary.LittleEndian.PutUint64(in, uint64(v))
+				out := make([]byte, 8)
+				if err := r.Reduce(p, in, out, TInt64, OpSum, root); err != nil {
+					t.Error(err)
+				}
+				if r.ID() == root {
+					got = int64(binary.LittleEndian.Uint64(out))
+				}
+			})
+		}
+		s.SetMaxTime(time.Hour)
+		if err := s.Run(); err != nil {
+			t.Error(err)
+			return false
+		}
+		var want int64
+		for _, v := range contrib {
+			want += v
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Allgather delivers every rank's exact payload to every rank for
+// random sizes and world shapes.
+func TestAllgatherProperty(t *testing.T) {
+	f := func(sizeRaw uint16, nRaw, nodesRaw uint8) bool {
+		n := int(nRaw)%7 + 1
+		nodes := int(nodesRaw)%n + 1
+		size := int(sizeRaw) % 3000
+		s := sim.New()
+		w := testWorld(s, n, nodes)
+		ok := true
+		for i := 0; i < n; i++ {
+			r := w.Rank(i)
+			s.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+				mine := fill(size, byte(r.ID()+7))
+				all := make([]byte, n*size)
+				if err := r.Allgather(p, mine, all); err != nil {
+					ok = false
+					return
+				}
+				for j := 0; j < n; j++ {
+					if !bytes.Equal(all[j*size:(j+1)*size], fill(size, byte(j+7))) {
+						ok = false
+					}
+				}
+			})
+		}
+		s.SetMaxTime(time.Hour)
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func uint64FromFloat(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFromUint64(u uint64) float64 { return math.Float64frombits(u) }
+
+func TestAlltoallvVariableSizes(t *testing.T) {
+	const n = 4
+	s := sim.New()
+	w := testWorld(s, n, 2)
+	// Rank i sends (i+j+1)*10 bytes to rank j.
+	size := func(i, j int) int { return (i + j + 1) * 10 }
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		me := r.ID()
+		sendCounts := make([]int, n)
+		recvCounts := make([]int, n)
+		totalS, totalR := 0, 0
+		for j := 0; j < n; j++ {
+			sendCounts[j] = size(me, j)
+			recvCounts[j] = size(j, me)
+			totalS += sendCounts[j]
+			totalR += recvCounts[j]
+		}
+		sendBuf := make([]byte, 0, totalS)
+		for j := 0; j < n; j++ {
+			sendBuf = append(sendBuf, fill(size(me, j), byte(me*10+j))...)
+		}
+		recvBuf := make([]byte, totalR)
+		if err := r.Alltoallv(p, sendBuf, sendCounts, recvBuf, recvCounts); err != nil {
+			t.Error(err)
+		}
+		off := 0
+		for j := 0; j < n; j++ {
+			if !bytes.Equal(recvBuf[off:off+recvCounts[j]], fill(size(j, me), byte(j*10+me))) {
+				t.Errorf("rank %d: block from %d corrupted", me, j)
+			}
+			off += recvCounts[j]
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Datatype identifies the element type of a reduction buffer.
+type Datatype int
+
+// Supported reduction datatypes.
+const (
+	TByte Datatype = iota
+	TInt32
+	TInt64
+	TFloat32
+	TFloat64
+)
+
+// Size returns the element size in bytes.
+func (d Datatype) Size() int {
+	switch d {
+	case TByte:
+		return 1
+	case TInt32, TFloat32:
+		return 4
+	case TInt64, TFloat64:
+		return 8
+	}
+	panic(fmt.Sprintf("mpi: unknown datatype %d", d))
+}
+
+// Op is a reduction operator.
+type Op int
+
+// Supported reduction operators.
+const (
+	OpSum Op = iota
+	OpMin
+	OpMax
+)
+
+// reduceBytes folds src into dst element-wise: dst = op(dst, src).
+// Buffers must have equal length, a multiple of the datatype size.
+func reduceBytes(dt Datatype, op Op, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("mpi: reduce buffer length mismatch")
+	}
+	es := dt.Size()
+	if len(dst)%es != 0 {
+		panic("mpi: reduce buffer not a multiple of element size")
+	}
+	le := binary.LittleEndian
+	for off := 0; off < len(dst); off += es {
+		switch dt {
+		case TByte:
+			dst[off] = byte(foldInt(op, int64(dst[off]), int64(src[off])))
+		case TInt32:
+			v := foldInt(op, int64(int32(le.Uint32(dst[off:]))), int64(int32(le.Uint32(src[off:]))))
+			le.PutUint32(dst[off:], uint32(int32(v)))
+		case TInt64:
+			v := foldInt(op, int64(le.Uint64(dst[off:])), int64(le.Uint64(src[off:])))
+			le.PutUint64(dst[off:], uint64(v))
+		case TFloat32:
+			v := foldFloat(op, float64(math.Float32frombits(le.Uint32(dst[off:]))), float64(math.Float32frombits(le.Uint32(src[off:]))))
+			le.PutUint32(dst[off:], math.Float32bits(float32(v)))
+		case TFloat64:
+			v := foldFloat(op, math.Float64frombits(le.Uint64(dst[off:])), math.Float64frombits(le.Uint64(src[off:])))
+			le.PutUint64(dst[off:], math.Float64bits(v))
+		}
+	}
+}
+
+func foldInt(op Op, a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	}
+	panic(fmt.Sprintf("mpi: unknown op %d", op))
+}
+
+func foldFloat(op Op, a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMin:
+		return math.Min(a, b)
+	case OpMax:
+		return math.Max(a, b)
+	}
+	panic(fmt.Sprintf("mpi: unknown op %d", op))
+}

@@ -1,0 +1,120 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDatatypeSizes(t *testing.T) {
+	want := map[Datatype]int{TByte: 1, TInt32: 4, TInt64: 8, TFloat32: 4, TFloat64: 8}
+	for dt, n := range want {
+		if dt.Size() != n {
+			t.Errorf("%v.Size() = %d, want %d", dt, dt.Size(), n)
+		}
+	}
+}
+
+func TestReduceBytesMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	reduceBytes(TInt32, OpSum, make([]byte, 8), make([]byte, 4))
+}
+
+func TestReduceBytesNotMultiplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-multiple length accepted")
+		}
+	}()
+	reduceBytes(TInt64, OpSum, make([]byte, 12), make([]byte, 12))
+}
+
+// Property: reduceBytes over int64 matches the scalar fold for every op.
+func TestReduceBytesInt64Property(t *testing.T) {
+	f := func(a, b []int64, opRaw uint8) bool {
+		n := min(len(a), len(b))
+		a, b = a[:n], b[:n]
+		op := Op(int(opRaw) % 3)
+		dst := make([]byte, 8*n)
+		src := make([]byte, 8*n)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(dst[8*i:], uint64(a[i]))
+			binary.LittleEndian.PutUint64(src[8*i:], uint64(b[i]))
+		}
+		reduceBytes(TInt64, op, dst, src)
+		for i := 0; i < n; i++ {
+			got := int64(binary.LittleEndian.Uint64(dst[8*i:]))
+			var want int64
+			switch op {
+			case OpSum:
+				want = a[i] + b[i]
+			case OpMin:
+				want = min(a[i], b[i])
+			case OpMax:
+				want = max(a[i], b[i])
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reduceBytes over float32 matches the scalar fold.
+func TestReduceBytesFloat32Property(t *testing.T) {
+	f := func(a, b []float32, opRaw uint8) bool {
+		n := min(len(a), len(b))
+		a, b = a[:n], b[:n]
+		for i := 0; i < n; i++ {
+			// Skip NaN inputs: NaN comparison semantics differ by op order.
+			if math.IsNaN(float64(a[i])) || math.IsNaN(float64(b[i])) {
+				return true
+			}
+		}
+		op := Op(int(opRaw) % 3)
+		dst := make([]byte, 4*n)
+		src := make([]byte, 4*n)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(a[i]))
+			binary.LittleEndian.PutUint32(src[4*i:], math.Float32bits(b[i]))
+		}
+		reduceBytes(TFloat32, op, dst, src)
+		for i := 0; i < n; i++ {
+			got := math.Float32frombits(binary.LittleEndian.Uint32(dst[4*i:]))
+			var want float32
+			switch op {
+			case OpSum:
+				want = a[i] + b[i]
+			case OpMin:
+				want = float32(math.Min(float64(a[i]), float64(b[i])))
+			case OpMax:
+				want = float32(math.Max(float64(a[i]), float64(b[i])))
+			}
+			if got != want && !(math.IsNaN(float64(got)) && math.IsNaN(float64(want))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceBytesByteOps(t *testing.T) {
+	dst := []byte{1, 200, 30}
+	src := []byte{2, 100, 30}
+	reduceBytes(TByte, OpMax, dst, src)
+	if dst[0] != 2 || dst[1] != 200 || dst[2] != 30 {
+		t.Fatalf("byte max = %v", dst)
+	}
+}

@@ -1,0 +1,325 @@
+// Package mpi is a message-passing library in the style of MPI-1, built on
+// the simulated cluster fabric. It plays the role MVAPICH2 plays in the
+// paper: it is both the baseline every experiment compares against and the
+// underlying communication library DCGN layers on top of (paper §3.2.2:
+// "DCGN uses MPI as its underlying communication library").
+//
+// Features: point-to-point with (source, tag) matching including wildcards,
+// an eager/rendezvous protocol split, nonblocking operations with
+// Wait/Test, Sendrecv(+Replace), and the collectives the paper exercises
+// (Barrier, Bcast, Gather(v), Scatter(v), Allgather, Alltoall, Reduce,
+// Allreduce) implemented with the classic algorithms (dissemination,
+// binomial trees, ring, pairwise exchange).
+//
+// Every rank is driven by exactly one simulated proc; per-node progress
+// engines (daemon procs) perform matching and the rendezvous handshake.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dcgn/internal/fabric"
+	"dcgn/internal/sim"
+)
+
+// Wildcards for Recv matching.
+const (
+	// AnySource matches messages from every rank.
+	AnySource = -1
+	// AnyTag matches every tag.
+	AnyTag = -1
+)
+
+// headerBytes is the wire overhead added to every message (envelope,
+// matching info).
+const headerBytes = 64
+
+// ErrTruncate is reported when a message is longer than the posted receive
+// buffer.
+var ErrTruncate = errors.New("mpi: message truncated (recv buffer too small)")
+
+// Config tunes the library.
+type Config struct {
+	// EagerLimit is the largest payload sent eagerly (copied and fired off
+	// immediately); larger messages use the rendezvous (RTS/CTS) protocol.
+	EagerLimit int
+	// CallOverhead is the CPU cost charged for every library call,
+	// modeling the software stack.
+	CallOverhead time.Duration
+	// CollHopOverhead is charged per data-bearing hop inside collective
+	// algorithms (buffer management, segmentation) — 2008-era collective
+	// stacks paid tens of microseconds per level for kB-sized payloads.
+	// Hops whose payload is below collHopMinSize (barrier tokens) are
+	// exempt.
+	CollHopOverhead time.Duration
+}
+
+// collHopMinSize is the smallest payload that pays CollHopOverhead.
+const collHopMinSize = 256
+
+// DefaultConfig matches an optimized 2008-era MPI (MVAPICH2-1.0-like).
+func DefaultConfig() Config {
+	return Config{
+		EagerLimit:      8 << 10,
+		CallOverhead:    600 * time.Nanosecond,
+		CollHopOverhead: 45 * time.Microsecond,
+	}
+}
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int // bytes received
+}
+
+// World is a set of ranks mapped onto fabric nodes (MPI_COMM_WORLD).
+type World struct {
+	s      *sim.Sim
+	net    *fabric.Network
+	cfg    Config
+	ranks  []*Rank
+	nodeOf []int
+
+	// Communicator bookkeeping (see comm.go).
+	world      *Comm
+	commIDs    map[[3]int]int
+	nextCommID int
+}
+
+// NewWorld creates a world with len(nodeOf) ranks; rank i runs on fabric
+// node nodeOf[i]. A progress-engine daemon is started per node.
+func NewWorld(s *sim.Sim, net *fabric.Network, nodeOf []int, cfg Config) *World {
+	if len(nodeOf) == 0 {
+		panic("mpi: empty world")
+	}
+	w := &World{s: s, net: net, cfg: cfg, nodeOf: append([]int(nil), nodeOf...), commIDs: make(map[[3]int]int)}
+	for id, node := range nodeOf {
+		if node < 0 || node >= net.Size() {
+			panic(fmt.Sprintf("mpi: rank %d mapped to bad node %d", id, node))
+		}
+		w.ranks = append(w.ranks, &Rank{
+			w:            w,
+			id:           id,
+			node:         node,
+			bound:        make(map[uint64]*recvReq),
+			pendingSends: make(map[uint64]*sendReq),
+		})
+	}
+	nodes := map[int]bool{}
+	for _, n := range nodeOf {
+		if !nodes[n] {
+			nodes[n] = true
+			w.startEngine(n)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns the handle for rank id. Exactly one proc must drive each
+// rank's operations.
+func (w *World) Rank(id int) *Rank { return w.ranks[id] }
+
+// NodeOf returns the fabric node hosting rank id.
+func (w *World) NodeOf(id int) int { return w.nodeOf[id] }
+
+// Rank is one communication endpoint (MPI process).
+type Rank struct {
+	w    *World
+	id   int
+	node int
+
+	posted     []*recvReq
+	unexpected []*envelope
+	// bound maps a rendezvous seq to the receive matched at RTS time.
+	bound map[uint64]*recvReq
+	// pendingSends maps a rendezvous seq to the send awaiting CTS.
+	pendingSends map[uint64]*sendReq
+	nextSeq      uint64
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return len(r.w.ranks) }
+
+// Node returns the fabric node this rank lives on.
+func (r *Rank) Node() int { return r.node }
+
+// World returns the world this rank belongs to.
+func (r *Rank) World() *World { return r.w }
+
+type msgKind int
+
+const (
+	kindEager msgKind = iota
+	kindRTS
+	kindCTS
+	kindData
+)
+
+// envelope is the payload of every fabric packet the library sends.
+type envelope struct {
+	kind msgKind
+	src  int
+	dst  int
+	tag  int
+	seq  uint64
+	size int    // full payload size (RTS announces it without data)
+	data []byte // eager or rendezvous-data payload
+}
+
+// recvReq is a posted receive.
+type recvReq struct {
+	buf  []byte
+	src  int
+	tag  int
+	done *sim.Event
+	stat Status
+	err  error
+}
+
+// sendReq is a rendezvous send awaiting its CTS.
+type sendReq struct {
+	data []byte
+	dst  int
+	tag  int
+	seq  uint64
+	done *sim.Event
+}
+
+// Request is a handle to a nonblocking operation.
+type Request struct {
+	done *sim.Event
+	stat *Status
+	err  *error
+}
+
+// Wait blocks p until the operation completes and returns its status.
+func (req *Request) Wait(p *sim.Proc) (Status, error) {
+	req.done.Wait(p)
+	return *req.stat, *req.err
+}
+
+// Test reports whether the operation has completed, without blocking.
+func (req *Request) Test() (Status, bool) {
+	if !req.done.Fired() {
+		return Status{}, false
+	}
+	return *req.stat, true
+}
+
+// matches reports whether a posted receive accepts an envelope.
+func (rr *recvReq) matches(env *envelope) bool {
+	return (rr.src == AnySource || rr.src == env.src) &&
+		(rr.tag == AnyTag || rr.tag == env.tag)
+}
+
+// takePosted removes and returns the first posted receive matching env.
+func (r *Rank) takePosted(env *envelope) *recvReq {
+	for i, rr := range r.posted {
+		if rr.matches(env) {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			return rr
+		}
+	}
+	return nil
+}
+
+// takeUnexpected removes and returns the first queued envelope matching a
+// newly posted receive.
+func (r *Rank) takeUnexpected(rr *recvReq) *envelope {
+	for i, env := range r.unexpected {
+		if rr.matches(env) {
+			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			return env
+		}
+	}
+	return nil
+}
+
+// deliver copies an eager or data payload into a matched receive and
+// completes it.
+func deliver(rr *recvReq, env *envelope) {
+	n := len(env.data)
+	if n > len(rr.buf) {
+		n = len(rr.buf)
+		rr.err = ErrTruncate
+	}
+	copy(rr.buf[:n], env.data[:n])
+	rr.stat = Status{Source: env.src, Tag: env.tag, Count: n}
+	rr.done.Fire()
+}
+
+// startEngine spawns the progress-engine daemon for a node. It drains the
+// node's fabric inbox, performs matching, runs the rendezvous handshake and
+// completes requests.
+func (w *World) startEngine(node int) {
+	nd := w.net.Node(node)
+	w.s.SpawnDaemon(fmt.Sprintf("mpi-engine:%d", node), func(p *sim.Proc) {
+		for {
+			pkt := nd.Inbox.Get(p)
+			env, ok := pkt.Payload.(*envelope)
+			if !ok {
+				panic("mpi: foreign packet in inbox")
+			}
+			w.handle(p, nd, env)
+		}
+	})
+}
+
+// handle processes one inbound envelope on the progress engine proc.
+func (w *World) handle(p *sim.Proc, nd *fabric.Node, env *envelope) {
+	r := w.ranks[env.dst]
+	switch env.kind {
+	case kindEager:
+		if rr := r.takePosted(env); rr != nil {
+			deliver(rr, env)
+		} else {
+			r.unexpected = append(r.unexpected, env)
+		}
+	case kindRTS:
+		if rr := r.takePosted(env); rr != nil {
+			r.bound[env.seq] = rr
+			w.sendCTS(p, nd, env)
+		} else {
+			r.unexpected = append(r.unexpected, env)
+		}
+	case kindCTS:
+		sr, ok := r.pendingSends[env.seq]
+		if !ok {
+			panic(fmt.Sprintf("mpi: CTS for unknown send seq %d at rank %d", env.seq, r.id))
+		}
+		delete(r.pendingSends, env.seq)
+		// Transmit the bulk data on a helper so the engine keeps making
+		// progress for other ranks on this node.
+		w.s.Spawn("mpi-rndv-data", func(h *sim.Proc) {
+			// Snapshot the payload: once the DMA is in flight the sender may
+			// reuse its buffer (its request completes on injection), so the
+			// wire must carry a copy, not a reference.
+			payload := append([]byte(nil), sr.data...)
+			data := &envelope{kind: kindData, src: r.id, dst: sr.dst, tag: sr.tag, seq: sr.seq, size: len(payload), data: payload}
+			nd.Send(h, w.nodeOf[sr.dst], headerBytes+len(payload), data)
+			sr.done.Fire()
+		})
+	case kindData:
+		rr, ok := r.bound[env.seq]
+		if !ok {
+			panic(fmt.Sprintf("mpi: data for unbound recv seq %d at rank %d", env.seq, r.id))
+		}
+		delete(r.bound, env.seq)
+		deliver(rr, env)
+	}
+}
+
+// sendCTS issues the clear-to-send for a matched rendezvous.
+func (w *World) sendCTS(p *sim.Proc, nd *fabric.Node, rts *envelope) {
+	cts := &envelope{kind: kindCTS, src: rts.dst, dst: rts.src, tag: rts.tag, seq: rts.seq}
+	nd.Send(p, w.nodeOf[rts.src], headerBytes, cts)
+}

@@ -1,0 +1,405 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"dcgn/internal/fabric"
+	"dcgn/internal/sim"
+)
+
+// testWorld builds a world of `ranks` ranks spread round-robin over `nodes`
+// fabric nodes.
+func testWorld(s *sim.Sim, ranks, nodes int) *World {
+	net := fabric.New(s, nodes, fabric.DefaultConfig())
+	nodeOf := make([]int, ranks)
+	for i := range nodeOf {
+		nodeOf[i] = i * nodes / ranks
+	}
+	return NewWorld(s, net, nodeOf, DefaultConfig())
+}
+
+// runRanks spawns one proc per rank running body and runs the sim.
+func runRanks(t *testing.T, w *World, body func(p *sim.Proc, r *Rank)) {
+	t.Helper()
+	s := w.s
+	for i := 0; i < w.Size(); i++ {
+		r := w.Rank(i)
+		s.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) { body(p, r) })
+	}
+	s.SetMaxTime(time.Hour)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fill(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i*7)
+	}
+	return b
+}
+
+func TestEagerSendRecv(t *testing.T) {
+	s := sim.New()
+	w := testWorld(s, 2, 2)
+	msg := fill(100, 3)
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		switch r.ID() {
+		case 0:
+			if err := r.Send(p, msg, 1, 7); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			buf := make([]byte, 100)
+			st, err := r.Recv(p, buf, 0, 7)
+			if err != nil {
+				t.Error(err)
+			}
+			if st.Source != 0 || st.Tag != 7 || st.Count != 100 {
+				t.Errorf("status %+v", st)
+			}
+			if !bytes.Equal(buf, msg) {
+				t.Error("payload corrupted")
+			}
+		}
+	})
+}
+
+func TestRendezvousSendRecv(t *testing.T) {
+	s := sim.New()
+	w := testWorld(s, 2, 2)
+	msg := fill(1<<20, 9) // 1 MB >> eager limit
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		switch r.ID() {
+		case 0:
+			if err := r.Send(p, msg, 1, 0); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			buf := make([]byte, 1<<20)
+			st, err := r.Recv(p, buf, 0, 0)
+			if err != nil {
+				t.Error(err)
+			}
+			if st.Count != 1<<20 {
+				t.Errorf("count %d", st.Count)
+			}
+			if !bytes.Equal(buf, msg) {
+				t.Error("payload corrupted")
+			}
+		}
+	})
+}
+
+func TestRecvBeforeSendAndAfterSend(t *testing.T) {
+	for _, recvFirst := range []bool{true, false} {
+		for _, size := range []int{64, 100_000} {
+			s := sim.New()
+			w := testWorld(s, 2, 2)
+			msg := fill(size, 1)
+			runRanks(t, w, func(p *sim.Proc, r *Rank) {
+				switch r.ID() {
+				case 0:
+					if !recvFirst {
+						p.Sleep(0)
+					} else {
+						p.Sleep(time.Millisecond)
+					}
+					r.Send(p, msg, 1, 5)
+				case 1:
+					if !recvFirst {
+						p.Sleep(time.Millisecond) // send sits unexpected
+					}
+					buf := make([]byte, size)
+					if _, err := r.Recv(p, buf, 0, 5); err != nil {
+						t.Error(err)
+					}
+					if !bytes.Equal(buf, msg) {
+						t.Errorf("recvFirst=%v size=%d: corrupted", recvFirst, size)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestZeroByteMessage(t *testing.T) {
+	s := sim.New()
+	w := testWorld(s, 2, 2)
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		if r.ID() == 0 {
+			r.Send(p, nil, 1, 0)
+		} else {
+			st, err := r.Recv(p, nil, 0, 0)
+			if err != nil || st.Count != 0 {
+				t.Errorf("zero-byte recv: %v %+v", err, st)
+			}
+		}
+	})
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	s := sim.New()
+	w := testWorld(s, 3, 1)
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		switch r.ID() {
+		case 1, 2:
+			p.Sleep(time.Duration(r.ID()) * time.Millisecond)
+			r.Send(p, []byte{byte(r.ID())}, 0, 40+r.ID())
+		case 0:
+			buf := make([]byte, 1)
+			st1, err := r.Recv(p, buf, AnySource, AnyTag)
+			if err != nil {
+				t.Error(err)
+			}
+			if st1.Source != 1 || st1.Tag != 41 {
+				t.Errorf("first wildcard recv matched %+v, want rank 1", st1)
+			}
+			st2, _ := r.Recv(p, buf, AnySource, AnyTag)
+			if st2.Source != 2 {
+				t.Errorf("second wildcard recv matched %+v", st2)
+			}
+		}
+	})
+}
+
+func TestTagSelectivity(t *testing.T) {
+	s := sim.New()
+	w := testWorld(s, 2, 1)
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(p, []byte{1}, 1, 100)
+			r.Send(p, []byte{2}, 1, 200)
+		case 1:
+			buf := make([]byte, 1)
+			// Receive tag 200 first even though tag 100 arrived earlier.
+			st, _ := r.Recv(p, buf, 0, 200)
+			if buf[0] != 2 || st.Tag != 200 {
+				t.Errorf("tag-200 recv got payload %d tag %d", buf[0], st.Tag)
+			}
+			r.Recv(p, buf, 0, 100)
+			if buf[0] != 1 {
+				t.Errorf("tag-100 recv got %d", buf[0])
+			}
+		}
+	})
+}
+
+func TestNonOvertakingSameTag(t *testing.T) {
+	s := sim.New()
+	w := testWorld(s, 2, 2)
+	const n = 10
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		switch r.ID() {
+		case 0:
+			for i := 0; i < n; i++ {
+				r.Send(p, []byte{byte(i)}, 1, 3)
+			}
+		case 1:
+			buf := make([]byte, 1)
+			for i := 0; i < n; i++ {
+				r.Recv(p, buf, 0, 3)
+				if buf[0] != byte(i) {
+					t.Fatalf("message %d overtaken by %d", i, buf[0])
+				}
+			}
+		}
+	})
+}
+
+func TestTruncationError(t *testing.T) {
+	s := sim.New()
+	w := testWorld(s, 2, 2)
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(p, fill(100, 0), 1, 0)
+		case 1:
+			buf := make([]byte, 10)
+			st, err := r.Recv(p, buf, 0, 0)
+			if err != ErrTruncate {
+				t.Errorf("want ErrTruncate, got %v", err)
+			}
+			if st.Count != 10 {
+				t.Errorf("count %d", st.Count)
+			}
+		}
+	})
+}
+
+func TestIsendIrecvOverlap(t *testing.T) {
+	s := sim.New()
+	w := testWorld(s, 2, 2)
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		bufs := make([][]byte, 4)
+		switch r.ID() {
+		case 0:
+			var reqs []*Request
+			for i := 0; i < 4; i++ {
+				reqs = append(reqs, r.Isend(p, fill(50_000, byte(i)), 1, i))
+			}
+			for _, rq := range reqs {
+				if _, err := rq.Wait(p); err != nil {
+					t.Error(err)
+				}
+			}
+		case 1:
+			var reqs []*Request
+			for i := 0; i < 4; i++ {
+				bufs[i] = make([]byte, 50_000)
+				reqs = append(reqs, r.Irecv(p, bufs[i], 0, i))
+			}
+			for i, rq := range reqs {
+				if _, err := rq.Wait(p); err != nil {
+					t.Error(err)
+				}
+				if !bytes.Equal(bufs[i], fill(50_000, byte(i))) {
+					t.Errorf("stream %d corrupted", i)
+				}
+			}
+		}
+	})
+}
+
+func TestRequestTest(t *testing.T) {
+	s := sim.New()
+	w := testWorld(s, 2, 2)
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		switch r.ID() {
+		case 0:
+			p.Sleep(time.Millisecond)
+			r.Send(p, []byte{7}, 1, 0)
+		case 1:
+			buf := make([]byte, 1)
+			req := r.Irecv(p, buf, 0, 0)
+			if _, done := req.Test(); done {
+				t.Error("request complete before send")
+			}
+			p.Sleep(2 * time.Millisecond)
+			if _, done := req.Test(); !done {
+				t.Error("request incomplete after send")
+			}
+		}
+	})
+}
+
+func TestSendrecvNoDeadlock(t *testing.T) {
+	// Head-to-head blocking exchange with large (rendezvous) payloads would
+	// deadlock with plain Send/Recv in both directions; Sendrecv must not.
+	s := sim.New()
+	w := testWorld(s, 2, 2)
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		other := 1 - r.ID()
+		out := fill(200_000, byte(r.ID()))
+		in := make([]byte, 200_000)
+		if _, err := r.Sendrecv(p, out, other, 0, in, other, 0); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(in, fill(200_000, byte(other))) {
+			t.Error("exchange corrupted")
+		}
+	})
+}
+
+func TestSendrecvReplace(t *testing.T) {
+	s := sim.New()
+	w := testWorld(s, 2, 2)
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		other := 1 - r.ID()
+		buf := fill(64_000, byte(10+r.ID()))
+		if _, err := r.SendrecvReplace(p, buf, other, 0, other, 0); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(buf, fill(64_000, byte(10+other))) {
+			t.Error("replace exchange corrupted")
+		}
+	})
+}
+
+func TestProbe(t *testing.T) {
+	s := sim.New()
+	w := testWorld(s, 2, 1)
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(p, fill(32, 0), 1, 9)
+		case 1:
+			if _, ok := r.Probe(0, 9); ok {
+				t.Error("probe matched before arrival")
+			}
+			p.Sleep(time.Millisecond)
+			st, ok := r.Probe(0, 9)
+			if !ok || st.Count != 32 {
+				t.Errorf("probe after arrival: %v %+v", ok, st)
+			}
+			buf := make([]byte, 32)
+			r.Recv(p, buf, 0, 9)
+		}
+	})
+}
+
+func TestSelfSendEager(t *testing.T) {
+	s := sim.New()
+	w := testWorld(s, 1, 1)
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		r.Send(p, []byte{42}, 0, 0)
+		buf := make([]byte, 1)
+		if _, err := r.Recv(p, buf, 0, 0); err != nil || buf[0] != 42 {
+			t.Errorf("self-send: %v %d", err, buf[0])
+		}
+	})
+}
+
+func TestManyRanksPerNode(t *testing.T) {
+	// 8 ranks on 2 nodes: intra- and inter-node paths both exercised.
+	s := sim.New()
+	w := testWorld(s, 8, 2)
+	runRanks(t, w, func(p *sim.Proc, r *Rank) {
+		next := (r.ID() + 1) % 8
+		prev := (r.ID() + 7) % 8
+		out := []byte{byte(r.ID())}
+		in := make([]byte, 1)
+		if _, err := r.Sendrecv(p, out, next, 0, in, prev, 0); err != nil {
+			t.Error(err)
+		}
+		if in[0] != byte(prev) {
+			t.Errorf("rank %d got %d, want %d", r.ID(), in[0], prev)
+		}
+	})
+}
+
+func TestPingPongLatencyShape(t *testing.T) {
+	// One-way time must look like alpha + n/beta: tiny for 0B, ~ms for 1MB.
+	oneWay := func(n int) time.Duration {
+		s := sim.New()
+		w := testWorld(s, 2, 2)
+		var rtt time.Duration
+		runRanks(t, w, func(p *sim.Proc, r *Rank) {
+			buf := make([]byte, n)
+			switch r.ID() {
+			case 0:
+				start := p.Now()
+				r.Send(p, buf, 1, 0)
+				r.Recv(p, buf, 1, 0)
+				rtt = p.Now() - start
+			case 1:
+				r.Recv(p, buf, 0, 0)
+				r.Send(p, buf, 0, 0)
+			}
+		})
+		return rtt / 2
+	}
+	t0 := oneWay(0)
+	t1m := oneWay(1 << 20)
+	if t0 > 20*time.Microsecond {
+		t.Errorf("0-byte one-way %v too slow for an optimized MPI", t0)
+	}
+	if t1m < 500*time.Microsecond || t1m > 3*time.Millisecond {
+		t.Errorf("1MB one-way %v outside plausible IB-DDR range", t1m)
+	}
+}

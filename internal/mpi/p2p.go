@@ -1,0 +1,119 @@
+package mpi
+
+import (
+	"fmt"
+
+	"dcgn/internal/sim"
+)
+
+// Isend starts a nonblocking send of buf to rank dst with the given tag.
+// Payloads at or below the eager limit are copied and injected immediately
+// (the request completes as soon as the copy is buffered); larger payloads
+// use the rendezvous protocol and complete once the matched receiver's CTS
+// has arrived and the data has been injected. The caller must not modify
+// buf until the request completes.
+func (r *Rank) Isend(p *sim.Proc, buf []byte, dst, tag int) *Request {
+	if dst < 0 || dst >= len(r.w.ranks) {
+		panic(fmt.Sprintf("mpi: Isend to bad rank %d", dst))
+	}
+	if tag < 0 {
+		panic("mpi: negative user tag")
+	}
+	p.SleepJit(r.w.cfg.CallOverhead)
+	r.nextSeq++
+	seq := r.nextSeq
+	done := r.w.s.NewEvent(fmt.Sprintf("isend:%d->%d", r.id, dst))
+	var errv error
+	req := &Request{done: done, stat: &Status{}, err: &errv}
+	nd := r.w.net.Node(r.node)
+	dstNode := r.w.nodeOf[dst]
+
+	if len(buf) <= r.w.cfg.EagerLimit {
+		data := append([]byte(nil), buf...) // buffered semantics
+		env := &envelope{kind: kindEager, src: r.id, dst: dst, tag: tag, seq: seq, size: len(data), data: data}
+		r.w.s.Spawn("mpi-eager", func(h *sim.Proc) {
+			nd.Send(h, dstNode, headerBytes+len(data), env)
+		})
+		done.Fire() // locally complete: the payload is buffered
+		return req
+	}
+
+	sr := &sendReq{data: buf, dst: dst, tag: tag, seq: seq, done: done}
+	r.pendingSends[seq] = sr
+	rts := &envelope{kind: kindRTS, src: r.id, dst: dst, tag: tag, seq: seq, size: len(buf)}
+	nd.Send(p, dstNode, headerBytes, rts)
+	return req
+}
+
+// Irecv starts a nonblocking receive into buf from rank src (or AnySource)
+// with the given tag (or AnyTag).
+func (r *Rank) Irecv(p *sim.Proc, buf []byte, src, tag int) *Request {
+	if src != AnySource && (src < 0 || src >= len(r.w.ranks)) {
+		panic(fmt.Sprintf("mpi: Irecv from bad rank %d", src))
+	}
+	p.SleepJit(r.w.cfg.CallOverhead)
+	done := r.w.s.NewEvent(fmt.Sprintf("irecv:%d<-%d", r.id, src))
+	rr := &recvReq{buf: buf, src: src, tag: tag, done: done}
+	req := &Request{done: done, stat: &rr.stat, err: &rr.err}
+
+	if env := r.takeUnexpected(rr); env != nil {
+		switch env.kind {
+		case kindEager:
+			deliver(rr, env)
+		case kindRTS:
+			r.bound[env.seq] = rr
+			r.w.sendCTS(p, r.w.net.Node(r.node), env)
+		default:
+			panic("mpi: bad kind in unexpected queue")
+		}
+		return req
+	}
+	r.posted = append(r.posted, rr)
+	return req
+}
+
+// Send is a blocking send (Isend + Wait).
+func (r *Rank) Send(p *sim.Proc, buf []byte, dst, tag int) error {
+	_, err := r.Isend(p, buf, dst, tag).Wait(p)
+	return err
+}
+
+// Recv is a blocking receive (Irecv + Wait).
+func (r *Rank) Recv(p *sim.Proc, buf []byte, src, tag int) (Status, error) {
+	return r.Irecv(p, buf, src, tag).Wait(p)
+}
+
+// Sendrecv posts a send and a receive simultaneously and waits for both —
+// the deadlock-free exchange primitive.
+func (r *Rank) Sendrecv(p *sim.Proc, sendBuf []byte, dst, sendTag int, recvBuf []byte, src, recvTag int) (Status, error) {
+	rreq := r.Irecv(p, recvBuf, src, recvTag)
+	sreq := r.Isend(p, sendBuf, dst, sendTag)
+	if _, err := sreq.Wait(p); err != nil {
+		return Status{}, err
+	}
+	return rreq.Wait(p)
+}
+
+// SendrecvReplace exchanges buf with a partner in place, the primitive
+// Cannon's algorithm rotates matrix chunks with (paper §4).
+func (r *Rank) SendrecvReplace(p *sim.Proc, buf []byte, dst, sendTag, src, recvTag int) (Status, error) {
+	tmp := make([]byte, len(buf))
+	st, err := r.Sendrecv(p, buf, dst, sendTag, tmp, src, recvTag)
+	if err != nil {
+		return st, err
+	}
+	copy(buf, tmp[:st.Count])
+	return st, nil
+}
+
+// Probe reports whether a message matching (src, tag) is waiting in the
+// unexpected queue, without receiving it.
+func (r *Rank) Probe(src, tag int) (Status, bool) {
+	probe := &recvReq{src: src, tag: tag}
+	for _, env := range r.unexpected {
+		if probe.matches(env) {
+			return Status{Source: env.src, Tag: env.tag, Count: env.size}, true
+		}
+	}
+	return Status{}, false
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDaemonDoesNotKeepSimAlive(t *testing.T) {
+	s := New()
+	polls := 0
+	s.SpawnDaemon("poller", func(p *Proc) {
+		for {
+			p.Sleep(time.Millisecond)
+			polls++
+		}
+	})
+	s.Spawn("work", func(p *Proc) {
+		p.Sleep(5500 * time.Microsecond)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if polls != 5 {
+		t.Fatalf("daemon polled %d times, want 5", polls)
+	}
+	if s.Now() != 5500*time.Microsecond {
+		t.Fatalf("sim ended at %v", s.Now())
+	}
+}
+
+func TestDaemonCanUnblockWork(t *testing.T) {
+	s := New()
+	q := NewQueue[int](s, "q")
+	done := s.NewEvent("done")
+	s.SpawnDaemon("server", func(p *Proc) {
+		for {
+			v := q.Get(p)
+			p.Sleep(time.Millisecond)
+			if v == 42 {
+				done.Fire()
+			}
+		}
+	})
+	s.Spawn("client", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		q.Put(42)
+		done.Wait(p)
+		if p.Now() != 2*time.Millisecond {
+			t.Errorf("served at %v", p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlyDaemonsReturnsImmediately(t *testing.T) {
+	s := New()
+	s.SpawnDaemon("d", func(p *Proc) {
+		for {
+			p.Sleep(time.Second)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 0 {
+		t.Fatalf("clock %v, want 0", s.Now())
+	}
+}
+
+func TestMaxTimeGuard(t *testing.T) {
+	s := New()
+	s.SetMaxTime(10 * time.Millisecond)
+	ev := s.NewEvent("never")
+	s.Spawn("stuckWaiter", func(p *Proc) { ev.Wait(p) })
+	s.SpawnDaemon("spinner", func(p *Proc) {
+		for {
+			p.Sleep(time.Millisecond) // would advance time forever
+		}
+	})
+	err := s.Run()
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("got %v, want TimeoutError", err)
+	}
+}
+
+func TestDeadlockStillDetectedWithDaemons(t *testing.T) {
+	s := New()
+	q := NewQueue[int](s, "q")
+	ev := s.NewEvent("never")
+	s.SpawnDaemon("idleServer", func(p *Proc) {
+		for {
+			q.Get(p) // blocked forever, no timer
+		}
+	})
+	s.Spawn("stuck", func(p *Proc) { ev.Wait(p) })
+	err := s.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("got %v, want DeadlockError", err)
+	}
+}

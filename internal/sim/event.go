@@ -1,0 +1,87 @@
+package sim
+
+import "fmt"
+
+// Event is a one-shot broadcast signal. Procs that Wait before Fire block;
+// Fire wakes all of them, and any later Wait returns immediately. The zero
+// value is not usable; create Events with NewEvent.
+type Event struct {
+	s       *Sim
+	name    string
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent creates an unfired Event.
+func (s *Sim) NewEvent(name string) *Event {
+	return &Event{s: s, name: name}
+}
+
+// Fired reports whether the event has been fired.
+func (e *Event) Fired() bool { return e.fired }
+
+// Fire signals the event, waking every waiting Proc. Firing an already-fired
+// event is a no-op. Fire may be called from any running Proc (it does not
+// block).
+func (e *Event) Fire() {
+	if e.fired {
+		return
+	}
+	e.fired = true
+	for _, p := range e.waiters {
+		e.s.unblock(p)
+	}
+	e.waiters = nil
+}
+
+// Wait blocks p until the event fires. Returns immediately if it already
+// fired.
+func (e *Event) Wait(p *Proc) {
+	p.checkCurrent("Event.Wait")
+	if e.fired {
+		return
+	}
+	e.waiters = append(e.waiters, p)
+	p.park(fmt.Sprintf("event %q", e.name))
+}
+
+// WaitGroup counts outstanding work items, like sync.WaitGroup but for
+// simulated Procs.
+type WaitGroup struct {
+	s       *Sim
+	name    string
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup creates a WaitGroup with an initial count.
+func (s *Sim) NewWaitGroup(name string, count int) *WaitGroup {
+	return &WaitGroup{s: s, name: name, count: count}
+}
+
+// Add adjusts the count by delta. Panics if the count goes negative.
+func (w *WaitGroup) Add(delta int) {
+	w.count += delta
+	if w.count < 0 {
+		panic(fmt.Sprintf("sim: WaitGroup %q count went negative", w.name))
+	}
+	if w.count == 0 {
+		for _, p := range w.waiters {
+			w.s.unblock(p)
+		}
+		w.waiters = nil
+	}
+}
+
+// Done decrements the count by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks p until the count reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	p.checkCurrent("WaitGroup.Wait")
+	if w.count == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.park(fmt.Sprintf("waitgroup %q (count %d)", w.name, w.count))
+}

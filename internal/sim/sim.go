@@ -1,0 +1,466 @@
+// Package sim provides a deterministic, cooperative discrete-event
+// simulation kernel. All higher-level substrates in this repository (the
+// data-parallel device model, the PCIe bus, the cluster fabric, the MPI
+// library and DCGN itself) are built on top of it.
+//
+// A Sim owns a virtual clock and a set of processes (Procs). Exactly one
+// goroutine — either the scheduler or a single Proc — runs at any moment, so
+// simulation state needs no locking and every run is fully deterministic:
+// the ready queue is FIFO and simultaneous timers fire in creation order.
+//
+// Procs advance virtual time only through blocking primitives (Sleep, Event,
+// Chan, Semaphore, ...). Plain Go computation inside a Proc consumes zero
+// virtual time; simulated cost must be charged explicitly with Sleep.
+//
+// IMPORTANT: user code must not spawn raw goroutines that touch simulation
+// state; all concurrency goes through Spawn. Every blocking primitive checks
+// that it is invoked by the currently-running Proc and panics otherwise.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sort"
+	"time"
+)
+
+// procState describes what a Proc is currently doing; used for deadlock
+// diagnostics.
+type procState int
+
+const (
+	stateNew procState = iota
+	stateReady
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateBlocked:
+		return "blocked"
+	case stateDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// killSentinel is the panic value used to unwind a Proc's goroutine when the
+// simulation shuts down while the Proc is still blocked.
+type killSentinelType struct{}
+
+var killSentinel = killSentinelType{}
+
+type resumeMsg struct {
+	kill bool
+}
+
+// Proc is a simulated process (a cooperative green thread). A Proc handle is
+// also the capability through which the process calls blocking primitives.
+type Proc struct {
+	sim    *Sim
+	name   string
+	id     uint64
+	resume chan resumeMsg
+	state  procState
+	// daemon procs (poll loops, progress engines) do not keep the
+	// simulation alive: Run finishes when every non-daemon proc is done.
+	daemon bool
+	// blockReason is a human-readable description of what the Proc is
+	// blocked on, used in deadlock reports.
+	blockReason string
+}
+
+// Name returns the name the Proc was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation this Proc belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return time.Duration(p.sim.now) }
+
+// Sim is a deterministic discrete-event scheduler.
+type Sim struct {
+	now     int64 // virtual time in nanoseconds since simulation start
+	seq     uint64
+	ready   []*Proc
+	timers  timerHeap
+	procs   []*Proc // all procs ever spawned (for shutdown/diagnostics)
+	live    int     // procs not yet done
+	current *Proc
+	yieldCh chan struct{}
+	failure error
+	stopped bool
+
+	rng        *rand.Rand
+	jitterFrac float64
+	maxTime    int64
+}
+
+// New creates an empty simulation with the virtual clock at zero.
+func New() *Sim {
+	return &Sim{
+		yieldCh: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(1)),
+	}
+}
+
+// SetJitter configures multiplicative timing jitter: every duration passed
+// through Jitter is scaled by a factor drawn uniformly from
+// [1-frac, 1+frac] using the seeded generator. frac = 0 disables jitter.
+// Jitter models run-to-run OS/network noise while keeping each seed's run
+// fully deterministic.
+func (s *Sim) SetJitter(frac float64, seed int64) {
+	if frac < 0 {
+		frac = 0
+	}
+	s.jitterFrac = frac
+	s.rng = rand.New(rand.NewSource(seed))
+}
+
+// Jitter perturbs d by the configured jitter fraction. With jitter disabled
+// it returns d unchanged.
+func (s *Sim) Jitter(d time.Duration) time.Duration {
+	if s.jitterFrac == 0 || d <= 0 {
+		return d
+	}
+	f := 1 + s.jitterFrac*(2*s.rng.Float64()-1)
+	return time.Duration(float64(d) * f)
+}
+
+// Rand returns the simulation's seeded random generator. It must only be
+// used from the currently-running Proc (or before Run), keeping runs
+// deterministic.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return time.Duration(s.now) }
+
+// SetMaxTime installs a virtual-time ceiling: Run fails with a TimeoutError
+// if the clock would pass it. This guards against runaway daemon poll loops
+// when user procs deadlock on events no timer can fire.
+func (s *Sim) SetMaxTime(d time.Duration) { s.maxTime = int64(d) }
+
+// Spawn creates a new Proc that will execute fn. It may be called before Run
+// or from a running Proc. The new Proc is appended to the ready queue and
+// starts running at the current virtual time, after already-ready Procs.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	return s.spawn(name, fn, false)
+}
+
+// SpawnDaemon creates a Proc that does not keep the simulation alive:
+// Run completes once all non-daemon Procs are done, regardless of daemons.
+// Use it for poll loops and progress engines that run "for the life of the
+// application" (paper §3.2.2).
+func (s *Sim) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	return s.spawn(name, fn, true)
+}
+
+func (s *Sim) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	s.seq++
+	p := &Proc{
+		sim:    s,
+		name:   name,
+		id:     s.seq,
+		resume: make(chan resumeMsg),
+		state:  stateReady,
+		daemon: daemon,
+	}
+	s.procs = append(s.procs, p)
+	if !daemon {
+		s.live++
+	}
+	s.ready = append(s.ready, p)
+	go func() {
+		msg := <-p.resume
+		if msg.kill {
+			p.state = stateDone
+			s.yieldCh <- struct{}{}
+			return
+		}
+		defer func() {
+			r := recover()
+			if _, isKill := r.(killSentinelType); isKill {
+				p.state = stateDone
+				s.yieldCh <- struct{}{}
+				return
+			}
+			if r != nil {
+				if s.failure == nil {
+					s.failure = &PanicError{Proc: p.name, Value: r, Stack: string(debug.Stack())}
+				}
+			}
+			p.state = stateDone
+			if !p.daemon {
+				s.live--
+			}
+			s.yieldCh <- struct{}{}
+		}()
+		fn(p)
+	}()
+	return p
+}
+
+// checkCurrent panics unless p is the Proc currently scheduled to run. It
+// guards against simulation state being touched from foreign goroutines.
+func (p *Proc) checkCurrent(op string) {
+	if p.sim.current != p {
+		panic(fmt.Sprintf("sim: %s called from proc %q which is not the running proc", op, p.name))
+	}
+}
+
+// park blocks the calling Proc until something resumes it. The caller must
+// have registered p somewhere (timer heap, waiter list) that will eventually
+// call sim.unblock(p); otherwise the simulation deadlocks.
+func (p *Proc) park(reason string) {
+	p.checkCurrent("park")
+	p.state = stateBlocked
+	p.blockReason = reason
+	s := p.sim
+	s.yieldCh <- struct{}{}
+	msg := <-p.resume
+	if msg.kill {
+		panic(killSentinel)
+	}
+	p.state = stateRunning
+	p.blockReason = ""
+}
+
+// unblock moves a blocked Proc to the back of the ready queue.
+func (s *Sim) unblock(p *Proc) {
+	if p.state == stateDone {
+		return
+	}
+	p.state = stateReady
+	s.ready = append(s.ready, p)
+}
+
+// Sleep advances the Proc's virtual time by d. Sleep(0) yields to the back
+// of the ready queue without advancing time; negative durations are treated
+// as zero.
+func (p *Proc) Sleep(d time.Duration) {
+	p.checkCurrent("Sleep")
+	s := p.sim
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	s.timers.push(timer{at: s.now + int64(d), seq: s.seq, p: p})
+	p.park(fmt.Sprintf("sleep until %v", time.Duration(s.now+int64(d))))
+}
+
+// SleepJit sleeps for a jitter-perturbed d.
+func (p *Proc) SleepJit(d time.Duration) {
+	p.Sleep(p.sim.Jitter(d))
+}
+
+// Yield gives other ready Procs a chance to run at the same virtual time.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// runProc hands control to p and waits for it to block, finish or spawn.
+func (s *Sim) runProc(p *Proc) {
+	s.current = p
+	p.state = stateRunning
+	p.resume <- resumeMsg{}
+	<-s.yieldCh
+	s.current = nil
+}
+
+// Run executes the simulation until every Proc has finished. It returns an
+// error if a Proc panicked or if the simulation deadlocked (some Procs are
+// blocked but no timer can wake anyone up). After Run returns, all remaining
+// Proc goroutines have been torn down.
+func (s *Sim) Run() error {
+	defer s.shutdown()
+	for {
+		if s.failure != nil {
+			return s.failure
+		}
+		if s.live == 0 {
+			return nil
+		}
+		if len(s.ready) > 0 {
+			p := s.ready[0]
+			s.ready = s.ready[1:]
+			if p.state == stateDone {
+				continue
+			}
+			s.runProc(p)
+			continue
+		}
+		if s.timers.len() > 0 {
+			t := s.timers.pop()
+			if t.at < s.now {
+				panic("sim: timer in the past")
+			}
+			if s.maxTime > 0 && t.at > s.maxTime {
+				return &TimeoutError{Limit: time.Duration(s.maxTime)}
+			}
+			s.now = t.at
+			s.unblock(t.p)
+			continue
+		}
+		return s.deadlockError()
+	}
+}
+
+// TimeoutError reports that the virtual clock exceeded the SetMaxTime limit.
+type TimeoutError struct{ Limit time.Duration }
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("sim: virtual time exceeded limit %v", e.Limit)
+}
+
+// RunFor executes the simulation like Run but stops (successfully) once the
+// virtual clock would pass the deadline, leaving remaining procs un-run.
+// It is intended for driving open-ended workloads in tests.
+func (s *Sim) RunFor(deadline time.Duration) error {
+	defer s.shutdown()
+	for {
+		if s.failure != nil {
+			return s.failure
+		}
+		if s.live == 0 {
+			return nil
+		}
+		if len(s.ready) > 0 {
+			p := s.ready[0]
+			s.ready = s.ready[1:]
+			if p.state == stateDone {
+				continue
+			}
+			s.runProc(p)
+			continue
+		}
+		if s.timers.len() > 0 {
+			if s.timers.peek().at > int64(deadline) {
+				return nil
+			}
+			t := s.timers.pop()
+			s.now = t.at
+			s.unblock(t.p)
+			continue
+		}
+		if s.live == 0 {
+			return nil
+		}
+		return s.deadlockError()
+	}
+}
+
+// shutdown kills every goroutine still parked so they do not leak.
+func (s *Sim) shutdown() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	for _, p := range s.procs {
+		if p.state == stateDone || p.state == stateRunning {
+			continue
+		}
+		p.resume <- resumeMsg{kill: true}
+		<-s.yieldCh
+	}
+}
+
+// deadlockError builds a diagnostic listing every blocked Proc.
+func (s *Sim) deadlockError() error {
+	var blocked []string
+	for _, p := range s.procs {
+		if p.state == stateBlocked {
+			blocked = append(blocked, fmt.Sprintf("%s: %s", p.name, p.blockReason))
+		}
+	}
+	sort.Strings(blocked)
+	return &DeadlockError{Time: time.Duration(s.now), Blocked: blocked}
+}
+
+// DeadlockError reports that the simulation cannot make progress.
+type DeadlockError struct {
+	Time    time.Duration
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d procs blocked: %v", e.Time, len(e.Blocked), e.Blocked)
+}
+
+// PanicError wraps a panic raised inside a Proc.
+type PanicError struct {
+	Proc  string
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: proc %q panicked: %v", e.Proc, e.Value)
+}
+
+// timer is a pending wakeup.
+type timer struct {
+	at  int64
+	seq uint64
+	p   *Proc
+}
+
+// timerHeap is a binary min-heap ordered by (at, seq).
+type timerHeap struct {
+	ts []timer
+}
+
+func (h *timerHeap) len() int { return len(h.ts) }
+
+func (h *timerHeap) less(i, j int) bool {
+	if h.ts[i].at != h.ts[j].at {
+		return h.ts[i].at < h.ts[j].at
+	}
+	return h.ts[i].seq < h.ts[j].seq
+}
+
+func (h *timerHeap) push(t timer) {
+	h.ts = append(h.ts, t)
+	i := len(h.ts) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ts[i], h.ts[parent] = h.ts[parent], h.ts[i]
+		i = parent
+	}
+}
+
+func (h *timerHeap) peek() timer { return h.ts[0] }
+
+func (h *timerHeap) pop() timer {
+	top := h.ts[0]
+	last := len(h.ts) - 1
+	h.ts[0] = h.ts[last]
+	h.ts = h.ts[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.ts) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.ts) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.ts[i], h.ts[smallest] = h.ts[smallest], h.ts[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// semWaiter is a Proc parked on a semaphore acquire.
+type semWaiter struct {
+	p *Proc
+	n int
+}
+
+// Semaphore is a counting semaphore with FIFO fairness.
+type Semaphore struct {
+	s       *Sim
+	name    string
+	avail   int
+	waiters []*semWaiter
+}
+
+// NewSemaphore creates a semaphore with an initial number of permits.
+func (s *Sim) NewSemaphore(name string, permits int) *Semaphore {
+	if permits < 0 {
+		panic("sim: negative semaphore permits")
+	}
+	return &Semaphore{s: s, name: name, avail: permits}
+}
+
+// Available returns the current number of free permits.
+func (sem *Semaphore) Available() int { return sem.avail }
+
+// Acquire obtains n permits, blocking p until they are available. FIFO
+// ordering: a large request at the head of the queue blocks later smaller
+// ones (no starvation).
+func (sem *Semaphore) Acquire(p *Proc, n int) {
+	p.checkCurrent("Semaphore.Acquire")
+	if n <= 0 {
+		panic("sim: Acquire of non-positive permits")
+	}
+	if len(sem.waiters) == 0 && sem.avail >= n {
+		sem.avail -= n
+		return
+	}
+	sem.waiters = append(sem.waiters, &semWaiter{p: p, n: n})
+	p.park(fmt.Sprintf("semaphore %q (want %d, avail %d)", sem.name, n, sem.avail))
+}
+
+// TryAcquire obtains n permits without blocking, reporting success.
+func (sem *Semaphore) TryAcquire(n int) bool {
+	if len(sem.waiters) == 0 && sem.avail >= n {
+		sem.avail -= n
+		return true
+	}
+	return false
+}
+
+// Release returns n permits and wakes as many queued waiters as now fit.
+func (sem *Semaphore) Release(n int) {
+	if n <= 0 {
+		panic("sim: Release of non-positive permits")
+	}
+	sem.avail += n
+	for len(sem.waiters) > 0 && sem.waiters[0].n <= sem.avail {
+		w := sem.waiters[0]
+		sem.waiters = sem.waiters[1:]
+		sem.avail -= w.n
+		sem.s.unblock(w.p)
+	}
+}
+
+// Mutex is a binary semaphore.
+type Mutex struct{ sem *Semaphore }
+
+// NewMutex creates an unlocked mutex.
+func (s *Sim) NewMutex(name string) *Mutex {
+	return &Mutex{sem: s.NewSemaphore(name, 1)}
+}
+
+// Lock acquires the mutex, blocking p until it is free.
+func (m *Mutex) Lock(p *Proc) { m.sem.Acquire(p, 1) }
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() { m.sem.Release(1) }
+
+// Resource models a serially-reusable facility (a bus, a NIC, a memory
+// controller): at most `width` concurrent users, each holding the resource
+// for an explicit service time.
+type Resource struct {
+	sem *Semaphore
+}
+
+// NewResource creates a resource serving `width` concurrent users.
+func (s *Sim) NewResource(name string, width int) *Resource {
+	return &Resource{sem: s.NewSemaphore(name, width)}
+}
+
+// Use occupies one unit of the resource for duration d (jittered), blocking
+// p for queueing plus service time.
+func (r *Resource) Use(p *Proc, d time.Duration) {
+	r.sem.Acquire(p, 1)
+	p.SleepJit(d)
+	r.sem.Release(1)
+}
+
+// Acquire and Release expose the underlying semaphore for multi-phase holds.
+func (r *Resource) Acquire(p *Proc) { r.sem.Acquire(p, 1) }
+
+// Release returns the resource.
+func (r *Resource) Release() { r.sem.Release(1) }

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestChanTrySendTryRecv(t *testing.T) {
+	s := New()
+	s.Spawn("p", func(p *Proc) {
+		ch := NewChan[int](s, "ch", 1)
+		if v, ok, closed := ch.TryRecv(); ok || closed || v != 0 {
+			t.Error("TryRecv on empty chan should miss")
+		}
+		if !ch.TrySend(7) {
+			t.Error("TrySend into empty buffered chan should succeed")
+		}
+		if ch.TrySend(8) {
+			t.Error("TrySend into full chan should fail")
+		}
+		if ch.Len() != 1 {
+			t.Errorf("Len = %d", ch.Len())
+		}
+		v, ok, closed := ch.TryRecv()
+		if !ok || closed || v != 7 {
+			t.Errorf("TryRecv = %d,%v,%v", v, ok, closed)
+		}
+		ch.Close()
+		if _, ok, closed := ch.TryRecv(); ok || !closed {
+			t.Error("TryRecv after close should report closed")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChanTrySendHandsToWaitingReceiver(t *testing.T) {
+	s := New()
+	ch := NewChan[string](s, "ch", 0)
+	var got string
+	s.Spawn("receiver", func(p *Proc) {
+		got, _ = ch.Recv(p)
+	})
+	s.Spawn("sender", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		if !ch.TrySend("x") {
+			t.Error("TrySend with parked receiver should succeed even unbuffered")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "x" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestQueueTryGet(t *testing.T) {
+	s := New()
+	s.Spawn("p", func(p *Proc) {
+		q := NewQueue[int](s, "q")
+		if _, ok := q.TryGet(); ok {
+			t.Error("TryGet on empty queue should miss")
+		}
+		q.Put(5)
+		q.Put(6)
+		if q.Len() != 2 {
+			t.Errorf("Len = %d", q.Len())
+		}
+		if v, ok := q.TryGet(); !ok || v != 5 {
+			t.Errorf("TryGet = %d,%v", v, ok)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	s := New()
+	s.Spawn("p", func(p *Proc) {
+		sem := s.NewSemaphore("sem", 2)
+		if !sem.TryAcquire(2) {
+			t.Error("TryAcquire within capacity should succeed")
+		}
+		if sem.TryAcquire(1) {
+			t.Error("TryAcquire beyond capacity should fail")
+		}
+		sem.Release(1)
+		if sem.Available() != 1 {
+			t.Errorf("Available = %d", sem.Available())
+		}
+		if !sem.TryAcquire(1) {
+			t.Error("TryAcquire after release should succeed")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceAcquireReleaseMultiPhase(t *testing.T) {
+	s := New()
+	r := s.NewResource("r", 1)
+	var order []int
+	for i := 0; i < 3; i++ {
+		s.Spawn("u", func(p *Proc) {
+			r.Acquire(p)
+			order = append(order, i)
+			p.Sleep(time.Millisecond) // hold across an explicit phase
+			r.Release()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || s.Now() != 3*time.Millisecond {
+		t.Fatalf("order %v, end %v", order, s.Now())
+	}
+}
+
+func TestEventFiredQuery(t *testing.T) {
+	s := New()
+	s.Spawn("p", func(p *Proc) {
+		ev := s.NewEvent("e")
+		if ev.Fired() {
+			t.Error("new event reports fired")
+		}
+		ev.Fire()
+		if !ev.Fired() {
+			t.Error("fired event reports unfired")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
