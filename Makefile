@@ -1,0 +1,33 @@
+# Local targets mirroring .github/workflows/ci.yml, so `make ci` runs the
+# same gate the workflow enforces.
+
+GO ?= go
+
+.PHONY: build vet fmt test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails if any file is unformatted (CI behavior); run `gofmt -w .` to fix.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "unformatted files:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# Bench smoke: every benchmark runs exactly once so they can't bit-rot.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: build vet fmt test race bench

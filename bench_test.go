@@ -310,6 +310,57 @@ func BenchmarkAblationTreeDispersal(b *testing.B) {
 	}
 }
 
+// BenchmarkHighFanoutMatching stresses the comm thread's matching index
+// at ROADMAP scale: one sink rank posts thousands of nonblocking receives
+// up front while 16 local sources blast messages at it, so the node's
+// pending population holds in the thousands. The seed's linear scans made
+// this workload quadratic in the in-flight count; the indexed matcher
+// keeps wall-clock per message flat (virtual time is identical by
+// construction — matching is charged the same cost model either way).
+func BenchmarkHighFanoutMatching(b *testing.B) {
+	const sources = 16
+	for _, inflight := range []int{64, 512, 4096} {
+		msgs := inflight / sources
+		b.Run(fmt.Sprintf("inflight%d", inflight), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				cfg.Nodes, cfg.CPUKernels, cfg.GPUs = 1, sources+1, 0
+				cfg.SlotsPerGPU = 0
+				job := core.NewJob(cfg)
+				job.SetCPUKernel(func(c *core.CPUCtx) {
+					if c.Rank() == 0 {
+						ops := make([]*core.AsyncOp, 0, sources*msgs)
+						for m := 0; m < msgs; m++ {
+							for s := 1; s <= sources; s++ {
+								ops = append(ops, c.IRecv(s, make([]byte, 8)))
+							}
+						}
+						for _, op := range ops {
+							if _, err := op.Wait(c); err != nil {
+								b.Error(err)
+							}
+						}
+					} else {
+						buf := make([]byte, 8)
+						for m := 0; m < msgs; m++ {
+							if err := c.Send(0, buf); err != nil {
+								b.Error(err)
+							}
+						}
+					}
+					c.Barrier()
+				})
+				rep, err := job.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rep.Elapsed.Nanoseconds()), "virtual-ns")
+				b.ReportMetric(float64(rep.PeakPending), "peak-pending")
+			}
+		})
+	}
+}
+
 func sizeName(n int) string {
 	switch {
 	case n == 0:

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression tests pinning the exact match order when AnySource and
+// specific-source receives race for the same message. DCGN's rule
+// (inherited from the seed's front-to-back scan over one combined pending
+// slice) is arrival order at the comm thread: whichever receive was
+// posted first claims the message, AnySource or not.
+
+// An AnySource receive posted before a specific-source receive claims the
+// first matching local send; the specific receive gets the next one.
+func TestAnySourcePostedFirstWinsLocal(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes, cfg.CPUKernels, cfg.GPUs = 1, 3, 0
+	cfg.SlotsPerGPU = 0
+	job := NewJob(cfg)
+
+	var anyGot, specGot byte
+	var anySrc int
+	job.SetCPUKernel(func(c *CPUCtx) {
+		switch c.Rank() {
+		case 0:
+			anyBuf := make([]byte, 1)
+			specBuf := make([]byte, 1)
+			anyOp := c.IRecv(AnySource, anyBuf)
+			specOp := c.IRecv(2, specBuf)
+			st, err := anyOp.Wait(c)
+			if err != nil {
+				t.Error(err)
+			}
+			anySrc = st.Source
+			if _, err := specOp.Wait(c); err != nil {
+				t.Error(err)
+			}
+			anyGot, specGot = anyBuf[0], specBuf[0]
+		case 2:
+			// Delay so both receives are pending before the sends arrive.
+			c.Compute(2 * time.Millisecond)
+			if err := c.Send(0, []byte{'A'}); err != nil {
+				t.Error(err)
+			}
+			if err := c.Send(0, []byte{'B'}); err != nil {
+				t.Error(err)
+			}
+		}
+		c.Barrier()
+	})
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if anyGot != 'A' || specGot != 'B' || anySrc != 2 {
+		t.Fatalf("AnySource got %q from %d, specific got %q; want AnySource (posted first) to get %q",
+			anyGot, anySrc, specGot, byte('A'))
+	}
+}
+
+// The mirror image: a specific-source receive posted before an AnySource
+// receive claims the first message even though the AnySource receive
+// would also match it.
+func TestSpecificPostedFirstWinsLocal(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes, cfg.CPUKernels, cfg.GPUs = 1, 3, 0
+	cfg.SlotsPerGPU = 0
+	job := NewJob(cfg)
+
+	var anyGot, specGot byte
+	job.SetCPUKernel(func(c *CPUCtx) {
+		switch c.Rank() {
+		case 0:
+			anyBuf := make([]byte, 1)
+			specBuf := make([]byte, 1)
+			specOp := c.IRecv(2, specBuf)
+			anyOp := c.IRecv(AnySource, anyBuf)
+			if _, err := specOp.Wait(c); err != nil {
+				t.Error(err)
+			}
+			if _, err := anyOp.Wait(c); err != nil {
+				t.Error(err)
+			}
+			anyGot, specGot = anyBuf[0], specBuf[0]
+		case 2:
+			c.Compute(2 * time.Millisecond)
+			if err := c.Send(0, []byte{'A'}); err != nil {
+				t.Error(err)
+			}
+			if err := c.Send(0, []byte{'B'}); err != nil {
+				t.Error(err)
+			}
+		}
+		c.Barrier()
+	})
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if specGot != 'A' || anyGot != 'B' {
+		t.Fatalf("specific got %q, AnySource got %q; want specific (posted first) to get %q",
+			specGot, anyGot, byte('A'))
+	}
+}
+
+// Unexpected-queue ordering over the wire: two remote senders deliver
+// before any receive is posted; a later specific receive takes its
+// sender's message from the unexpected queue while the AnySource receive
+// takes the earliest arrival among the rest.
+func TestAnySourceUnexpectedOrderRemote(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes, cfg.CPUKernels, cfg.GPUs = 2, 2, 0
+	cfg.SlotsPerGPU = 0
+	job := NewJob(cfg)
+	// Ranks 0,1 on node 0; ranks 2,3 on node 1.
+
+	var anyGot, specGot byte
+	var anySrc int
+	job.SetCPUKernel(func(c *CPUCtx) {
+		switch c.Rank() {
+		case 0:
+			// Wait until both wire messages sit in the unexpected queue.
+			c.Compute(20 * time.Millisecond)
+			specBuf := make([]byte, 1)
+			anyBuf := make([]byte, 1)
+			if _, err := c.Recv(3, specBuf); err != nil {
+				t.Error(err)
+			}
+			st, err := c.Recv(AnySource, anyBuf)
+			if err != nil {
+				t.Error(err)
+			}
+			anySrc = st.Source
+			anyGot, specGot = anyBuf[0], specBuf[0]
+		case 2:
+			if err := c.Send(0, []byte{'X'}); err != nil {
+				t.Error(err)
+			}
+		case 3:
+			// Stagger so rank 2's message is the earlier arrival.
+			c.Compute(2 * time.Millisecond)
+			if err := c.Send(0, []byte{'Y'}); err != nil {
+				t.Error(err)
+			}
+		}
+		c.Barrier()
+	})
+	rep, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specGot != 'Y' || anyGot != 'X' || anySrc != 2 {
+		t.Fatalf("specific got %q, AnySource got %q from %d; want specific to pull rank 3's %q and AnySource the earlier %q",
+			specGot, anyGot, anySrc, byte('Y'), byte('X'))
+	}
+	if rep.PeakPending < 2 {
+		t.Fatalf("peak pending %d; both wire messages should have queued unexpected", rep.PeakPending)
+	}
+}

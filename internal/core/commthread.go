@@ -31,11 +31,10 @@ type nodeState struct {
 	// inbound wire message to the comm thread.
 	queue *sim.Queue[commMsg]
 
-	// Matching state. DCGN has no tags: matching is FIFO per
-	// (source, destination) pair, with AnySource receives.
-	pendingSends []*request
-	pendingRecvs []*request
-	unexpected   []*inbound
+	// index is the matching state. DCGN has no tags: matching is FIFO per
+	// (source, destination) pair, with AnySource receives; the index keeps
+	// every lookup amortized O(1) (see matchindex.go).
+	index *matchIndex
 
 	// coll accumulates collective arrivals until every resident rank has
 	// joined (paper §3.2.3).
@@ -144,6 +143,7 @@ func (ns *nodeState) handleSendrecv(p *sim.Proc, req *request) {
 // handleSend matches a local-destination send against posted receives or
 // relays a remote-destination send over MPI.
 func (ns *nodeState) handleSend(p *sim.Proc, req *request) {
+	ns.observe(p, req)
 	dstNode := ns.job.rmap.Node(req.peer)
 	if dstNode != ns.node {
 		// Remote: a helper performs the (possibly rendezvous) MPI send so
@@ -160,58 +160,69 @@ func (ns *nodeState) handleSend(p *sim.Proc, req *request) {
 		return
 	}
 	// Local destination: match a posted receive (FIFO).
-	for i, rr := range ns.pendingRecvs {
-		if rr.rank == req.peer && (rr.peer == AnySource || rr.peer == req.rank) {
-			ns.pendingRecvs = append(ns.pendingRecvs[:i], ns.pendingRecvs[i+1:]...)
-			ns.deliverLocal(p, req, rr)
-			return
-		}
+	if rr := ns.index.takeRecvFor(req.rank, req.peer); rr != nil {
+		ns.matched(p, req, rr)
+		ns.deliverLocal(p, req, rr)
+		return
 	}
-	ns.pendingSends = append(ns.pendingSends, req)
+	ns.index.addSend(req)
 }
 
 // handleRecv matches a posted receive against pending local sends, then
 // against unexpected inbound messages; otherwise it is queued.
 func (ns *nodeState) handleRecv(p *sim.Proc, req *request) {
+	ns.observe(p, req)
 	if req.peer != AnySource && ns.job.rmap.Node(req.peer) == ns.node {
 		// Potential local sender.
-		for i, sr := range ns.pendingSends {
-			if sr.peer == req.rank && sr.rank == req.peer {
-				ns.pendingSends = append(ns.pendingSends[:i], ns.pendingSends[i+1:]...)
-				ns.deliverLocal(p, sr, req)
-				return
-			}
-		}
-	}
-	if req.peer == AnySource {
-		for i, sr := range ns.pendingSends {
-			if sr.peer == req.rank {
-				ns.pendingSends = append(ns.pendingSends[:i], ns.pendingSends[i+1:]...)
-				ns.deliverLocal(p, sr, req)
-				return
-			}
-		}
-	}
-	for i, in := range ns.unexpected {
-		if in.dst == req.rank && (req.peer == AnySource || in.src == req.peer) {
-			ns.unexpected = append(ns.unexpected[:i], ns.unexpected[i+1:]...)
-			ns.deliverInbound(p, in, req, true)
+		if sr := ns.index.takeSendFrom(req.peer, req.rank); sr != nil {
+			ns.matched(p, req, sr)
+			ns.deliverLocal(p, sr, req)
 			return
 		}
 	}
-	ns.pendingRecvs = append(ns.pendingRecvs, req)
+	if req.peer == AnySource {
+		if sr := ns.index.takeSendTo(req.rank); sr != nil {
+			ns.matched(p, req, sr)
+			ns.deliverLocal(p, sr, req)
+			return
+		}
+	}
+	if in := ns.index.takeUnexpectedFor(req.peer, req.rank); in != nil {
+		ns.matched(p, req, nil)
+		ns.deliverInbound(p, in, req, true)
+		return
+	}
+	ns.index.addRecv(req)
 }
 
 // handleInbound matches a wire message against posted receives.
 func (ns *nodeState) handleInbound(p *sim.Proc, in *inbound) {
-	for i, rr := range ns.pendingRecvs {
-		if rr.rank == in.dst && (rr.peer == AnySource || rr.peer == in.src) {
-			ns.pendingRecvs = append(ns.pendingRecvs[:i], ns.pendingRecvs[i+1:]...)
-			ns.deliverInbound(p, in, rr, false)
-			return
-		}
+	if rr := ns.index.takeRecvFor(in.src, in.dst); rr != nil {
+		ns.matched(p, nil, rr)
+		ns.deliverInbound(p, in, rr, false)
+		return
 	}
-	ns.unexpected = append(ns.unexpected, in)
+	ns.index.addUnexpected(in)
+}
+
+// observe stamps a point-to-point request as it is first handled: the
+// current queue depth and the handling time, from which the trace layer
+// derives how long the request waited in the matching index.
+func (ns *nodeState) observe(p *sim.Proc, req *request) {
+	req.handledAt = p.Now()
+	req.queueDepth = ns.index.depth()
+}
+
+// matched stamps both sides of a match with the match time. Either side
+// may be nil (inbound wire messages are not traced requests).
+func (ns *nodeState) matched(p *sim.Proc, a, b *request) {
+	now := p.Now()
+	if a != nil {
+		a.matchedAt = now
+	}
+	if b != nil {
+		b.matchedAt = now
+	}
 }
 
 // deliverLocal completes a matched local send/recv pair: the comm thread

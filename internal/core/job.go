@@ -130,6 +130,9 @@ type Report struct {
 	PollHits int
 	// Requests counts messages handled by all comm threads.
 	Requests int
+	// PeakPending is the high-water mark of any node's matching index
+	// (pending sends + receives + unexpected inbound messages).
+	PeakPending int
 	// Trace holds per-request lifecycle records when Config.Trace is on.
 	Trace []TraceRecord
 }
@@ -164,6 +167,7 @@ func (j *Job) Run() (Report, error) {
 			mpiRank: j.world.Rank(n),
 			bus:     pcie.New(s, fmt.Sprintf("n%d", n), j.cfg.Bus),
 			queue:   sim.NewQueue[commMsg](s, fmt.Sprintf("commq:%d", n)),
+			index:   newMatchIndex(),
 			coll:    make(map[opKind]*collGroup),
 		}
 		for g := 0; g < j.rmap.Spec(n).GPUs; g++ {
@@ -230,6 +234,9 @@ func (j *Job) Run() (Report, error) {
 		rep.BusTransfers += ns.bus.Transfers
 		rep.BusCtlOps += ns.bus.CtlOps
 		rep.Requests += ns.requestsHandled
+		if ns.index.peak > rep.PeakPending {
+			rep.PeakPending = ns.index.peak
+		}
 		for _, gt := range ns.gpus {
 			rep.Polls += gt.Polls
 			rep.PollHits += gt.Hits

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"dcgn/internal/sim"
 )
@@ -80,6 +81,15 @@ type request struct {
 	done   *sim.Event
 	status CommStatus
 	err    error
+
+	// Matching observability, stamped by the comm thread (trace.go). A
+	// point-to-point request records the index depth when it was first
+	// handled and the time it was handled and matched; their difference is
+	// the time it sat waiting in the matching index. Collectives and
+	// remote sends do not enter the index and leave matchedAt zero.
+	handledAt  time.Duration
+	matchedAt  time.Duration
+	queueDepth int
 }
 
 // complete finishes a request and wakes its issuer.

@@ -21,6 +21,14 @@ type TraceRecord struct {
 	Post   time.Duration
 	Done   time.Duration
 	Failed bool
+	// QueueDepth is the number of pending entries in the node's matching
+	// index when the comm thread first handled the request.
+	QueueDepth int
+	// MatchWait is how long the request sat in the matching index before a
+	// counterpart arrived; zero for requests that matched immediately and
+	// for operations that never enter the index (collectives, remote
+	// sends).
+	MatchWait time.Duration
 }
 
 // Latency is the request's time in the DCGN runtime.
@@ -40,15 +48,21 @@ func (ts *traceSink) record(j *Job, req *request, gpu bool) {
 	post := j.sim.Now()
 	j.sim.SpawnDaemon("trace", func(p *sim.Proc) {
 		req.done.Wait(p)
+		wait := time.Duration(0)
+		if req.matchedAt > req.handledAt {
+			wait = req.matchedAt - req.handledAt
+		}
 		ts.records = append(ts.records, TraceRecord{
-			Op:     req.op.String(),
-			Rank:   req.rank,
-			Peer:   req.peer,
-			Bytes:  len(req.buf),
-			GPU:    gpu,
-			Post:   post,
-			Done:   p.Now(),
-			Failed: req.err != nil,
+			Op:         req.op.String(),
+			Rank:       req.rank,
+			Peer:       req.peer,
+			Bytes:      len(req.buf),
+			GPU:        gpu,
+			Post:       post,
+			Done:       p.Now(),
+			Failed:     req.err != nil,
+			QueueDepth: req.queueDepth,
+			MatchWait:  wait,
 		})
 	})
 }
@@ -57,8 +71,8 @@ func (ts *traceSink) record(j *Job, req *request, gpu bool) {
 func WriteTrace(w io.Writer, records []TraceRecord) {
 	sorted := append([]TraceRecord(nil), records...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Post < sorted[j].Post })
-	fmt.Fprintf(w, "%-10s %-5s %-5s %-9s %-5s %-14s %-14s %s\n",
-		"op", "rank", "peer", "bytes", "src", "posted", "done", "latency")
+	fmt.Fprintf(w, "%-10s %-5s %-5s %-9s %-5s %-14s %-14s %-6s %-12s %s\n",
+		"op", "rank", "peer", "bytes", "src", "posted", "done", "depth", "matchwait", "latency")
 	for _, r := range sorted {
 		src := "cpu"
 		if r.GPU {
@@ -68,7 +82,7 @@ func WriteTrace(w io.Writer, records []TraceRecord) {
 		if r.Failed {
 			status = "  FAILED"
 		}
-		fmt.Fprintf(w, "%-10s %-5d %-5d %-9d %-5s %-14v %-14v %v%s\n",
-			r.Op, r.Rank, r.Peer, r.Bytes, src, r.Post, r.Done, r.Latency(), status)
+		fmt.Fprintf(w, "%-10s %-5d %-5d %-9d %-5s %-14v %-14v %-6d %-12v %v%s\n",
+			r.Op, r.Rank, r.Peer, r.Bytes, src, r.Post, r.Done, r.QueueDepth, r.MatchWait, r.Latency(), status)
 	}
 }

@@ -225,7 +225,11 @@ func (rr *recvReq) matches(env *envelope) bool {
 func (r *Rank) takePosted(env *envelope) *recvReq {
 	for i, rr := range r.posted {
 		if rr.matches(env) {
-			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			// Shift down and nil the vacated tail slot so the retained
+			// backing array doesn't pin the matched request.
+			copy(r.posted[i:], r.posted[i+1:])
+			r.posted[len(r.posted)-1] = nil
+			r.posted = r.posted[:len(r.posted)-1]
 			return rr
 		}
 	}
@@ -237,7 +241,11 @@ func (r *Rank) takePosted(env *envelope) *recvReq {
 func (r *Rank) takeUnexpected(rr *recvReq) *envelope {
 	for i, env := range r.unexpected {
 		if rr.matches(env) {
-			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			// Shift down and nil the vacated tail slot so the retained
+			// backing array doesn't pin the envelope and its payload.
+			copy(r.unexpected[i:], r.unexpected[i+1:])
+			r.unexpected[len(r.unexpected)-1] = nil
+			r.unexpected = r.unexpected[:len(r.unexpected)-1]
 			return env
 		}
 	}
