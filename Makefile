@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench ci
+.PHONY: build vet fmt test race bench bench-json benchguard ci
 
 build:
 	$(GO) build ./...
@@ -30,4 +30,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build vet fmt test race bench
+# Wall-clock throughput and allocation profile of the hot workloads
+# (high-fanout matching + Table 3 apps), written as JSON.
+bench-json:
+	$(GO) run ./cmd/dcgn-bench -json BENCH_2.json
+
+# Allocation tripwire: fails if allocs/op on the matching benchmarks
+# regresses >20% against the committed baseline.
+benchguard:
+	$(GO) test -run='^$$' -bench='BenchmarkMatchIndex|BenchmarkHighFanoutMatching' \
+		-benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchguard -baseline testdata/bench_baseline.json
+
+ci: build vet fmt test race bench benchguard

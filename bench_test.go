@@ -320,37 +320,9 @@ func BenchmarkAblationTreeDispersal(b *testing.B) {
 func BenchmarkHighFanoutMatching(b *testing.B) {
 	const sources = 16
 	for _, inflight := range []int{64, 512, 4096} {
-		msgs := inflight / sources
 		b.Run(fmt.Sprintf("inflight%d", inflight), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cfg := core.DefaultConfig()
-				cfg.Nodes, cfg.CPUKernels, cfg.GPUs = 1, sources+1, 0
-				cfg.SlotsPerGPU = 0
-				job := core.NewJob(cfg)
-				job.SetCPUKernel(func(c *core.CPUCtx) {
-					if c.Rank() == 0 {
-						ops := make([]*core.AsyncOp, 0, sources*msgs)
-						for m := 0; m < msgs; m++ {
-							for s := 1; s <= sources; s++ {
-								ops = append(ops, c.IRecv(s, make([]byte, 8)))
-							}
-						}
-						for _, op := range ops {
-							if _, err := op.Wait(c); err != nil {
-								b.Error(err)
-							}
-						}
-					} else {
-						buf := make([]byte, 8)
-						for m := 0; m < msgs; m++ {
-							if err := c.Send(0, buf); err != nil {
-								b.Error(err)
-							}
-						}
-					}
-					c.Barrier()
-				})
-				rep, err := job.Run()
+				rep, err := apps.HighFanout(core.DefaultConfig(), sources, inflight)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -359,6 +331,50 @@ func BenchmarkHighFanoutMatching(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTable3Apps runs the DCGN side of the paper's §5.1 applications
+// (Table 3's workloads) at golden-test sizes. Virtual-time metrics are the
+// simulated results; run with -benchmem, the wall-clock ns/op and allocs/op
+// columns profile the simulator itself — this is the allocation-regression
+// canary for the per-message staging paths (bufpool, zero-copy relay).
+func BenchmarkTable3Apps(b *testing.B) {
+	b.Run("Mandelbrot", func(b *testing.B) {
+		mc := apps.DefaultMandelConfig()
+		mc.Width, mc.Height = 256, 128
+		for i := 0; i < b.N; i++ {
+			r, err := apps.MandelbrotDCGN(dcgnCfg(4, 1, 2), mc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(r.Elapsed.Nanoseconds()), "virtual-ns")
+		}
+	})
+	b.Run("Cannon", func(b *testing.B) {
+		cc := apps.DefaultCannonConfig()
+		cc.N = 256
+		cc.RealMath = true
+		for i := 0; i < b.N; i++ {
+			r, err := apps.CannonDCGN(dcgnCfg(2, 0, 2), cc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(r.Elapsed.Nanoseconds()), "virtual-ns")
+		}
+	})
+	b.Run("NBody", func(b *testing.B) {
+		nc := apps.DefaultNBodyConfig()
+		nc.Bodies = 1024
+		nc.Steps = 2
+		nc.RealMath = true
+		for i := 0; i < b.N; i++ {
+			r, err := apps.NBodyDCGN(dcgnCfg(4, 0, 2), nc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(r.Elapsed.Nanoseconds()), "virtual-ns")
+		}
+	})
 }
 
 func sizeName(n int) string {

@@ -1,0 +1,95 @@
+// Command benchguard compares `go test -benchmem` output against a
+// committed allocation baseline and fails if any guarded benchmark's
+// allocs/op regressed beyond the tolerance. It is the CI tripwire for the
+// per-message staging paths: an accidental copy or a dropped pool reuse
+// shows up as an allocs/op jump long before it is a visible slowdown.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'MatchIndex|HighFanoutMatching' \
+//	    -benchtime=1x -benchmem ./... | benchguard -baseline testdata/bench_baseline.json
+//
+// The baseline maps benchmark names (without the -GOMAXPROCS suffix) to
+// allocs/op. Benchmarks in the output but not the baseline are ignored;
+// baseline entries missing from the output fail the run, so the guard
+// cannot rot silently when benchmarks are renamed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	baselinePath = flag.String("baseline", "testdata/bench_baseline.json", "JSON file mapping benchmark name to allocs/op")
+	tolerance    = flag.Float64("tolerance", 0.20, "allowed fractional regression over baseline")
+	slack        = flag.Int64("slack", 16, "absolute allocs/op slack added to the tolerance band (absorbs runtime noise on tiny counts)")
+)
+
+// benchLine matches one -benchmem result row, e.g.
+// "BenchmarkMatchIndex/inflight64-8   1   2292 ns/op   0 B/op   0 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+.*?\s(\d+)\s+allocs/op`)
+
+func main() {
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatalf("read baseline: %v", err)
+	}
+	baseline := map[string]int64{}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fatalf("parse baseline %s: %v", *baselinePath, err)
+	}
+
+	got := map[string]int64{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		got[m[1]] = n
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("read bench output: %v", err)
+	}
+
+	failed := false
+	for name, base := range baseline {
+		cur, ok := got[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: %s missing from bench output (renamed or not run?)\n", name)
+			failed = true
+			continue
+		}
+		limit := base + int64(float64(base)**tolerance) + *slack
+		status := "ok"
+		if cur > limit {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("benchguard: %-50s allocs/op %8d (baseline %8d, limit %8d) %s\n",
+			name, cur, base, limit, status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchguard: "+format+"\n", args...)
+	os.Exit(1)
+}

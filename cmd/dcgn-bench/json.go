@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"dcgn/internal/apps"
+	"dcgn/internal/core"
+)
+
+// profileEntry is one workload's combined profile: simulated results
+// (virtual nanoseconds and custom metrics) plus the host-side cost of
+// producing them (wall ns/op, allocs/op, B/op from testing.Benchmark).
+// The split matters: the virtual columns are the paper reproduction and
+// must never move with host optimizations; the wall columns are what the
+// bufpool / zero-copy work is allowed to improve.
+type profileEntry struct {
+	Name        string             `json:"name"`
+	WallNsPerOp int64              `json:"wall_ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	VirtualNs   int64              `json:"virtual_ns"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// writeProfileJSON runs the allocation-profile workloads (the high-fanout
+// matching stress and the §5.1 apps at golden-test sizes) and writes the
+// combined profile to path. `make bench-json` materializes BENCH_2.json
+// from this.
+func writeProfileJSON(path string) {
+	var entries []profileEntry
+
+	for _, inflight := range []int{64, 512, 4096} {
+		inflight := inflight
+		var rep core.Report
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = apps.HighFanout(core.DefaultConfig(), 16, inflight)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		entries = append(entries, profileEntry{
+			Name:        fmt.Sprintf("highfanout/inflight%d", inflight),
+			WallNsPerOp: res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			VirtualNs:   rep.Elapsed.Nanoseconds(),
+			Metrics: map[string]float64{
+				"peak-pending":  float64(rep.PeakPending),
+				"pool-acquires": float64(rep.PoolAcquires),
+				"pool-hits":     float64(rep.PoolHits),
+			},
+		})
+	}
+
+	{
+		mc := apps.DefaultMandelConfig()
+		mc.Width, mc.Height = 256, 128
+		var rep apps.MandelResult
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = apps.MandelbrotDCGN(dcgnCfg(4, 1, 2), mc)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		entries = append(entries, profileEntry{
+			Name:        "table3/mandelbrot",
+			WallNsPerOp: res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			VirtualNs:   rep.Elapsed.Nanoseconds(),
+			Metrics:     map[string]float64{"Mpixels-per-sec": rep.PixelsPerSec / 1e6},
+		})
+	}
+
+	{
+		cc := apps.DefaultCannonConfig()
+		cc.N = 256
+		cc.RealMath = true
+		var rep apps.CannonResult
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = apps.CannonDCGN(dcgnCfg(2, 0, 2), cc)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		entries = append(entries, profileEntry{
+			Name:        "table3/cannon",
+			WallNsPerOp: res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			VirtualNs:   rep.Elapsed.Nanoseconds(),
+			Metrics:     map[string]float64{"GFLOPS": rep.GFLOPS},
+		})
+	}
+
+	{
+		nc := apps.DefaultNBodyConfig()
+		nc.Bodies = 1024
+		nc.Steps = 2
+		nc.RealMath = true
+		var rep apps.NBodyResult
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = apps.NBodyDCGN(dcgnCfg(4, 0, 2), nc)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		entries = append(entries, profileEntry{
+			Name:        "table3/nbody",
+			WallNsPerOp: res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			VirtualNs:   rep.Elapsed.Nanoseconds(),
+		})
+	}
+
+	out, err := json.MarshalIndent(entries, "", "\t")
+	check(err)
+	out = append(out, '\n')
+	check(os.WriteFile(path, out, 0o644))
+	fmt.Printf("wrote %d workload profiles to %s\n", len(entries), path)
+}

@@ -8,6 +8,7 @@
 //
 //	dcgn-bench                 # run everything
 //	dcgn-bench -exp table1     # one experiment: table1|fig6|fig7|mandelbrot|cannon|nbody
+//	dcgn-bench -json BENCH_2.json  # allocation/throughput profile (see json.go)
 package main
 
 import (
@@ -23,10 +24,17 @@ import (
 	"dcgn/internal/metrics"
 )
 
-var exp = flag.String("exp", "all", "experiment to run: all|table1|fig6|fig7|mandelbrot|cannon|nbody")
+var (
+	exp     = flag.String("exp", "all", "experiment to run: all|table1|fig6|fig7|mandelbrot|cannon|nbody")
+	jsonOut = flag.String("json", "", "write the wall-clock/allocation profile as JSON to this file and exit")
+)
 
 func main() {
 	flag.Parse()
+	if *jsonOut != "" {
+		writeProfileJSON(*jsonOut)
+		return
+	}
 	run := func(name string, fn func()) {
 		if *exp == "all" || *exp == name {
 			fn()

@@ -55,8 +55,8 @@ type collGroup struct {
 // Both run for the life of the application (daemons).
 func (ns *nodeState) start() {
 	s := ns.job.sim
-	s.SpawnDaemon(fmt.Sprintf("comm:%d", ns.node), ns.runCommThread)
-	s.SpawnDaemon(fmt.Sprintf("mpi-recv:%d", ns.node), ns.runReceiver)
+	s.SpawnDaemonID("comm", ns.node, ns.runCommThread)
+	s.SpawnDaemonID("mpi-recv", ns.node, ns.runReceiver)
 }
 
 // runCommThread is the single thread that owns the underlying MPI: it
@@ -78,22 +78,22 @@ func (ns *nodeState) runCommThread(p *sim.Proc) {
 }
 
 // runReceiver blocks in MPI receives for inbound DCGN messages and funnels
-// them to the comm thread. It reuses one staging buffer; payloads are
-// copied out per message.
+// them to the comm thread. The take-ownership receive hands us the sender's
+// pooled wire buffer directly — no staging buffer and no copy; the payload
+// aliases the wire buffer until the comm thread delivers it and returns the
+// buffer to the pool.
 func (ns *nodeState) runReceiver(p *sim.Proc) {
-	buf := make([]byte, ns.job.cfg.Params.MaxMsg+wireHeaderLen)
 	for {
-		st, err := ns.mpiRank.Recv(p, buf, mpi.AnySource, dcgnTag)
+		_, msg, err := ns.mpiRank.RecvMsg(p, mpi.AnySource, dcgnTag)
 		if err != nil {
 			panic(fmt.Sprintf("dcgn: receiver on node %d: %v", ns.node, err))
 		}
-		src, dst, payload, err := unpackWire(buf[:st.Count])
+		src, dst, payload, err := unpackWire(msg)
 		if err != nil {
 			panic(fmt.Sprintf("dcgn: receiver on node %d: %v", ns.node, err))
 		}
 		p.SleepJit(ns.job.cfg.Params.RemoteRelayCost)
-		data := append([]byte(nil), payload...)
-		ns.queue.Put(commMsg{in: &inbound{src: src, dst: dst, data: data}})
+		ns.queue.Put(commMsg{in: &inbound{src: src, dst: dst, data: payload, backing: msg}})
 	}
 }
 
@@ -121,11 +121,11 @@ func (ns *nodeState) handleSendrecv(p *sim.Proc, req *request) {
 	s := ns.job.sim
 	sendPart := &request{
 		op: opSend, rank: req.rank, peer: req.peer, buf: req.buf,
-		done: s.NewEvent(fmt.Sprintf("srv-send:%d", req.rank)),
+		done: s.NewEventID("srv-send", req.rank),
 	}
 	recvPart := &request{
 		op: opRecv, rank: req.rank, peer: req.peer2, buf: req.recvBuf,
-		done: s.NewEvent(fmt.Sprintf("srv-recv:%d", req.rank)),
+		done: s.NewEventID("srv-recv", req.rank),
 	}
 	ns.handleRecv(p, recvPart)
 	ns.handleSend(p, sendPart)
@@ -150,10 +150,13 @@ func (ns *nodeState) handleSend(p *sim.Proc, req *request) {
 		// the comm thread keeps draining its queue; completion is signaled
 		// when the underlying send completes, as in the paper's dataflow
 		// (Fig. 2, steps 2-3).
-		msg := packWire(req.rank, req.peer, req.buf)
-		ns.job.sim.Spawn(fmt.Sprintf("dcgn-tx:%d", ns.node), func(h *sim.Proc) {
+		msg := packWire(ns.job.pool, req.rank, req.peer, req.buf)
+		ns.job.sim.SpawnID("dcgn-tx", ns.node, func(h *sim.Proc) {
 			h.SleepJit(ns.job.cfg.Params.RemoteRelayCost)
 			err := ns.mpiRank.Send(h, msg, dstNode, dcgnTag)
+			// Send has buffered semantics (eager copy or rendezvous
+			// snapshot), so the wire buffer is ours again once it returns.
+			ns.job.pool.Put(msg)
 			h.SleepJit(ns.job.cfg.Params.NotifyCost)
 			req.complete(req.rank, len(req.buf), err)
 		})
@@ -257,6 +260,10 @@ func (ns *nodeState) deliverInbound(p *sim.Proc, in *inbound, recv *request, was
 		ns.chargeMemcpy(p, n)
 	}
 	copy(recv.buf[:n], in.data[:n])
+	if in.backing != nil {
+		ns.job.pool.Put(in.backing)
+		in.backing, in.data = nil, nil
+	}
 	p.SleepJit(ns.job.cfg.Params.NotifyCost)
 	recv.complete(in.src, n, err)
 }
@@ -334,7 +341,8 @@ func (ns *nodeState) execAlltoall(p *sim.Proc, g *collGroup) {
 		sendCounts[j] = local * rm.PerNode(j) * chunk
 		recvCounts[j] = rm.PerNode(j) * local * chunk
 	}
-	sendBuf := make([]byte, 0, local*total*chunk)
+	scratch := ns.job.pool.Get(local * total * chunk)
+	sendBuf := scratch[:0]
 	for j := 0; j < nodes; j++ {
 		base := rm.Base(j) * chunk
 		span := rm.PerNode(j) * chunk
@@ -343,8 +351,11 @@ func (ns *nodeState) execAlltoall(p *sim.Proc, g *collGroup) {
 			sendBuf = append(sendBuf, m.buf[base:base+span]...)
 		}
 	}
-	recvBuf := make([]byte, local*total*chunk)
-	if err := ns.mpiRank.Alltoallv(p, sendBuf, sendCounts, recvBuf, recvCounts); err != nil {
+	recvBuf := ns.job.pool.Get(local * total * chunk)
+	err := ns.mpiRank.Alltoallv(p, sendBuf, sendCounts, recvBuf, recvCounts)
+	ns.job.pool.Put(scratch)
+	if err != nil {
+		ns.job.pool.Put(recvBuf)
 		ns.failCollective(g, err)
 		return
 	}
@@ -363,6 +374,7 @@ func (ns *nodeState) execAlltoall(p *sim.Proc, g *collGroup) {
 		}
 		displ += recvCounts[i]
 	}
+	ns.job.pool.Put(recvBuf)
 	for _, m := range g.members {
 		p.SleepJit(ns.job.cfg.Params.NotifyCost)
 		m.complete(0, chunk, nil)
@@ -429,7 +441,8 @@ func (ns *nodeState) execGather(p *sim.Proc, g *collGroup) {
 	rm := ns.job.rmap
 	rootNode := rm.Node(g.root)
 	chunk := g.size
-	nodeBuf := make([]byte, ns.localRanks()*chunk)
+	nodeBuf := ns.job.pool.Get(ns.localRanks() * chunk)
+	defer ns.job.pool.Put(nodeBuf)
 	for i, m := range g.members {
 		ns.chargeMemcpy(p, chunk)
 		copy(nodeBuf[i*chunk:], m.buf)
@@ -476,7 +489,8 @@ func (ns *nodeState) execScatter(p *sim.Proc, g *collGroup) {
 	if rootNode == ns.node && rootSrc == nil {
 		panic("dcgn: scatter root resident but no source buffer")
 	}
-	nodeBuf := make([]byte, ns.localRanks()*chunk)
+	nodeBuf := ns.job.pool.Get(ns.localRanks() * chunk)
+	defer ns.job.pool.Put(nodeBuf)
 	if err := ns.mpiRank.Scatterv(p, rootSrc, counts, nodeBuf, rootNode); err != nil {
 		ns.failCollective(g, err)
 		return

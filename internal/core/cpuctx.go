@@ -63,7 +63,7 @@ func (c *CPUCtx) SendRecv(dst int, sendBuf []byte, src int, recvBuf []byte) (Com
 		peer:  dst,
 		peer2: src,
 		buf:   sendBuf,
-		done:  c.job.sim.NewEvent(fmt.Sprintf("cpu-req:%d", c.rank)),
+		done:  c.job.sim.NewEventID("cpu-req", c.rank),
 	}
 	req.recvBuf = recvBuf
 	c.p.SleepJit(c.job.cfg.Params.EnqueueCost)
@@ -75,7 +75,8 @@ func (c *CPUCtx) SendRecv(dst int, sendBuf []byte, src int, recvBuf []byte) (Com
 
 // SendRecvReplace exchanges buf with a partner in place.
 func (c *CPUCtx) SendRecvReplace(dst, src int, buf []byte) (CommStatus, error) {
-	tmp := make([]byte, len(buf))
+	tmp := c.job.pool.Get(len(buf))
+	defer c.job.pool.Put(tmp)
 	st, err := c.SendRecv(dst, buf, src, tmp)
 	if err != nil {
 		return st, err
@@ -167,7 +168,7 @@ func (c *CPUCtx) relayAsync(op opKind, peer int, buf, recvBuf []byte) *AsyncOp {
 		rank: c.rank,
 		peer: peer,
 		buf:  buf,
-		done: c.job.sim.NewEvent(fmt.Sprintf("cpu-areq:%d", c.rank)),
+		done: c.job.sim.NewEventID("cpu-areq", c.rank),
 	}
 	req.recvBuf = recvBuf
 	c.p.SleepJit(c.job.cfg.Params.EnqueueCost)
@@ -184,7 +185,7 @@ func (c *CPUCtx) relay(op opKind, peer int, buf, recvBuf []byte) *request {
 		rank: c.rank,
 		peer: peer,
 		buf:  buf,
-		done: c.job.sim.NewEvent(fmt.Sprintf("cpu-req:%d", c.rank)),
+		done: c.job.sim.NewEventID("cpu-req", c.rank),
 	}
 	req.recvBuf = recvBuf
 	c.p.SleepJit(c.job.cfg.Params.EnqueueCost)

@@ -167,7 +167,7 @@ func (gt *gpuThread) serviceSignaled(p *sim.Proc, ss *slotState) {
 	p.SleepJit(gt.ns.job.cfg.Params.EnqueueCost)
 	gt.ns.job.trace.record(gt.ns.job, req, true)
 	gt.ns.queue.Put(commMsg{req: req})
-	gt.ns.job.sim.Spawn(fmt.Sprintf("gpu-sig-wb:%d", ss.rank), func(h *sim.Proc) {
+	gt.ns.job.sim.SpawnID("gpu-sig-wb", ss.rank, func(h *sim.Proc) {
 		req.done.Wait(h)
 		gt.writeBack(h, ss, mb)
 	})
@@ -218,7 +218,7 @@ func (gt *gpuThread) advance(p *sim.Proc, ss *slotState) bool {
 		gt.ns.queue.Put(commMsg{req: req})
 		// A tiny helper marks the slot ready for its completion stage; the
 		// write-back itself happens on a poll tick (stage 3).
-		gt.ns.job.sim.Spawn(fmt.Sprintf("gpu-done:%d", ss.rank), func(h *sim.Proc) {
+		gt.ns.job.sim.SpawnID("gpu-done", ss.rank, func(h *sim.Proc) {
 			req.done.Wait(h)
 			ss.doneReady = true
 		})
@@ -249,54 +249,59 @@ func (gt *gpuThread) parseDescriptor(ss *slotState, mb []byte) {
 }
 
 // buildRequest stages outbound payloads device -> host (Fig. 2 step 1) and
-// creates the comm-thread request for a parsed descriptor.
+// creates the comm-thread request for a parsed descriptor. Host staging
+// buffers come from the job pool; writeBack returns them once results have
+// been copied back to device memory. Pooled buffers are never zeroed, so
+// receive-side staging may carry stale bytes — writeBack only copies the
+// delivered prefix, exactly as the device would only see DMA'd bytes.
 func (gt *gpuThread) buildRequest(p *sim.Proc, ss *slotState) *request {
 	bus := gt.payloadBus()
+	pool := gt.ns.job.pool
 	peer := int(ss.peerRaw)
 	req := &request{
 		op:   ss.op,
 		rank: ss.rank,
-		done: gt.ns.job.sim.NewEvent(fmt.Sprintf("gpu-req:%d", ss.rank)),
+		done: gt.ns.job.sim.NewEventID("gpu-req", ss.rank),
 	}
 	switch ss.op {
 	case opSend:
 		req.peer = peer
-		req.buf = make([]byte, ss.size)
+		req.buf = pool.Get(ss.size)
 		gt.dev.CopyOut(p, bus, ss.ptr, req.buf)
 	case opRecv:
 		req.peer = peer
-		req.buf = make([]byte, ss.size)
+		req.buf = pool.Get(ss.size)
 	case opSendrecv:
 		req.peer, req.peer2 = unpackPeers(ss.peerRaw)
-		req.buf = make([]byte, ss.size)
+		req.buf = pool.Get(ss.size)
 		gt.dev.CopyOut(p, bus, ss.ptr, req.buf)
-		req.recvBuf = make([]byte, ss.size2)
+		req.recvBuf = pool.Get(ss.size2)
 	case opBarrier:
 		req.peer = peer
 	case opBcast:
 		req.peer = peer
-		req.buf = make([]byte, ss.size)
+		req.buf = pool.Get(ss.size)
 		if ss.rank == peer { // this slot is the broadcast root
 			gt.dev.CopyOut(p, bus, ss.ptr, req.buf)
 		}
 	case opGather:
 		req.peer = peer
-		req.buf = make([]byte, ss.size)
+		req.buf = pool.Get(ss.size)
 		gt.dev.CopyOut(p, bus, ss.ptr, req.buf)
 		if ss.rank == peer {
-			req.recvBuf = make([]byte, ss.size2)
+			req.recvBuf = pool.Get(ss.size2)
 		}
 	case opScatter:
 		req.peer = peer
-		req.recvBuf = make([]byte, ss.size)
+		req.recvBuf = pool.Get(ss.size)
 		if ss.rank == peer {
-			req.buf = make([]byte, ss.size2)
+			req.buf = pool.Get(ss.size2)
 			gt.dev.CopyOut(p, bus, ss.ptr2, req.buf)
 		}
 	case opAlltoall:
-		req.buf = make([]byte, ss.size)
+		req.buf = pool.Get(ss.size)
 		gt.dev.CopyOut(p, bus, ss.ptr, req.buf)
-		req.recvBuf = make([]byte, ss.size2)
+		req.recvBuf = pool.Get(ss.size2)
 	default:
 		panic(fmt.Sprintf("dcgn: bad mailbox op %d on rank %d", ss.op, ss.rank))
 	}
@@ -338,6 +343,11 @@ func (gt *gpuThread) writeBack(p *sim.Proc, ss *slotState, mb []byte) {
 	le.PutUint32(mb[mbErr:], errCode)
 	le.PutUint32(mb[mbStatus:], mbDone)
 	gt.ns.bus.Ctl(p, 20)
+	// The host staging buffers are done once results are back on the
+	// device. req.buf/recvBuf keep their slice headers (the trace daemon
+	// reads lengths after completion) but the storage returns to the pool.
+	gt.ns.job.pool.Put(req.buf)
+	gt.ns.job.pool.Put(req.recvBuf)
 	ss.req = nil
 	ss.stage = stageIdle
 	ss.wake.Fire()

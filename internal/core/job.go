@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dcgn/internal/bufpool"
 	"dcgn/internal/device"
 	"dcgn/internal/fabric"
 	"dcgn/internal/mpi"
@@ -23,6 +24,12 @@ type Job struct {
 	net   *fabric.Network
 	world *mpi.World
 	nodes []*nodeState
+
+	// pool recycles every host-side staging buffer the run creates — GPU
+	// payload staging, wire pack/unpack, collective scratch, and (shared
+	// via mpi.Config.Pool) the MPI layer's envelope staging. Buffer reuse
+	// is host-side only and never observable in virtual time.
+	pool *bufpool.Pool
 
 	cpuKernel func(*CPUCtx)
 
@@ -133,6 +140,13 @@ type Report struct {
 	// PeakPending is the high-water mark of any node's matching index
 	// (pending sends + receives + unexpected inbound messages).
 	PeakPending int
+	// PoolAcquires / PoolReleases count staging-buffer pool traffic across
+	// the whole run (core and MPI layers share one pool). A clean run
+	// releases every acquired buffer: PoolAcquires == PoolReleases.
+	PoolAcquires uint64
+	PoolReleases uint64
+	// PoolHits counts acquires served by reuse rather than allocation.
+	PoolHits uint64
 	// Trace holds per-request lifecycle records when Config.Trace is on.
 	Trace []TraceRecord
 }
@@ -153,11 +167,14 @@ func (j *Job) Run() (Report, error) {
 		j.trace = &traceSink{}
 	}
 	j.net = fabric.New(s, j.cfg.Nodes, j.cfg.Net)
+	j.pool = bufpool.New()
 	nodeOf := make([]int, j.cfg.Nodes) // one underlying MPI rank per node
 	for i := range nodeOf {
 		nodeOf[i] = i
 	}
-	j.world = mpi.NewWorld(s, j.net, nodeOf, j.cfg.MPI)
+	mpiCfg := j.cfg.MPI
+	mpiCfg.Pool = j.pool // one pool across layers, so leak accounting is exact
+	j.world = mpi.NewWorld(s, j.net, nodeOf, mpiCfg)
 
 	j.nodes = nil
 	for n := 0; n < j.cfg.Nodes; n++ {
@@ -242,5 +259,8 @@ func (j *Job) Run() (Report, error) {
 			rep.PollHits += gt.Hits
 		}
 	}
+	rep.PoolAcquires = j.pool.Acquires()
+	rep.PoolReleases = j.pool.Releases()
+	rep.PoolHits = j.pool.Hits()
 	return rep, err
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"testing"
 	"testing/quick"
+
+	"dcgn/internal/bufpool"
 )
 
 func TestRankMapPaperExample(t *testing.T) {
@@ -161,7 +163,7 @@ func TestRankMapBijectionProperty(t *testing.T) {
 // Property: the wire format round-trips arbitrary payloads and rank pairs.
 func TestWireRoundtripProperty(t *testing.T) {
 	f := func(src, dst uint16, payload []byte) bool {
-		msg := packWire(int(src), int(dst), payload)
+		msg := packWire(bufpool.New(), int(src), int(dst), payload)
 		s, d, p, err := unpackWire(msg)
 		if err != nil || s != int(src) || d != int(dst) {
 			return false
@@ -185,7 +187,7 @@ func TestUnpackWireRejectsGarbage(t *testing.T) {
 	if _, _, _, err := unpackWire([]byte{1, 2, 3}); err == nil {
 		t.Fatal("short message accepted")
 	}
-	msg := packWire(1, 2, []byte("hello"))
+	msg := packWire(bufpool.New(), 1, 2, []byte("hello"))
 	if _, _, _, err := unpackWire(msg[:len(msg)-2]); err == nil {
 		t.Fatal("truncated payload accepted")
 	}

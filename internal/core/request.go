@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"dcgn/internal/bufpool"
 	"dcgn/internal/sim"
 )
 
@@ -105,6 +106,10 @@ type inbound struct {
 	src  int // sending virtual rank
 	dst  int // destination virtual rank (local to this node)
 	data []byte
+	// backing is the pooled wire buffer that data aliases (header included).
+	// The comm thread returns it to the job pool once the payload has been
+	// copied into the matched receive buffer.
+	backing []byte
 }
 
 // commMsg is what flows through a node's comm-thread queue.
@@ -132,9 +137,11 @@ const dcgnTag = 770001
 // wireHeaderLen is the length of the DCGN message header on the wire.
 const wireHeaderLen = 24
 
-// packWire builds header+payload for one inter-node DCGN message.
-func packWire(src, dst int, payload []byte) []byte {
-	msg := make([]byte, wireHeaderLen+len(payload))
+// packWire builds header+payload for one inter-node DCGN message in a
+// pooled buffer; the sender helper returns it to the pool once the
+// underlying MPI send has buffered or delivered it.
+func packWire(pool *bufpool.Pool, src, dst int, payload []byte) []byte {
+	msg := pool.Get(wireHeaderLen + len(payload))
 	le := binary.LittleEndian
 	le.PutUint64(msg[0:], uint64(int64(src)))
 	le.PutUint64(msg[8:], uint64(int64(dst)))

@@ -20,7 +20,6 @@
 package device
 
 import (
-	"fmt"
 	"math/rand"
 	"time"
 
@@ -73,6 +72,10 @@ type Device struct {
 	mem     *Arena
 	smSlots *sim.Semaphore
 
+	// Precomputed proc/sync labels: launches are per-iteration and blocks
+	// per-launch, so formatting these on every spawn shows up in profiles.
+	gridName, gridDoneName, dispatchName, blockPrefix string
+
 	// KernelsLaunched counts Launch calls, for tests and reports.
 	KernelsLaunched int
 }
@@ -86,10 +89,14 @@ func New(s *sim.Sim, cfg Config) *Device {
 		panic("device: non-positive GFLOPS")
 	}
 	return &Device{
-		s:       s,
-		cfg:     cfg,
-		mem:     NewArena(cfg.MemBytes),
-		smSlots: s.NewSemaphore("sm:"+cfg.Name, cfg.SMs*cfg.BlocksPerSM),
+		s:            s,
+		cfg:          cfg,
+		mem:          NewArena(cfg.MemBytes),
+		smSlots:      s.NewSemaphore("sm:"+cfg.Name, cfg.SMs*cfg.BlocksPerSM),
+		gridName:     cfg.Name + ":grid",
+		gridDoneName: cfg.Name + ":grid-done",
+		dispatchName: cfg.Name + ":dispatch",
+		blockPrefix:  cfg.Name + ":b",
 	}
 }
 
@@ -144,16 +151,16 @@ func (d *Device) Launch(p *sim.Proc, gridDim, blockDim int, k Kernel) *Launch {
 	p.SleepJit(d.cfg.LaunchLat)
 
 	l := &Launch{
-		wg:   d.s.NewWaitGroup(fmt.Sprintf("%s:grid", d.cfg.Name), gridDim),
-		done: d.s.NewEvent(fmt.Sprintf("%s:grid-done", d.cfg.Name)),
+		wg:   d.s.NewWaitGroup(d.gridName, gridDim),
+		done: d.s.NewEvent(d.gridDoneName),
 	}
 	order := d.blockOrder(gridDim)
 	flops := d.perBlockFLOPS(blockDim)
-	d.s.Spawn(fmt.Sprintf("%s:dispatch", d.cfg.Name), func(disp *sim.Proc) {
+	d.s.Spawn(d.dispatchName, func(disp *sim.Proc) {
 		for _, idx := range order {
 			d.smSlots.Acquire(disp, 1) // wait for a free SM slot; non-preemptive
 			blockIdx := idx
-			d.s.Spawn(fmt.Sprintf("%s:b%d", d.cfg.Name, blockIdx), func(bp *sim.Proc) {
+			d.s.SpawnID(d.blockPrefix, blockIdx, func(bp *sim.Proc) {
 				defer func() {
 					d.smSlots.Release(1)
 					l.wg.Done()

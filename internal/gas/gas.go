@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"dcgn/internal/bufpool"
 	"dcgn/internal/device"
 	"dcgn/internal/fabric"
 	"dcgn/internal/mpi"
@@ -93,6 +94,10 @@ type Report struct {
 	Elapsed    time.Duration
 	NetPackets int
 	NetBytes   int64
+	// PoolAcquires / PoolReleases count MPI staging-buffer pool traffic
+	// (eager copies, rendezvous snapshots); a clean run balances them.
+	PoolAcquires uint64
+	PoolReleases uint64
 }
 
 // Run builds the cluster, spawns one proc per rank executing worker, and
@@ -121,6 +126,9 @@ func Run(cfg Config, worker func(w *Worker)) (Report, error) {
 	for r := range nodeOf {
 		nodeOf[r] = r / perNode
 	}
+	if cfg.MPI.Pool == nil {
+		cfg.MPI.Pool = bufpool.New()
+	}
 	world := mpi.NewWorld(s, net, nodeOf, cfg.MPI)
 
 	for n := 0; n < cfg.Nodes; n++ {
@@ -138,12 +146,15 @@ func Run(cfg Config, worker func(w *Worker)) (Report, error) {
 				w.Dev = device.New(s, devCfg)
 				w.GPU = g
 			}
-			s.Spawn(fmt.Sprintf("gas-rank:%d", rank), func(p *sim.Proc) {
+			s.SpawnID("gas-rank", rank, func(p *sim.Proc) {
 				w.P = p
 				worker(w)
 			})
 		}
 	}
 	err := s.Run()
-	return Report{Elapsed: s.Now(), NetPackets: net.PacketsSent, NetBytes: net.BytesSent}, err
+	return Report{
+		Elapsed: s.Now(), NetPackets: net.PacketsSent, NetBytes: net.BytesSent,
+		PoolAcquires: cfg.MPI.Pool.Acquires(), PoolReleases: cfg.MPI.Pool.Releases(),
+	}, err
 }

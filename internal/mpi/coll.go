@@ -319,8 +319,11 @@ func (c *Comm) Reduce(p *sim.Proc, r *Rank, sendBuf, recvBuf []byte, dt Datatype
 	n := c.Size()
 	me := c.RankOf(r)
 	p.SleepJit(r.w.cfg.CallOverhead)
-	acc := append([]byte(nil), sendBuf...)
-	tmp := make([]byte, len(sendBuf))
+	acc := r.w.cfg.Pool.Get(len(sendBuf))
+	copy(acc, sendBuf)
+	tmp := r.w.cfg.Pool.Get(len(sendBuf))
+	defer r.w.cfg.Pool.Put(acc)
+	defer r.w.cfg.Pool.Put(tmp)
 	vr := (me - root + n) % n
 	for mask, round := 1, 0; mask < n; mask, round = mask<<1, round+1 {
 		if vr&mask != 0 {

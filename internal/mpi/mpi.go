@@ -18,8 +18,10 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
+	"dcgn/internal/bufpool"
 	"dcgn/internal/fabric"
 	"dcgn/internal/sim"
 )
@@ -54,6 +56,10 @@ type Config struct {
 	// Hops whose payload is below collHopMinSize (barrier tokens) are
 	// exempt.
 	CollHopOverhead time.Duration
+	// Pool recycles payload staging buffers (eager copies, rendezvous
+	// snapshots). nil means the world creates a private pool; DCGN passes
+	// its job-wide pool so acquire/release accounting spans both layers.
+	Pool *bufpool.Pool
 }
 
 // collHopMinSize is the smallest payload that pays CollHopOverhead.
@@ -95,6 +101,9 @@ func NewWorld(s *sim.Sim, net *fabric.Network, nodeOf []int, cfg Config) *World 
 	if len(nodeOf) == 0 {
 		panic("mpi: empty world")
 	}
+	if cfg.Pool == nil {
+		cfg.Pool = bufpool.New()
+	}
 	w := &World{s: s, net: net, cfg: cfg, nodeOf: append([]int(nil), nodeOf...), commIDs: make(map[[3]int]int)}
 	for id, node := range nodeOf {
 		if node < 0 || node >= net.Size() {
@@ -106,6 +115,8 @@ func NewWorld(s *sim.Sim, net *fabric.Network, nodeOf []int, cfg Config) *World 
 			node:         node,
 			bound:        make(map[uint64]*recvReq),
 			pendingSends: make(map[uint64]*sendReq),
+			sendPrefix:   "isend:" + strconv.Itoa(id),
+			recvPrefix:   "irecv:" + strconv.Itoa(id),
 		})
 	}
 	nodes := map[int]bool{}
@@ -120,6 +131,10 @@ func NewWorld(s *sim.Sim, net *fabric.Network, nodeOf []int, cfg Config) *World 
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.ranks) }
+
+// Pool returns the world's staging-buffer pool (for take-ownership
+// receivers that must release payloads obtained from RecvMsg).
+func (w *World) Pool() *bufpool.Pool { return w.cfg.Pool }
 
 // Rank returns the handle for rank id. Exactly one proc must drive each
 // rank's operations.
@@ -141,6 +156,11 @@ type Rank struct {
 	// pendingSends maps a rendezvous seq to the send awaiting CTS.
 	pendingSends map[uint64]*sendReq
 	nextSeq      uint64
+
+	// sendPrefix/recvPrefix are precomputed lazy-event-name prefixes so
+	// per-message Isend/Irecv calls format nothing.
+	sendPrefix string
+	recvPrefix string
 }
 
 // ID returns the rank number.
@@ -183,6 +203,11 @@ type recvReq struct {
 	done *sim.Event
 	stat Status
 	err  error
+	// take marks a take-ownership receive (RecvMsg): instead of copying
+	// into buf, deliver hands the matched payload slice over in data and
+	// the caller assumes responsibility for releasing it to the pool.
+	take bool
+	data []byte
 }
 
 // sendReq is a rendezvous send awaiting its CTS.
@@ -252,15 +277,26 @@ func (r *Rank) takeUnexpected(rr *recvReq) *envelope {
 	return nil
 }
 
-// deliver copies an eager or data payload into a matched receive and
-// completes it.
-func deliver(rr *recvReq, env *envelope) {
+// deliver completes a matched receive from an eager or data envelope.
+// Copy path: the payload is copied into the posted buffer and the staging
+// slice goes back to the pool. Take path (RecvMsg): ownership of the
+// staging slice transfers to the receiver — the zero-copy wire relay.
+func (w *World) deliver(rr *recvReq, env *envelope) {
+	if rr.take {
+		rr.data = env.data
+		rr.stat = Status{Source: env.src, Tag: env.tag, Count: len(env.data)}
+		env.data = nil
+		rr.done.Fire()
+		return
+	}
 	n := len(env.data)
 	if n > len(rr.buf) {
 		n = len(rr.buf)
 		rr.err = ErrTruncate
 	}
 	copy(rr.buf[:n], env.data[:n])
+	w.cfg.Pool.Put(env.data)
+	env.data = nil
 	rr.stat = Status{Source: env.src, Tag: env.tag, Count: n}
 	rr.done.Fire()
 }
@@ -288,7 +324,7 @@ func (w *World) handle(p *sim.Proc, nd *fabric.Node, env *envelope) {
 	switch env.kind {
 	case kindEager:
 		if rr := r.takePosted(env); rr != nil {
-			deliver(rr, env)
+			w.deliver(rr, env)
 		} else {
 			r.unexpected = append(r.unexpected, env)
 		}
@@ -311,7 +347,8 @@ func (w *World) handle(p *sim.Proc, nd *fabric.Node, env *envelope) {
 			// Snapshot the payload: once the DMA is in flight the sender may
 			// reuse its buffer (its request completes on injection), so the
 			// wire must carry a copy, not a reference.
-			payload := append([]byte(nil), sr.data...)
+			payload := w.cfg.Pool.Get(len(sr.data))
+			copy(payload, sr.data)
 			data := &envelope{kind: kindData, src: r.id, dst: sr.dst, tag: sr.tag, seq: sr.seq, size: len(payload), data: payload}
 			nd.Send(h, w.nodeOf[sr.dst], headerBytes+len(payload), data)
 			sr.done.Fire()
@@ -322,7 +359,7 @@ func (w *World) handle(p *sim.Proc, nd *fabric.Node, env *envelope) {
 			panic(fmt.Sprintf("mpi: data for unbound recv seq %d at rank %d", env.seq, r.id))
 		}
 		delete(r.bound, env.seq)
-		deliver(rr, env)
+		w.deliver(rr, env)
 	}
 }
 

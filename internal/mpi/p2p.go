@@ -22,14 +22,15 @@ func (r *Rank) Isend(p *sim.Proc, buf []byte, dst, tag int) *Request {
 	p.SleepJit(r.w.cfg.CallOverhead)
 	r.nextSeq++
 	seq := r.nextSeq
-	done := r.w.s.NewEvent(fmt.Sprintf("isend:%d->%d", r.id, dst))
+	done := r.w.s.NewEventID(r.sendPrefix, dst)
 	var errv error
 	req := &Request{done: done, stat: &Status{}, err: &errv}
 	nd := r.w.net.Node(r.node)
 	dstNode := r.w.nodeOf[dst]
 
 	if len(buf) <= r.w.cfg.EagerLimit {
-		data := append([]byte(nil), buf...) // buffered semantics
+		data := r.w.cfg.Pool.Get(len(buf)) // buffered semantics
+		copy(data, buf)
 		env := &envelope{kind: kindEager, src: r.id, dst: dst, tag: tag, seq: seq, size: len(data), data: data}
 		r.w.s.Spawn("mpi-eager", func(h *sim.Proc) {
 			nd.Send(h, dstNode, headerBytes+len(data), env)
@@ -52,14 +53,19 @@ func (r *Rank) Irecv(p *sim.Proc, buf []byte, src, tag int) *Request {
 		panic(fmt.Sprintf("mpi: Irecv from bad rank %d", src))
 	}
 	p.SleepJit(r.w.cfg.CallOverhead)
-	done := r.w.s.NewEvent(fmt.Sprintf("irecv:%d<-%d", r.id, src))
+	done := r.w.s.NewEventID(r.recvPrefix, src)
 	rr := &recvReq{buf: buf, src: src, tag: tag, done: done}
 	req := &Request{done: done, stat: &rr.stat, err: &rr.err}
+	return r.post(p, rr, req)
+}
 
+// post matches a freshly-created receive against the unexpected queue or
+// parks it on the posted list (shared by Irecv and RecvMsg).
+func (r *Rank) post(p *sim.Proc, rr *recvReq, req *Request) *Request {
 	if env := r.takeUnexpected(rr); env != nil {
 		switch env.kind {
 		case kindEager:
-			deliver(rr, env)
+			r.w.deliver(rr, env)
 		case kindRTS:
 			r.bound[env.seq] = rr
 			r.w.sendCTS(p, r.w.net.Node(r.node), env)
@@ -83,6 +89,24 @@ func (r *Rank) Recv(p *sim.Proc, buf []byte, src, tag int) (Status, error) {
 	return r.Irecv(p, buf, src, tag).Wait(p)
 }
 
+// RecvMsg is a take-ownership blocking receive: instead of copying the
+// matched payload into a caller buffer, it hands the staging slice itself
+// to the caller — the zero-copy path for relays that would otherwise
+// receive into one buffer and immediately copy out of it. The returned
+// slice must be released to the world's Pool when the caller is done with
+// it (it may be nil for zero-length messages; releasing nil is a no-op).
+func (r *Rank) RecvMsg(p *sim.Proc, src, tag int) (Status, []byte, error) {
+	if src != AnySource && (src < 0 || src >= len(r.w.ranks)) {
+		panic(fmt.Sprintf("mpi: RecvMsg from bad rank %d", src))
+	}
+	p.SleepJit(r.w.cfg.CallOverhead)
+	done := r.w.s.NewEventID(r.recvPrefix, src)
+	rr := &recvReq{src: src, tag: tag, done: done, take: true}
+	req := &Request{done: done, stat: &rr.stat, err: &rr.err}
+	st, err := r.post(p, rr, req).Wait(p)
+	return st, rr.data, err
+}
+
 // Sendrecv posts a send and a receive simultaneously and waits for both —
 // the deadlock-free exchange primitive.
 func (r *Rank) Sendrecv(p *sim.Proc, sendBuf []byte, dst, sendTag int, recvBuf []byte, src, recvTag int) (Status, error) {
@@ -97,7 +121,8 @@ func (r *Rank) Sendrecv(p *sim.Proc, sendBuf []byte, dst, sendTag int, recvBuf [
 // SendrecvReplace exchanges buf with a partner in place, the primitive
 // Cannon's algorithm rotates matrix chunks with (paper §4).
 func (r *Rank) SendrecvReplace(p *sim.Proc, buf []byte, dst, sendTag, src, recvTag int) (Status, error) {
-	tmp := make([]byte, len(buf))
+	tmp := r.w.cfg.Pool.Get(len(buf))
+	defer r.w.cfg.Pool.Put(tmp)
 	st, err := r.Sendrecv(p, buf, dst, sendTag, tmp, src, recvTag)
 	if err != nil {
 		return st, err

@@ -34,6 +34,8 @@ func NewChan[T any](s *Sim, name string, capacity int) *Chan[T] {
 // Len returns the number of buffered values.
 func (c *Chan[T]) Len() int { return len(c.buf) }
 
+func (c *Chan[T]) label() string { return c.name }
+
 // Close closes the channel. Sending on a closed channel panics; receivers
 // drain the buffer and then observe ok=false.
 func (c *Chan[T]) Close() {
@@ -54,7 +56,7 @@ func (c *Chan[T]) Send(p *Proc, v T) {
 	if !c.TrySend(v) {
 		w := &chanWaiter[T]{p: p, val: v}
 		c.sendq = append(c.sendq, w)
-		p.park(fmt.Sprintf("chan send %q", c.name))
+		p.park(parkChanSend, c, 0)
 	}
 }
 
@@ -88,7 +90,7 @@ func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
 	}
 	w := &chanWaiter[T]{p: p}
 	c.recvq = append(c.recvq, w)
-	p.park(fmt.Sprintf("chan recv %q", c.name))
+	p.park(parkChanRecv, c, 0)
 	return w.val, w.ok
 }
 
@@ -150,6 +152,8 @@ func NewQueue[T any](s *Sim, name string) *Queue[T] {
 // Len returns the number of queued items.
 func (q *Queue[T]) Len() int { return len(q.items) }
 
+func (q *Queue[T]) label() string { return q.name }
+
 // Put appends v. It never blocks and may be called from any running Proc.
 func (q *Queue[T]) Put(v T) {
 	if len(q.recvq) > 0 {
@@ -173,7 +177,7 @@ func (q *Queue[T]) Get(p *Proc) T {
 	}
 	w := &chanWaiter[T]{p: p}
 	q.recvq = append(q.recvq, w)
-	p.park(fmt.Sprintf("queue get %q", q.name))
+	p.park(parkQueueGet, q, 0)
 	return w.val
 }
 

@@ -7,15 +7,27 @@ import "fmt"
 // value is not usable; create Events with NewEvent.
 type Event struct {
 	s       *Sim
-	name    string
+	ident   ident
 	fired   bool
 	waiters []*Proc
 }
 
 // NewEvent creates an unfired Event.
 func (s *Sim) NewEvent(name string) *Event {
-	return &Event{s: s, name: name}
+	return &Event{s: s, ident: ident{name: name}}
 }
+
+// NewEventID creates an unfired Event with a lazily-formatted "prefix:id"
+// name. Per-request completion events are created by the million; the
+// label is only rendered if a deadlock report or trace needs it.
+func (s *Sim) NewEventID(prefix string, id int) *Event {
+	return &Event{s: s, ident: ident{prefix: prefix, id: id}}
+}
+
+// Name returns the event's name.
+func (e *Event) Name() string { return e.ident.String() }
+
+func (e *Event) label() string { return e.ident.String() }
 
 // Fired reports whether the event has been fired.
 func (e *Event) Fired() bool { return e.fired }
@@ -42,7 +54,7 @@ func (e *Event) Wait(p *Proc) {
 		return
 	}
 	e.waiters = append(e.waiters, p)
-	p.park(fmt.Sprintf("event %q", e.name))
+	p.park(parkEvent, e, 0)
 }
 
 // WaitGroup counts outstanding work items, like sync.WaitGroup but for
@@ -58,6 +70,8 @@ type WaitGroup struct {
 func (s *Sim) NewWaitGroup(name string, count int) *WaitGroup {
 	return &WaitGroup{s: s, name: name, count: count}
 }
+
+func (w *WaitGroup) label() string { return w.name }
 
 // Add adjusts the count by delta. Panics if the count goes negative.
 func (w *WaitGroup) Add(delta int) {
@@ -83,5 +97,5 @@ func (w *WaitGroup) Wait(p *Proc) {
 		return
 	}
 	w.waiters = append(w.waiters, p)
-	p.park(fmt.Sprintf("waitgroup %q (count %d)", w.name, w.count))
+	p.park(parkWaitGroup, w, int64(w.count))
 }

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"time"
 )
 
@@ -63,24 +64,64 @@ type resumeMsg struct {
 	kill bool
 }
 
+// ident is a lazily-formatted identifier: either a fixed name or a
+// (prefix, id) pair whose "prefix:id" string form is only materialized
+// when something actually asks for it. Hot paths spawn procs and create
+// events by the million; skipping the fmt.Sprintf for names nobody reads
+// is one of the larger host-side allocation wins.
+type ident struct {
+	name   string
+	prefix string
+	id     int
+}
+
+func (d *ident) String() string {
+	if d.name == "" && d.prefix != "" {
+		d.name = d.prefix + ":" + strconv.Itoa(d.id)
+	}
+	return d.name
+}
+
+// labeler is anything a Proc can block on that can name itself for
+// deadlock diagnostics.
+type labeler interface{ label() string }
+
+// parkKind says which primitive a Proc is blocked on; together with the
+// blocked-on object and one integer argument it reconstructs the
+// human-readable block reason without any formatting on the hot path.
+type parkKind int
+
+const (
+	parkNone parkKind = iota
+	parkSleep
+	parkEvent
+	parkWaitGroup
+	parkChanSend
+	parkChanRecv
+	parkQueueGet
+	parkSemaphore
+)
+
 // Proc is a simulated process (a cooperative green thread). A Proc handle is
 // also the capability through which the process calls blocking primitives.
 type Proc struct {
 	sim    *Sim
-	name   string
+	ident  ident
 	id     uint64
 	resume chan resumeMsg
 	state  procState
 	// daemon procs (poll loops, progress engines) do not keep the
 	// simulation alive: Run finishes when every non-daemon proc is done.
 	daemon bool
-	// blockReason is a human-readable description of what the Proc is
-	// blocked on, used in deadlock reports.
-	blockReason string
+	// blockKind/blockObj/blockArg describe what the Proc is blocked on;
+	// the human-readable reason is only formatted for deadlock reports.
+	blockKind parkKind
+	blockObj  labeler
+	blockArg  int64
 }
 
 // Name returns the name the Proc was spawned with.
-func (p *Proc) Name() string { return p.name }
+func (p *Proc) Name() string { return p.ident.String() }
 
 // Sim returns the simulation this Proc belongs to.
 func (p *Proc) Sim() *Sim { return p.sim }
@@ -154,7 +195,13 @@ func (s *Sim) SetMaxTime(d time.Duration) { s.maxTime = int64(d) }
 // or from a running Proc. The new Proc is appended to the ready queue and
 // starts running at the current virtual time, after already-ready Procs.
 func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
-	return s.spawn(name, fn, false)
+	return s.spawn(ident{name: name}, fn, false)
+}
+
+// SpawnID is Spawn with a lazily-formatted "prefix:id" name; per-message
+// spawn sites use it to avoid formatting a label nobody may ever read.
+func (s *Sim) SpawnID(prefix string, id int, fn func(p *Proc)) *Proc {
+	return s.spawn(ident{prefix: prefix, id: id}, fn, false)
 }
 
 // SpawnDaemon creates a Proc that does not keep the simulation alive:
@@ -162,14 +209,19 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 // Use it for poll loops and progress engines that run "for the life of the
 // application" (paper §3.2.2).
 func (s *Sim) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
-	return s.spawn(name, fn, true)
+	return s.spawn(ident{name: name}, fn, true)
 }
 
-func (s *Sim) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+// SpawnDaemonID is SpawnDaemon with a lazily-formatted "prefix:id" name.
+func (s *Sim) SpawnDaemonID(prefix string, id int, fn func(p *Proc)) *Proc {
+	return s.spawn(ident{prefix: prefix, id: id}, fn, true)
+}
+
+func (s *Sim) spawn(name ident, fn func(p *Proc), daemon bool) *Proc {
 	s.seq++
 	p := &Proc{
 		sim:    s,
-		name:   name,
+		ident:  name,
 		id:     s.seq,
 		resume: make(chan resumeMsg),
 		state:  stateReady,
@@ -196,7 +248,7 @@ func (s *Sim) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 			}
 			if r != nil {
 				if s.failure == nil {
-					s.failure = &PanicError{Proc: p.name, Value: r, Stack: string(debug.Stack())}
+					s.failure = &PanicError{Proc: p.Name(), Value: r, Stack: string(debug.Stack())}
 				}
 			}
 			p.state = stateDone
@@ -214,17 +266,22 @@ func (s *Sim) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 // guards against simulation state being touched from foreign goroutines.
 func (p *Proc) checkCurrent(op string) {
 	if p.sim.current != p {
-		panic(fmt.Sprintf("sim: %s called from proc %q which is not the running proc", op, p.name))
+		panic(fmt.Sprintf("sim: %s called from proc %q which is not the running proc", op, p.Name()))
 	}
 }
 
 // park blocks the calling Proc until something resumes it. The caller must
 // have registered p somewhere (timer heap, waiter list) that will eventually
-// call sim.unblock(p); otherwise the simulation deadlocks.
-func (p *Proc) park(reason string) {
+// call sim.unblock(p); otherwise the simulation deadlocks. The block reason
+// is recorded as (kind, object, argument) and only rendered to a string by
+// deadlock reports — parking is the hottest operation in the simulator and
+// must not allocate.
+func (p *Proc) park(kind parkKind, obj labeler, arg int64) {
 	p.checkCurrent("park")
 	p.state = stateBlocked
-	p.blockReason = reason
+	p.blockKind = kind
+	p.blockObj = obj
+	p.blockArg = arg
 	s := p.sim
 	s.yieldCh <- struct{}{}
 	msg := <-p.resume
@@ -232,7 +289,31 @@ func (p *Proc) park(reason string) {
 		panic(killSentinel)
 	}
 	p.state = stateRunning
-	p.blockReason = ""
+	p.blockKind = parkNone
+	p.blockObj = nil
+}
+
+// blockReason renders what a blocked Proc is waiting on (deadlock reports
+// only; never called on the hot path).
+func (p *Proc) blockReason() string {
+	switch p.blockKind {
+	case parkSleep:
+		return fmt.Sprintf("sleep until %v", time.Duration(p.blockArg))
+	case parkEvent:
+		return fmt.Sprintf("event %q", p.blockObj.label())
+	case parkWaitGroup:
+		return fmt.Sprintf("waitgroup %q (count %d)", p.blockObj.label(), p.blockArg)
+	case parkChanSend:
+		return fmt.Sprintf("chan send %q", p.blockObj.label())
+	case parkChanRecv:
+		return fmt.Sprintf("chan recv %q", p.blockObj.label())
+	case parkQueueGet:
+		return fmt.Sprintf("queue get %q", p.blockObj.label())
+	case parkSemaphore:
+		sem := p.blockObj.(*Semaphore)
+		return fmt.Sprintf("semaphore %q (want %d, avail %d)", sem.name, p.blockArg, sem.avail)
+	}
+	return "blocked"
 }
 
 // unblock moves a blocked Proc to the back of the ready queue.
@@ -254,8 +335,9 @@ func (p *Proc) Sleep(d time.Duration) {
 		d = 0
 	}
 	s.seq++
-	s.timers.push(timer{at: s.now + int64(d), seq: s.seq, p: p})
-	p.park(fmt.Sprintf("sleep until %v", time.Duration(s.now+int64(d))))
+	at := s.now + int64(d)
+	s.timers.push(timer{at: at, seq: s.seq, p: p})
+	p.park(parkSleep, nil, at)
 }
 
 // SleepJit sleeps for a jitter-perturbed d.
@@ -377,7 +459,7 @@ func (s *Sim) deadlockError() error {
 	var blocked []string
 	for _, p := range s.procs {
 		if p.state == stateBlocked {
-			blocked = append(blocked, fmt.Sprintf("%s: %s", p.name, p.blockReason))
+			blocked = append(blocked, fmt.Sprintf("%s: %s", p.Name(), p.blockReason()))
 		}
 	}
 	sort.Strings(blocked)
@@ -419,48 +501,59 @@ type timerHeap struct {
 
 func (h *timerHeap) len() int { return len(h.ts) }
 
-func (h *timerHeap) less(i, j int) bool {
-	if h.ts[i].at != h.ts[j].at {
-		return h.ts[i].at < h.ts[j].at
-	}
-	return h.ts[i].seq < h.ts[j].seq
-}
-
+// push sifts up with hold-and-shift: the new timer is written exactly once
+// at its final slot instead of swapping at every level.
 func (h *timerHeap) push(t timer) {
+	if h.ts == nil {
+		h.ts = make([]timer, 0, 64)
+	}
 	h.ts = append(h.ts, t)
 	i := len(h.ts) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.less(i, parent) {
+		pt := h.ts[parent]
+		if t.at > pt.at || (t.at == pt.at && t.seq > pt.seq) {
 			break
 		}
-		h.ts[i], h.ts[parent] = h.ts[parent], h.ts[i]
+		h.ts[i] = pt
 		i = parent
 	}
+	h.ts[i] = t
 }
 
 func (h *timerHeap) peek() timer { return h.ts[0] }
 
+// pop sifts down with hold-and-shift, moving the displaced tail element
+// directly to its final slot.
 func (h *timerHeap) pop() timer {
 	top := h.ts[0]
 	last := len(h.ts) - 1
-	h.ts[0] = h.ts[last]
+	t := h.ts[last]
 	h.ts = h.ts[:last]
+	if last == 0 {
+		return top
+	}
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < len(h.ts) && h.less(l, smallest) {
-			smallest = l
+		smallest := -1
+		st := t
+		if l < len(h.ts) {
+			if lt := h.ts[l]; lt.at < st.at || (lt.at == st.at && lt.seq < st.seq) {
+				smallest, st = l, lt
+			}
 		}
-		if r < len(h.ts) && h.less(r, smallest) {
-			smallest = r
+		if r < len(h.ts) {
+			if rt := h.ts[r]; rt.at < st.at || (rt.at == st.at && rt.seq < st.seq) {
+				smallest, st = r, rt
+			}
 		}
-		if smallest == i {
+		if smallest < 0 {
 			break
 		}
-		h.ts[i], h.ts[smallest] = h.ts[smallest], h.ts[i]
+		h.ts[i] = st
 		i = smallest
 	}
+	h.ts[i] = t
 	return top
 }

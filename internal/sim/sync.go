@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"fmt"
-	"time"
-)
+import "time"
 
 // semWaiter is a Proc parked on a semaphore acquire.
 type semWaiter struct {
@@ -30,6 +27,8 @@ func (s *Sim) NewSemaphore(name string, permits int) *Semaphore {
 // Available returns the current number of free permits.
 func (sem *Semaphore) Available() int { return sem.avail }
 
+func (sem *Semaphore) label() string { return sem.name }
+
 // Acquire obtains n permits, blocking p until they are available. FIFO
 // ordering: a large request at the head of the queue blocks later smaller
 // ones (no starvation).
@@ -43,7 +42,7 @@ func (sem *Semaphore) Acquire(p *Proc, n int) {
 		return
 	}
 	sem.waiters = append(sem.waiters, &semWaiter{p: p, n: n})
-	p.park(fmt.Sprintf("semaphore %q (want %d, avail %d)", sem.name, n, sem.avail))
+	p.park(parkSemaphore, sem, int64(n))
 }
 
 // TryAcquire obtains n permits without blocking, reporting success.
