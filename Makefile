@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt test race bench bench-json benchguard ci
+.PHONY: build vet fmt lintdoc test race race-live bench bench-json benchguard ci
 
 build:
 	$(GO) build ./...
@@ -20,11 +20,23 @@ fmt:
 		exit 1; \
 	fi
 
+# Doc lint: every exported declaration needs a doc comment (go/ast-based,
+# no external linter).
+lintdoc:
+	$(GO) run ./cmd/lintdoc
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./internal/...
+
+# Live-backend smoke under the race detector: the goroutine transport and
+# progress engine, driven end to end through the bench ping-pong.
+race-live:
+	$(GO) test -race ./internal/transport/live/
+	$(GO) test -race ./internal/core/ -run 'Conformance|Live'
+	$(GO) run -race ./cmd/dcgn-bench -backend live -exp pingpong
 
 # Bench smoke: every benchmark runs exactly once so they can't bit-rot.
 bench:
@@ -38,7 +50,7 @@ bench-json:
 # Allocation tripwire: fails if allocs/op on the matching benchmarks
 # regresses >20% against the committed baseline.
 benchguard:
-	$(GO) test -run='^$$' -bench='BenchmarkMatchIndex|BenchmarkHighFanoutMatching' \
+	$(GO) test -run='^$$' -bench='BenchmarkMatchIndex|BenchmarkHighFanoutMatching|BenchmarkEnginePingPong/sim' \
 		-benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchguard -baseline testdata/bench_baseline.json
 
-ci: build vet fmt test race bench benchguard
+ci: build vet fmt lintdoc test race race-live bench benchguard

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"dcgn"
 	"dcgn/internal/apps"
 	"dcgn/internal/core"
 	"dcgn/internal/gas"
@@ -331,6 +332,59 @@ func BenchmarkHighFanoutMatching(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEnginePingPong drives the layered progress engine — intake,
+// matcher, transport — through a fixed ping-pong workload on each backend.
+// On the simulated backend the allocs/op column is deterministic and
+// guarded by cmd/benchguard, so a new allocation anywhere on the
+// request path (intake post, match, wire relay, completion) trips CI. The
+// live variant reports wall-clock behavior of the same engine on real
+// goroutines; its scheduling-dependent allocations are not guarded.
+func BenchmarkEnginePingPong(b *testing.B) {
+	const (
+		iters   = 64
+		payload = 1024
+	)
+	run := func(b *testing.B, backend string) {
+		for i := 0; i < b.N; i++ {
+			cfg := dcgn.DefaultConfig()
+			cfg.Nodes, cfg.CPUKernels, cfg.GPUs = 2, 1, 0
+			cfg.Transport.Backend = backend
+			if backend == dcgn.BackendLive {
+				cfg.MaxVirtualTime = 30 * time.Second // wall-clock watchdog
+			}
+			job := dcgn.NewJob(cfg)
+			job.SetCPUKernel(func(c *dcgn.CPUCtx) {
+				buf := make([]byte, payload)
+				for k := 0; k < iters; k++ {
+					var err error
+					switch c.Rank() {
+					case 0:
+						if err = c.Send(1, buf); err == nil {
+							_, err = c.Recv(1, buf)
+						}
+					case 1:
+						if _, err = c.Recv(0, buf); err == nil {
+							err = c.Send(0, buf)
+						}
+					}
+					if err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			rep, err := job.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rep.Elapsed.Nanoseconds())/(2*iters), "oneway-ns")
+			b.ReportMetric(float64(rep.Requests)/float64(2*iters), "req-per-msg")
+		}
+	}
+	b.Run("sim", func(b *testing.B) { run(b, dcgn.BackendSim) })
+	b.Run("live", func(b *testing.B) { run(b, dcgn.BackendLive) })
 }
 
 // BenchmarkTable3Apps runs the DCGN side of the paper's §5.1 applications

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	dcgn-bench                 # run everything
-//	dcgn-bench -exp table1     # one experiment: table1|fig6|fig7|mandelbrot|cannon|nbody
+//	dcgn-bench -exp table1     # one experiment: table1|fig6|fig7|mandelbrot|cannon|nbody|pingpong
+//	dcgn-bench -backend live -exp pingpong  # ping-pong on the live goroutine backend
 //	dcgn-bench -json BENCH_2.json  # allocation/throughput profile (see json.go)
 package main
 
@@ -22,10 +23,12 @@ import (
 	"dcgn/internal/core"
 	"dcgn/internal/gas"
 	"dcgn/internal/metrics"
+	"dcgn/internal/transport"
 )
 
 var (
-	exp     = flag.String("exp", "all", "experiment to run: all|table1|fig6|fig7|mandelbrot|cannon|nbody")
+	exp     = flag.String("exp", "all", "experiment to run: all|table1|fig6|fig7|mandelbrot|cannon|nbody|pingpong")
+	backend = flag.String("backend", transport.BackendSim, "progress-engine backend: sim|live (only pingpong supports live)")
 	jsonOut = flag.String("json", "", "write the wall-clock/allocation profile as JSON to this file and exit")
 )
 
@@ -33,6 +36,16 @@ func main() {
 	flag.Parse()
 	if *jsonOut != "" {
 		writeProfileJSON(*jsonOut)
+		return
+	}
+	if *backend == transport.BackendLive {
+		// The paper's experiments measure the calibrated virtual-time model,
+		// which only exists on the simulated backend; the live backend runs
+		// the CPU-only ping-pong to exercise the real-goroutine engine.
+		if *exp != "all" && *exp != "pingpong" {
+			log.Fatalf("experiment %q needs -backend sim (the calibrated virtual-time model)", *exp)
+		}
+		pingpong()
 		return
 	}
 	run := func(name string, fn func()) {
@@ -47,11 +60,55 @@ func main() {
 	run("mandelbrot", mandelbrot)
 	run("cannon", cannon)
 	run("nbody", nbody)
+	run("pingpong", pingpong)
 	switch *exp {
-	case "all", "table1", "fig6", "fig7", "mandelbrot", "cannon", "nbody":
+	case "all", "table1", "fig6", "fig7", "mandelbrot", "cannon", "nbody", "pingpong":
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}
+}
+
+// pingpong runs a CPU:CPU cross-node ping-pong on the selected backend —
+// the one experiment that exercises both the deterministic simulated
+// transport (virtual time) and the live goroutine transport (wall clock).
+func pingpong() {
+	fmt.Printf("== Ping-pong: 2 nodes, 1 CPU rank each, backend=%s ==\n", *backend)
+	const iters = 100
+	var rows [][]string
+	for _, size := range []int{0, 1 << 10, 64 << 10, 1 << 20} {
+		cfg := core.DefaultConfig()
+		cfg.Nodes, cfg.CPUKernels, cfg.GPUs = 2, 1, 0
+		cfg.Transport.Backend = *backend
+		job := core.NewJob(cfg)
+		job.SetCPUKernel(func(c *core.CPUCtx) {
+			buf := make([]byte, size)
+			for i := 0; i < iters; i++ {
+				switch c.Rank() {
+				case 0:
+					check(c.Send(1, buf))
+					_, err := c.Recv(1, buf)
+					check(err)
+				case 1:
+					_, err := c.Recv(0, buf)
+					check(err)
+					check(c.Send(0, buf))
+				}
+			}
+		})
+		rep, err := job.Run()
+		check(err)
+		rows = append(rows, []string{
+			metrics.FormatBytes(float64(size)),
+			metrics.FormatDuration(rep.Elapsed / (2 * iters)),
+			fmt.Sprintf("%d", rep.NetPackets),
+			fmt.Sprintf("%d", rep.Requests),
+		})
+	}
+	clock := "virtual"
+	if *backend == transport.BackendLive {
+		clock = "wall-clock"
+	}
+	metrics.WriteAligned(os.Stdout, []string{"Size", "One-way (" + clock + ")", "Packets", "Requests"}, rows)
 }
 
 func table1() {

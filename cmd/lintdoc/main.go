@@ -1,0 +1,146 @@
+// Command lintdoc enforces doc comments on the repository's exported API
+// without pulling in an external linter. It walks every non-test Go file,
+// parses it with go/ast and reports any exported package-level
+// declaration — function, method on an exported type, type, constant or
+// variable — that has no doc comment. A method or grouped const/var is
+// covered by a comment on its enclosing declaration.
+//
+// Usage:
+//
+//	go run ./cmd/lintdoc [dir]
+//
+// The default dir is the current directory. The exit status is non-zero
+// if any undocumented exported declaration is found, so `make lintdoc`
+// and CI can gate on it.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		problems = append(problems, checkFile(fset, file)...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintdoc:", err)
+		os.Exit(2)
+	}
+	sort.Strings(problems)
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "lintdoc: %d undocumented exported declaration(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// checkFile reports every undocumented exported top-level declaration in
+// one parsed file.
+func checkFile(fset *token.FileSet, file *ast.File) []string {
+	var problems []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s is undocumented", p.Filename, p.Line, kind, name))
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil {
+				// Methods: only require docs when the receiver type is
+				// itself exported (methods implementing an interface on an
+				// unexported type are internal detail).
+				recv := receiverName(d.Recv)
+				if !ast.IsExported(recv) {
+					continue
+				}
+				report(d.Pos(), "method", recv+"."+d.Name.Name)
+				continue
+			}
+			report(d.Pos(), "function", d.Name.Name)
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A doc comment on the grouped decl covers all specs.
+					if d.Doc != nil || s.Doc != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), strings.ToLower(d.Tok.String()), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// receiverName extracts the receiver's type name ("T" for both T and *T).
+func receiverName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch e := t.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	case *ast.IndexListExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}

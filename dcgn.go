@@ -45,6 +45,7 @@ import (
 	"dcgn/internal/fabric"
 	"dcgn/internal/mpi"
 	"dcgn/internal/pcie"
+	"dcgn/internal/transport"
 )
 
 // Core job types. See the corresponding internal/core documentation for
@@ -72,6 +73,13 @@ type (
 	// Report summarizes a completed run (virtual elapsed time, traffic and
 	// polling statistics).
 	Report = core.Report
+	// NodeStats is one node's per-layer progress-engine statistics
+	// (Report.Nodes).
+	NodeStats = core.NodeStats
+	// TransportConfig selects the progress-engine backend
+	// (Config.Transport): the deterministic simulated MPI transport, or
+	// the live goroutine/channel transport on the wall clock.
+	TransportConfig = transport.Config
 	// RankMap is the paper's Cn + Gn*Sn rank-assignment rule.
 	RankMap = core.RankMap
 	// NodeSpec describes one node's resource shape for heterogeneous
@@ -103,6 +111,15 @@ type (
 
 // AnySource matches any sending rank in Recv.
 const AnySource = core.AnySource
+
+// Progress-engine backend names for TransportConfig.Backend.
+const (
+	// BackendSim is the default deterministic simulated-MPI backend.
+	BackendSim = transport.BackendSim
+	// BackendLive runs the engine on real goroutines over an in-process
+	// channel transport, on the wall clock (CPU kernels only).
+	BackendLive = transport.BackendLive
+)
 
 // DevNull is the device null pointer.
 const DevNull = device.Null

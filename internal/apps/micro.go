@@ -21,6 +21,7 @@ const (
 	EPGPU
 )
 
+// String names the endpoint kind for table and benchmark labels.
 func (e Endpoint) String() string {
 	if e == EPCPU {
 		return "CPU"

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"dcgn/internal/transport"
+)
+
+// collector is the progress engine's collective-accumulation layer: it
+// gathers local arrivals for each collective until every resident rank has
+// joined, then executes one node-level transport call and disperses the
+// results locally (paper §3.2.3).
+type collector interface {
+	// add registers one rank's arrival, executing the collective once all
+	// resident ranks have joined.
+	add(p transport.Proc, req *request)
+	// pending reports how many collective requests are parked waiting for
+	// the rest of their group.
+	pending() int
+}
+
+// collGroup gathers local arrivals for one in-progress collective.
+type collGroup struct {
+	root    int
+	size    int // per-rank payload size, must agree across members
+	members []*request
+	// err records a mismatch among the arrivals (root or size). The group
+	// keeps accumulating so late ranks don't hang, and fails every member
+	// once complete.
+	err error
+}
+
+// collAccum is the default collector, owned by one comm thread.
+type collAccum struct {
+	ns     *nodeState
+	groups map[opKind]*collGroup
+}
+
+func newCollAccum(ns *nodeState) *collAccum {
+	return &collAccum{ns: ns, groups: make(map[opKind]*collGroup)}
+}
+
+func (ca *collAccum) pending() int {
+	n := 0
+	for _, g := range ca.groups {
+		n += len(g.members)
+	}
+	return n
+}
+
+// add accumulates arrivals; once every resident rank has initiated the
+// collective, the underlying transport collective runs and results are
+// dispersed locally (paper §3.2.3). Arrivals that disagree on the root or
+// payload size poison the group rather than panicking or hanging: the
+// group still waits for all residents (so nobody blocks forever on a
+// missing member), then every member completes with the mismatch error.
+func (ca *collAccum) add(p transport.Proc, req *request) {
+	ns := ca.ns
+	g := ca.groups[req.op]
+	if g == nil {
+		g = &collGroup{root: req.peer, size: -1}
+		ca.groups[req.op] = g
+	}
+	if req.peer != g.root && g.err == nil {
+		g.err = fmt.Errorf("dcgn: collective %v root mismatch on node %d: rank %d joined with root %d, group has root %d",
+			req.op, ns.node, req.rank, req.peer, g.root)
+	}
+	if req.op != opBarrier {
+		n := collPayloadLen(req)
+		if g.size == -1 {
+			g.size = n
+		} else if g.size != n && g.err == nil {
+			g.err = fmt.Errorf("dcgn: collective %v size mismatch on node %d: rank %d joined with %d bytes, group has %d",
+				req.op, ns.node, req.rank, n, g.size)
+		}
+	}
+	g.members = append(g.members, req)
+	if len(g.members) < ns.localRanks() {
+		return
+	}
+	delete(ca.groups, req.op)
+	sort.Slice(g.members, func(i, j int) bool { return g.members[i].rank < g.members[j].rank })
+	if g.err != nil {
+		ns.failCollective(g, g.err)
+		return
+	}
+	switch req.op {
+	case opBarrier:
+		ns.execBarrier(p, g)
+	case opBcast:
+		ns.execBcast(p, g)
+	case opGather:
+		ns.execGather(p, g)
+	case opScatter:
+		ns.execScatter(p, g)
+	case opAlltoall:
+		ns.execAlltoall(p, g)
+	}
+}
+
+// execAlltoall implements the paper's general pattern for all-to-all: the
+// node concatenates its residents' contributions, one vector all-to-all
+// runs per node (Alltoallv, since node populations may differ), and
+// per-rank chunks are dispersed locally.
+func (ns *nodeState) execAlltoall(p transport.Proc, g *collGroup) {
+	rm := ns.job.rmap
+	total := rm.Total()
+	local := len(g.members)
+	if g.size%total != 0 {
+		ns.failCollective(g, fmt.Errorf("dcgn: alltoall buffer %d not divisible by %d ranks", g.size, total))
+		return
+	}
+	chunk := g.size / total
+	nodes := rm.Nodes()
+
+	// Node send buffer: for each destination node j, each local member a
+	// contributes its chunks addressed to node j's ranks (a-major order).
+	sendCounts := make([]int, nodes)
+	recvCounts := make([]int, nodes)
+	for j := 0; j < nodes; j++ {
+		sendCounts[j] = local * rm.PerNode(j) * chunk
+		recvCounts[j] = rm.PerNode(j) * local * chunk
+	}
+	scratch := ns.job.pool.Get(local * total * chunk)
+	sendBuf := scratch[:0]
+	for j := 0; j < nodes; j++ {
+		base := rm.Base(j) * chunk
+		span := rm.PerNode(j) * chunk
+		for _, m := range g.members {
+			ns.chargeMemcpy(p, span)
+			sendBuf = append(sendBuf, m.buf[base:base+span]...)
+		}
+	}
+	recvBuf := ns.job.pool.Get(local * total * chunk)
+	err := ns.tr.Alltoallv(p, sendBuf, sendCounts, recvBuf, recvCounts)
+	ns.job.pool.Put(scratch)
+	if err != nil {
+		ns.job.pool.Put(recvBuf)
+		ns.failCollective(g, err)
+		return
+	}
+	// Disperse: the block from node i is laid out a-major (node i's local
+	// ranks), b-minor (our members); member lb's chunk from global rank a
+	// sits at displ(i) + (la*local + lb)*chunk.
+	displ := 0
+	for i := 0; i < nodes; i++ {
+		for la := 0; la < rm.PerNode(i); la++ {
+			a := rm.Base(i) + la
+			for lb, m := range g.members {
+				src := recvBuf[displ+(la*local+lb)*chunk:]
+				ns.chargeMemcpy(p, chunk)
+				copy(m.recvBuf[a*chunk:(a+1)*chunk], src[:chunk])
+			}
+		}
+		displ += recvCounts[i]
+	}
+	ns.job.pool.Put(recvBuf)
+	for _, m := range g.members {
+		p.SleepJit(ns.job.cfg.Params.NotifyCost)
+		m.complete(0, chunk, nil)
+	}
+}
+
+// collPayloadLen returns the per-rank payload size of a collective request.
+func collPayloadLen(req *request) int {
+	switch req.op {
+	case opBcast:
+		return len(req.buf)
+	case opGather:
+		return len(req.buf) // contribution size
+	case opScatter:
+		return len(req.recvBuf) // per-rank chunk size
+	case opAlltoall:
+		return len(req.buf) // full send buffer (Total * chunk)
+	}
+	return 0
+}
+
+// execBarrier runs the node-level barrier and releases all local ranks.
+func (ns *nodeState) execBarrier(p transport.Proc, g *collGroup) {
+	if err := ns.tr.Barrier(p); err != nil {
+		ns.failCollective(g, err)
+		return
+	}
+	for _, m := range g.members {
+		p.SleepJit(ns.job.cfg.Params.NotifyCost)
+		m.complete(0, 0, nil)
+	}
+}
+
+// execBcast runs the node-level broadcast using the root's buffer if the
+// root is resident, otherwise the first arrival's buffer (the paper picks
+// one "at random"; first arrival keeps runs deterministic), then copies
+// into all other local buffers.
+func (ns *nodeState) execBcast(p transport.Proc, g *collGroup) {
+	rootNode := ns.job.rmap.Node(g.root)
+	chosen := g.members[0]
+	for _, m := range g.members {
+		if m.rank == g.root {
+			chosen = m
+			break
+		}
+	}
+	if err := ns.tr.Bcast(p, chosen.buf, rootNode); err != nil {
+		ns.failCollective(g, err)
+		return
+	}
+	ns.disperse(p, g, func(m *request) {
+		if m != chosen {
+			copy(m.buf, chosen.buf)
+		}
+	})
+	for _, m := range g.members {
+		p.SleepJit(ns.job.cfg.Params.NotifyCost)
+		m.complete(g.root, len(m.buf), nil)
+	}
+}
+
+// execGather concatenates local contributions in rank order, runs the
+// vector gather (per-node counts differ only in heterogeneous setups, but
+// the vector variant is what the paper prescribes), and hands the root its
+// assembled buffer.
+func (ns *nodeState) execGather(p transport.Proc, g *collGroup) {
+	rm := ns.job.rmap
+	rootNode := rm.Node(g.root)
+	chunk := g.size
+	nodeBuf := ns.job.pool.Get(ns.localRanks() * chunk)
+	defer ns.job.pool.Put(nodeBuf)
+	for i, m := range g.members {
+		ns.chargeMemcpy(p, chunk)
+		copy(nodeBuf[i*chunk:], m.buf)
+	}
+	counts := make([]int, rm.Nodes())
+	for i := range counts {
+		counts[i] = rm.PerNode(i) * chunk
+	}
+	var rootDst []byte
+	for _, m := range g.members {
+		if m.rank == g.root {
+			rootDst = m.recvBuf
+		}
+	}
+	if rootNode == ns.node && rootDst == nil {
+		panic("dcgn: gather root resident but no destination buffer")
+	}
+	if err := ns.tr.Gatherv(p, nodeBuf, rootDst, counts, rootNode); err != nil {
+		ns.failCollective(g, err)
+		return
+	}
+	for _, m := range g.members {
+		p.SleepJit(ns.job.cfg.Params.NotifyCost)
+		m.complete(g.root, chunk, nil)
+	}
+}
+
+// execScatter runs the vector scatter from the root's buffer and disperses
+// per-rank chunks locally.
+func (ns *nodeState) execScatter(p transport.Proc, g *collGroup) {
+	rm := ns.job.rmap
+	rootNode := rm.Node(g.root)
+	chunk := g.size
+	counts := make([]int, rm.Nodes())
+	for i := range counts {
+		counts[i] = rm.PerNode(i) * chunk
+	}
+	var rootSrc []byte
+	for _, m := range g.members {
+		if m.rank == g.root {
+			rootSrc = m.buf
+		}
+	}
+	if rootNode == ns.node && rootSrc == nil {
+		panic("dcgn: scatter root resident but no source buffer")
+	}
+	nodeBuf := ns.job.pool.Get(ns.localRanks() * chunk)
+	defer ns.job.pool.Put(nodeBuf)
+	if err := ns.tr.Scatterv(p, rootSrc, counts, nodeBuf, rootNode); err != nil {
+		ns.failCollective(g, err)
+		return
+	}
+	ns.disperse(p, g, func(m *request) {
+		i := sort.Search(len(g.members), func(j int) bool { return g.members[j].rank >= m.rank })
+		copy(m.recvBuf, nodeBuf[i*chunk:(i+1)*chunk])
+	})
+	for _, m := range g.members {
+		p.SleepJit(ns.job.cfg.Params.NotifyCost)
+		m.complete(g.root, chunk, nil)
+	}
+}
+
+// disperse performs the local result copies for a collective, charging
+// either sequential memcpys (the paper's implementation) or the proposed
+// tree-dispersal time (its "future optimization", for the ablation bench).
+func (ns *nodeState) disperse(p transport.Proc, g *collGroup, cp func(m *request)) {
+	k := len(g.members) - 1 // copies needed
+	if k <= 0 {
+		for _, m := range g.members {
+			cp(m)
+		}
+		return
+	}
+	per := time.Duration(float64(collPayloadOf(g)) / ns.job.cfg.Params.LocalMemcpyBW * 1e9)
+	if ns.job.cfg.Params.TreeDispersal {
+		rounds := int(math.Ceil(math.Log2(float64(k + 1))))
+		p.SleepJit(time.Duration(rounds) * per)
+	} else {
+		p.SleepJit(time.Duration(k) * per)
+	}
+	for _, m := range g.members {
+		cp(m)
+	}
+}
+
+// collPayloadOf returns the dispersal copy size for a group.
+func collPayloadOf(g *collGroup) int {
+	if g.size < 0 {
+		return 0
+	}
+	return g.size
+}
+
+// failCollective propagates a collective error to every member.
+func (ns *nodeState) failCollective(g *collGroup, err error) {
+	for _, m := range g.members {
+		m.complete(g.root, 0, err)
+	}
+}

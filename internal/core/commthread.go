@@ -3,69 +3,66 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
-	"sort"
-	"time"
 
 	"dcgn/internal/device"
-	"dcgn/internal/mpi"
 	"dcgn/internal/pcie"
-	"dcgn/internal/sim"
+	"dcgn/internal/transport"
 )
 
 // ErrTruncate is reported when a received message exceeds the posted
 // buffer.
 var ErrTruncate = errors.New("dcgn: message truncated (recv buffer too small)")
 
-// nodeState is the per-node DCGN process: queues, matching state and the
-// collective accumulator, all owned by the node's communication thread.
+// nodeState is the per-node DCGN process, structured as the three layers
+// of the progress engine:
+//
+//   - intake (intake.go) normalizes CPU-kernel requests, GPU-monitor
+//     requests and inbound wire messages into one request stream;
+//   - index + coll (matchindex.go, collectives.go) hold the matching and
+//     collective-accumulation state. DCGN has no tags: matching is FIFO
+//     per (source, destination) pair with AnySource receives, and
+//     collectives accumulate until every resident rank has joined
+//     (paper §3.2.3);
+//   - tr (internal/transport) carries framed wire messages and node-level
+//     collectives to the other nodes.
+//
+// The communication thread (runCommThread) is the only goroutine that
+// touches index, coll and tr — the paper's "exactly one communication
+// thread per node owns the underlying MPI library".
 type nodeState struct {
-	job     *Job
-	node    int
-	mpiRank *mpi.Rank
-	bus     *pcie.Bus
-	devs    []*device.Device
-	gpus    []*gpuThread
+	job  *Job
+	node int
+	tr   transport.Transport
+	bus  *pcie.Bus
+	devs []*device.Device
+	gpus []*gpuThread
 
-	// queue funnels every request (local kernels, GPU monitors) and every
-	// inbound wire message to the comm thread.
-	queue *sim.Queue[commMsg]
-
-	// index is the matching state. DCGN has no tags: matching is FIFO per
-	// (source, destination) pair, with AnySource receives; the index keeps
-	// every lookup amortized O(1) (see matchindex.go).
-	index *matchIndex
-
-	// coll accumulates collective arrivals until every resident rank has
-	// joined (paper §3.2.3).
-	coll map[opKind]*collGroup
+	intake *intake
+	index  matcher
+	coll   collector
 
 	// Stats.
 	requestsHandled int
 }
 
-// collGroup gathers local arrivals for one in-progress collective.
-type collGroup struct {
-	root    int
-	size    int // per-rank payload size, must agree across members
-	members []*request
-}
-
-// start spawns the node's communication thread and its MPI receiver helper.
-// Both run for the life of the application (daemons).
+// start spawns the node's communication thread and its transport receiver
+// helper. Both run for the life of the application (daemons).
 func (ns *nodeState) start() {
-	s := ns.job.sim
-	s.SpawnDaemonID("comm", ns.node, ns.runCommThread)
-	s.SpawnDaemonID("mpi-recv", ns.node, ns.runReceiver)
+	rt := ns.job.rt
+	rt.SpawnDaemonID("comm", ns.node, ns.runCommThread)
+	rt.SpawnDaemonID("mpi-recv", ns.node, ns.runReceiver)
 }
 
-// runCommThread is the single thread that owns the underlying MPI: it
-// drains the work queue, performs local matching with memcpy, relays
-// remote traffic, and executes collective MPI calls once all local ranks
-// have arrived.
-func (ns *nodeState) runCommThread(p *sim.Proc) {
+// runCommThread is the progress engine's event loop: it drains the intake
+// stream and routes each event to the matching layer (point-to-point),
+// the collective accumulator, or the transport (remote relays). All
+// engine state is confined to this thread.
+func (ns *nodeState) runCommThread(p transport.Proc) {
 	for {
-		msg := ns.queue.Get(p)
+		msg, ok := ns.intake.next(p)
+		if !ok {
+			return // intake shut down (live backend teardown)
+		}
 		p.SleepJit(ns.job.cfg.Params.DispatchCost)
 		ns.requestsHandled++
 		switch {
@@ -77,15 +74,18 @@ func (ns *nodeState) runCommThread(p *sim.Proc) {
 	}
 }
 
-// runReceiver blocks in MPI receives for inbound DCGN messages and funnels
-// them to the comm thread. The take-ownership receive hands us the sender's
-// pooled wire buffer directly — no staging buffer and no copy; the payload
-// aliases the wire buffer until the comm thread delivers it and returns the
-// buffer to the pool.
-func (ns *nodeState) runReceiver(p *sim.Proc) {
+// runReceiver blocks in transport receives for inbound DCGN messages and
+// funnels them to the comm thread. The take-ownership receive hands us the
+// sender's pooled wire buffer directly — no staging buffer and no copy;
+// the payload aliases the wire buffer until the comm thread delivers it
+// and returns the buffer to the pool.
+func (ns *nodeState) runReceiver(p transport.Proc) {
 	for {
-		_, msg, err := ns.mpiRank.RecvMsg(p, mpi.AnySource, dcgnTag)
+		msg, err := ns.tr.RecvMsg(p)
 		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return // transport shut down (live backend teardown)
+			}
 			panic(fmt.Sprintf("dcgn: receiver on node %d: %v", ns.node, err))
 		}
 		src, dst, payload, err := unpackWire(msg)
@@ -93,12 +93,12 @@ func (ns *nodeState) runReceiver(p *sim.Proc) {
 			panic(fmt.Sprintf("dcgn: receiver on node %d: %v", ns.node, err))
 		}
 		p.SleepJit(ns.job.cfg.Params.RemoteRelayCost)
-		ns.queue.Put(commMsg{in: &inbound{src: src, dst: dst, data: payload, backing: msg}})
+		ns.intake.postInbound(&inbound{src: src, dst: dst, data: payload, backing: msg})
 	}
 }
 
 // handleRequest routes one local request.
-func (ns *nodeState) handleRequest(p *sim.Proc, req *request) {
+func (ns *nodeState) handleRequest(p transport.Proc, req *request) {
 	switch req.op {
 	case opSend:
 		ns.handleSend(p, req)
@@ -107,438 +107,11 @@ func (ns *nodeState) handleRequest(p *sim.Proc, req *request) {
 	case opSendrecv:
 		ns.handleSendrecv(p, req)
 	case opBarrier, opBcast, opGather, opScatter, opAlltoall:
-		ns.handleCollective(p, req)
+		ns.coll.add(p, req)
 	default:
 		panic(fmt.Sprintf("dcgn: unknown op %v", req.op))
 	}
 }
 
-// handleSendrecv splits a combined exchange into its send and receive
-// halves and completes the parent when both finish. The split happens
-// inside the comm thread, so a GPU-sourced exchange costs a single mailbox
-// round trip — the optimization §5.1 credits for Cannon's performance.
-func (ns *nodeState) handleSendrecv(p *sim.Proc, req *request) {
-	s := ns.job.sim
-	sendPart := &request{
-		op: opSend, rank: req.rank, peer: req.peer, buf: req.buf,
-		done: s.NewEventID("srv-send", req.rank),
-	}
-	recvPart := &request{
-		op: opRecv, rank: req.rank, peer: req.peer2, buf: req.recvBuf,
-		done: s.NewEventID("srv-recv", req.rank),
-	}
-	ns.handleRecv(p, recvPart)
-	ns.handleSend(p, sendPart)
-	s.Spawn("dcgn-sendrecv-join", func(h *sim.Proc) {
-		sendPart.done.Wait(h)
-		recvPart.done.Wait(h)
-		err := sendPart.err
-		if err == nil {
-			err = recvPart.err
-		}
-		req.complete(recvPart.status.Source, recvPart.status.Bytes, err)
-	})
-}
-
-// handleSend matches a local-destination send against posted receives or
-// relays a remote-destination send over MPI.
-func (ns *nodeState) handleSend(p *sim.Proc, req *request) {
-	ns.observe(p, req)
-	dstNode := ns.job.rmap.Node(req.peer)
-	if dstNode != ns.node {
-		// Remote: a helper performs the (possibly rendezvous) MPI send so
-		// the comm thread keeps draining its queue; completion is signaled
-		// when the underlying send completes, as in the paper's dataflow
-		// (Fig. 2, steps 2-3).
-		msg := packWire(ns.job.pool, req.rank, req.peer, req.buf)
-		ns.job.sim.SpawnID("dcgn-tx", ns.node, func(h *sim.Proc) {
-			h.SleepJit(ns.job.cfg.Params.RemoteRelayCost)
-			err := ns.mpiRank.Send(h, msg, dstNode, dcgnTag)
-			// Send has buffered semantics (eager copy or rendezvous
-			// snapshot), so the wire buffer is ours again once it returns.
-			ns.job.pool.Put(msg)
-			h.SleepJit(ns.job.cfg.Params.NotifyCost)
-			req.complete(req.rank, len(req.buf), err)
-		})
-		return
-	}
-	// Local destination: match a posted receive (FIFO).
-	if rr := ns.index.takeRecvFor(req.rank, req.peer); rr != nil {
-		ns.matched(p, req, rr)
-		ns.deliverLocal(p, req, rr)
-		return
-	}
-	ns.index.addSend(req)
-}
-
-// handleRecv matches a posted receive against pending local sends, then
-// against unexpected inbound messages; otherwise it is queued.
-func (ns *nodeState) handleRecv(p *sim.Proc, req *request) {
-	ns.observe(p, req)
-	if req.peer != AnySource && ns.job.rmap.Node(req.peer) == ns.node {
-		// Potential local sender.
-		if sr := ns.index.takeSendFrom(req.peer, req.rank); sr != nil {
-			ns.matched(p, req, sr)
-			ns.deliverLocal(p, sr, req)
-			return
-		}
-	}
-	if req.peer == AnySource {
-		if sr := ns.index.takeSendTo(req.rank); sr != nil {
-			ns.matched(p, req, sr)
-			ns.deliverLocal(p, sr, req)
-			return
-		}
-	}
-	if in := ns.index.takeUnexpectedFor(req.peer, req.rank); in != nil {
-		ns.matched(p, req, nil)
-		ns.deliverInbound(p, in, req, true)
-		return
-	}
-	ns.index.addRecv(req)
-}
-
-// handleInbound matches a wire message against posted receives.
-func (ns *nodeState) handleInbound(p *sim.Proc, in *inbound) {
-	if rr := ns.index.takeRecvFor(in.src, in.dst); rr != nil {
-		ns.matched(p, nil, rr)
-		ns.deliverInbound(p, in, rr, false)
-		return
-	}
-	ns.index.addUnexpected(in)
-}
-
-// observe stamps a point-to-point request as it is first handled: the
-// current queue depth and the handling time, from which the trace layer
-// derives how long the request waited in the matching index.
-func (ns *nodeState) observe(p *sim.Proc, req *request) {
-	req.handledAt = p.Now()
-	req.queueDepth = ns.index.depth()
-}
-
-// matched stamps both sides of a match with the match time. Either side
-// may be nil (inbound wire messages are not traced requests).
-func (ns *nodeState) matched(p *sim.Proc, a, b *request) {
-	now := p.Now()
-	if a != nil {
-		a.matchedAt = now
-	}
-	if b != nil {
-		b.matchedAt = now
-	}
-}
-
-// deliverLocal completes a matched local send/recv pair: the comm thread
-// performs the memcpy itself instead of using MPI (paper §6.2).
-func (ns *nodeState) deliverLocal(p *sim.Proc, send, recv *request) {
-	n := len(send.buf)
-	var err error
-	if n > len(recv.buf) {
-		n = len(recv.buf)
-		err = ErrTruncate
-	}
-	ns.chargeMemcpy(p, n)
-	copy(recv.buf[:n], send.buf[:n])
-	p.SleepJit(ns.job.cfg.Params.NotifyCost)
-	send.complete(send.rank, len(send.buf), err)
-	p.SleepJit(ns.job.cfg.Params.NotifyCost)
-	recv.complete(send.rank, n, err)
-}
-
-// deliverInbound completes a posted receive with a wire payload. A
-// pre-posted receive is delivered without a staging copy (the underlying
-// MPI lands data in the matched buffer); only messages that sat in the
-// unexpected queue pay the memcpy.
-func (ns *nodeState) deliverInbound(p *sim.Proc, in *inbound, recv *request, wasUnexpected bool) {
-	n := len(in.data)
-	var err error
-	if n > len(recv.buf) {
-		n = len(recv.buf)
-		err = ErrTruncate
-	}
-	if wasUnexpected {
-		ns.chargeMemcpy(p, n)
-	}
-	copy(recv.buf[:n], in.data[:n])
-	if in.backing != nil {
-		ns.job.pool.Put(in.backing)
-		in.backing, in.data = nil, nil
-	}
-	p.SleepJit(ns.job.cfg.Params.NotifyCost)
-	recv.complete(in.src, n, err)
-}
-
-// chargeMemcpy charges the comm thread for one staging copy.
-func (ns *nodeState) chargeMemcpy(p *sim.Proc, n int) {
-	if n == 0 {
-		return
-	}
-	p.SleepJit(time.Duration(float64(n) / ns.job.cfg.Params.LocalMemcpyBW * 1e9))
-}
-
 // localRanks returns how many virtual ranks live on this node.
 func (ns *nodeState) localRanks() int { return ns.job.rmap.PerNode(ns.node) }
-
-// handleCollective accumulates arrivals; once every resident rank has
-// initiated the collective, the underlying MPI collective runs and results
-// are dispersed locally (paper §3.2.3).
-func (ns *nodeState) handleCollective(p *sim.Proc, req *request) {
-	g := ns.coll[req.op]
-	if g == nil {
-		g = &collGroup{root: req.peer, size: -1}
-		ns.coll[req.op] = g
-	}
-	if req.peer != g.root {
-		panic(fmt.Sprintf("dcgn: collective %v root mismatch on node %d: %d vs %d", req.op, ns.node, req.peer, g.root))
-	}
-	if req.op != opBarrier {
-		n := collPayloadLen(req)
-		if g.size == -1 {
-			g.size = n
-		} else if g.size != n {
-			panic(fmt.Sprintf("dcgn: collective %v size mismatch on node %d: %d vs %d", req.op, ns.node, n, g.size))
-		}
-	}
-	g.members = append(g.members, req)
-	if len(g.members) < ns.localRanks() {
-		return
-	}
-	delete(ns.coll, req.op)
-	sort.Slice(g.members, func(i, j int) bool { return g.members[i].rank < g.members[j].rank })
-	switch req.op {
-	case opBarrier:
-		ns.execBarrier(p, g)
-	case opBcast:
-		ns.execBcast(p, g)
-	case opGather:
-		ns.execGather(p, g)
-	case opScatter:
-		ns.execScatter(p, g)
-	case opAlltoall:
-		ns.execAlltoall(p, g)
-	}
-}
-
-// execAlltoall implements the paper's general pattern for all-to-all: the
-// node concatenates its residents' contributions, one vector MPI
-// all-to-all runs per node (Alltoallv, since node populations may differ),
-// and per-rank chunks are dispersed locally.
-func (ns *nodeState) execAlltoall(p *sim.Proc, g *collGroup) {
-	rm := ns.job.rmap
-	total := rm.Total()
-	local := len(g.members)
-	if g.size%total != 0 {
-		panic(fmt.Sprintf("dcgn: alltoall buffer %d not divisible by %d ranks", g.size, total))
-	}
-	chunk := g.size / total
-	nodes := rm.Nodes()
-
-	// Node send buffer: for each destination node j, each local member a
-	// contributes its chunks addressed to node j's ranks (a-major order).
-	sendCounts := make([]int, nodes)
-	recvCounts := make([]int, nodes)
-	for j := 0; j < nodes; j++ {
-		sendCounts[j] = local * rm.PerNode(j) * chunk
-		recvCounts[j] = rm.PerNode(j) * local * chunk
-	}
-	scratch := ns.job.pool.Get(local * total * chunk)
-	sendBuf := scratch[:0]
-	for j := 0; j < nodes; j++ {
-		base := rm.Base(j) * chunk
-		span := rm.PerNode(j) * chunk
-		for _, m := range g.members {
-			ns.chargeMemcpy(p, span)
-			sendBuf = append(sendBuf, m.buf[base:base+span]...)
-		}
-	}
-	recvBuf := ns.job.pool.Get(local * total * chunk)
-	err := ns.mpiRank.Alltoallv(p, sendBuf, sendCounts, recvBuf, recvCounts)
-	ns.job.pool.Put(scratch)
-	if err != nil {
-		ns.job.pool.Put(recvBuf)
-		ns.failCollective(g, err)
-		return
-	}
-	// Disperse: the block from node i is laid out a-major (node i's local
-	// ranks), b-minor (our members); member lb's chunk from global rank a
-	// sits at displ(i) + (la*local + lb)*chunk.
-	displ := 0
-	for i := 0; i < nodes; i++ {
-		for la := 0; la < rm.PerNode(i); la++ {
-			a := rm.Base(i) + la
-			for lb, m := range g.members {
-				src := recvBuf[displ+(la*local+lb)*chunk:]
-				ns.chargeMemcpy(p, chunk)
-				copy(m.recvBuf[a*chunk:(a+1)*chunk], src[:chunk])
-			}
-		}
-		displ += recvCounts[i]
-	}
-	ns.job.pool.Put(recvBuf)
-	for _, m := range g.members {
-		p.SleepJit(ns.job.cfg.Params.NotifyCost)
-		m.complete(0, chunk, nil)
-	}
-}
-
-// collPayloadLen returns the per-rank payload size of a collective request.
-func collPayloadLen(req *request) int {
-	switch req.op {
-	case opBcast:
-		return len(req.buf)
-	case opGather:
-		return len(req.buf) // contribution size
-	case opScatter:
-		return len(req.recvBuf) // per-rank chunk size
-	case opAlltoall:
-		return len(req.buf) // full send buffer (Total * chunk)
-	}
-	return 0
-}
-
-// execBarrier runs the node-level MPI barrier and releases all local ranks.
-func (ns *nodeState) execBarrier(p *sim.Proc, g *collGroup) {
-	ns.mpiRank.Barrier(p)
-	for _, m := range g.members {
-		p.SleepJit(ns.job.cfg.Params.NotifyCost)
-		m.complete(0, 0, nil)
-	}
-}
-
-// execBcast runs the node-level MPI broadcast using the root's buffer if
-// the root is resident, otherwise the first arrival's buffer (the paper
-// picks one "at random"; first arrival keeps runs deterministic), then
-// copies into all other local buffers.
-func (ns *nodeState) execBcast(p *sim.Proc, g *collGroup) {
-	rootNode := ns.job.rmap.Node(g.root)
-	chosen := g.members[0]
-	for _, m := range g.members {
-		if m.rank == g.root {
-			chosen = m
-			break
-		}
-	}
-	if err := ns.mpiRank.Bcast(p, chosen.buf, rootNode); err != nil {
-		ns.failCollective(g, err)
-		return
-	}
-	ns.disperse(p, g, func(m *request) {
-		if m != chosen {
-			copy(m.buf, chosen.buf)
-		}
-	})
-	for _, m := range g.members {
-		p.SleepJit(ns.job.cfg.Params.NotifyCost)
-		m.complete(g.root, len(m.buf), nil)
-	}
-}
-
-// execGather concatenates local contributions in rank order, runs the
-// vector MPI gather (per-node counts differ only in heterogeneous setups,
-// but the vector variant is what the paper prescribes), and hands the root
-// its assembled buffer.
-func (ns *nodeState) execGather(p *sim.Proc, g *collGroup) {
-	rm := ns.job.rmap
-	rootNode := rm.Node(g.root)
-	chunk := g.size
-	nodeBuf := ns.job.pool.Get(ns.localRanks() * chunk)
-	defer ns.job.pool.Put(nodeBuf)
-	for i, m := range g.members {
-		ns.chargeMemcpy(p, chunk)
-		copy(nodeBuf[i*chunk:], m.buf)
-	}
-	counts := make([]int, rm.Nodes())
-	for i := range counts {
-		counts[i] = rm.PerNode(i) * chunk
-	}
-	var rootDst []byte
-	for _, m := range g.members {
-		if m.rank == g.root {
-			rootDst = m.recvBuf
-		}
-	}
-	if rootNode == ns.node && rootDst == nil {
-		panic("dcgn: gather root resident but no destination buffer")
-	}
-	if err := ns.mpiRank.Gatherv(p, nodeBuf, rootDst, counts, rootNode); err != nil {
-		ns.failCollective(g, err)
-		return
-	}
-	for _, m := range g.members {
-		p.SleepJit(ns.job.cfg.Params.NotifyCost)
-		m.complete(g.root, chunk, nil)
-	}
-}
-
-// execScatter runs the vector MPI scatter from the root's buffer and
-// disperses per-rank chunks locally.
-func (ns *nodeState) execScatter(p *sim.Proc, g *collGroup) {
-	rm := ns.job.rmap
-	rootNode := rm.Node(g.root)
-	chunk := g.size
-	counts := make([]int, rm.Nodes())
-	for i := range counts {
-		counts[i] = rm.PerNode(i) * chunk
-	}
-	var rootSrc []byte
-	for _, m := range g.members {
-		if m.rank == g.root {
-			rootSrc = m.buf
-		}
-	}
-	if rootNode == ns.node && rootSrc == nil {
-		panic("dcgn: scatter root resident but no source buffer")
-	}
-	nodeBuf := ns.job.pool.Get(ns.localRanks() * chunk)
-	defer ns.job.pool.Put(nodeBuf)
-	if err := ns.mpiRank.Scatterv(p, rootSrc, counts, nodeBuf, rootNode); err != nil {
-		ns.failCollective(g, err)
-		return
-	}
-	ns.disperse(p, g, func(m *request) {
-		i := sort.Search(len(g.members), func(j int) bool { return g.members[j].rank >= m.rank })
-		copy(m.recvBuf, nodeBuf[i*chunk:(i+1)*chunk])
-	})
-	for _, m := range g.members {
-		p.SleepJit(ns.job.cfg.Params.NotifyCost)
-		m.complete(g.root, chunk, nil)
-	}
-}
-
-// disperse performs the local result copies for a collective, charging
-// either sequential memcpys (the paper's implementation) or the proposed
-// tree-dispersal time (its "future optimization", for the ablation bench).
-func (ns *nodeState) disperse(p *sim.Proc, g *collGroup, cp func(m *request)) {
-	k := len(g.members) - 1 // copies needed
-	if k <= 0 {
-		for _, m := range g.members {
-			cp(m)
-		}
-		return
-	}
-	per := time.Duration(float64(collPayloadOf(g)) / ns.job.cfg.Params.LocalMemcpyBW * 1e9)
-	if ns.job.cfg.Params.TreeDispersal {
-		rounds := int(math.Ceil(math.Log2(float64(k + 1))))
-		p.SleepJit(time.Duration(rounds) * per)
-	} else {
-		p.SleepJit(time.Duration(k) * per)
-	}
-	for _, m := range g.members {
-		cp(m)
-	}
-}
-
-// collPayloadOf returns the dispersal copy size for a group.
-func collPayloadOf(g *collGroup) int {
-	if g.size < 0 {
-		return 0
-	}
-	return g.size
-}
-
-// failCollective propagates an underlying MPI error to every member.
-func (ns *nodeState) failCollective(g *collGroup, err error) {
-	for _, m := range g.members {
-		m.complete(g.root, 0, err)
-	}
-}

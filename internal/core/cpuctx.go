@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dcgn/internal/sim"
+	"dcgn/internal/transport"
 )
 
 // CPUCtx is the host-side DCGN API available inside CPU kernels (the
@@ -16,7 +17,7 @@ import (
 type CPUCtx struct {
 	job  *Job
 	ns   *nodeState
-	p    *sim.Proc
+	tp   transport.Proc
 	rank int
 }
 
@@ -29,14 +30,19 @@ func (c *CPUCtx) Size() int { return c.job.rmap.Total() }
 // Node returns the node index this kernel runs on.
 func (c *CPUCtx) Node() int { return c.ns.node }
 
-// Proc exposes the simulated proc, for explicit compute-cost charging.
-func (c *CPUCtx) Proc() *sim.Proc { return c.p }
+// Proc exposes the simulated proc, for explicit compute-cost charging;
+// it is nil on the live backend, where kernels run on real goroutines
+// (use Compute, which is substrate-neutral, instead).
+func (c *CPUCtx) Proc() *sim.Proc {
+	sp, _ := c.tp.(*sim.Proc)
+	return sp
+}
 
 // Now returns the current virtual time.
-func (c *CPUCtx) Now() time.Duration { return c.p.Now() }
+func (c *CPUCtx) Now() time.Duration { return c.tp.Now() }
 
 // Compute charges d of CPU work to this kernel.
-func (c *CPUCtx) Compute(d time.Duration) { c.p.SleepJit(d) }
+func (c *CPUCtx) Compute(d time.Duration) { c.tp.SleepJit(d) }
 
 // Send transmits buf to rank dst, blocking until the communication thread
 // reports completion (local: matched+copied; remote: underlying MPI send
@@ -63,13 +69,13 @@ func (c *CPUCtx) SendRecv(dst int, sendBuf []byte, src int, recvBuf []byte) (Com
 		peer:  dst,
 		peer2: src,
 		buf:   sendBuf,
-		done:  c.job.sim.NewEventID("cpu-req", c.rank),
+		done:  c.job.rt.NewEventID("cpu-req", c.rank),
 	}
 	req.recvBuf = recvBuf
-	c.p.SleepJit(c.job.cfg.Params.EnqueueCost)
+	c.tp.SleepJit(c.job.cfg.Params.EnqueueCost)
 	c.job.trace.record(c.job, req, false)
-	c.ns.queue.Put(commMsg{req: req})
-	req.done.Wait(c.p)
+	c.ns.intake.postRequest(req)
+	req.done.Wait(c.tp)
 	return req.status, req.err
 }
 
@@ -138,7 +144,7 @@ type AsyncOp struct {
 
 // Wait blocks until the operation completes.
 func (a *AsyncOp) Wait(c *CPUCtx) (CommStatus, error) {
-	a.req.done.Wait(c.p)
+	a.req.done.Wait(c.tp)
 	return a.req.status, a.req.err
 }
 
@@ -168,12 +174,12 @@ func (c *CPUCtx) relayAsync(op opKind, peer int, buf, recvBuf []byte) *AsyncOp {
 		rank: c.rank,
 		peer: peer,
 		buf:  buf,
-		done: c.job.sim.NewEventID("cpu-areq", c.rank),
+		done: c.job.rt.NewEventID("cpu-areq", c.rank),
 	}
 	req.recvBuf = recvBuf
-	c.p.SleepJit(c.job.cfg.Params.EnqueueCost)
+	c.tp.SleepJit(c.job.cfg.Params.EnqueueCost)
 	c.job.trace.record(c.job, req, false)
-	c.ns.queue.Put(commMsg{req: req})
+	c.ns.intake.postRequest(req)
 	return &AsyncOp{req: req}
 }
 
@@ -185,12 +191,12 @@ func (c *CPUCtx) relay(op opKind, peer int, buf, recvBuf []byte) *request {
 		rank: c.rank,
 		peer: peer,
 		buf:  buf,
-		done: c.job.sim.NewEventID("cpu-req", c.rank),
+		done: c.job.rt.NewEventID("cpu-req", c.rank),
 	}
 	req.recvBuf = recvBuf
-	c.p.SleepJit(c.job.cfg.Params.EnqueueCost)
+	c.tp.SleepJit(c.job.cfg.Params.EnqueueCost)
 	c.job.trace.record(c.job, req, false)
-	c.ns.queue.Put(commMsg{req: req})
-	req.done.Wait(c.p)
+	c.ns.intake.postRequest(req)
+	req.done.Wait(c.tp)
 	return req
 }

@@ -74,7 +74,7 @@ type slotState struct {
 	// wake is fired when the done-flag write lands in device memory; the
 	// spinning device block observes it then. (Timing-equivalent stand-in
 	// for the device's spin loop on the status word.)
-	wake *sim.Event
+	wake completion
 }
 
 // gpuThread is one GPU-kernel thread (paper §3.2.2): it owns one device,
@@ -166,7 +166,7 @@ func (gt *gpuThread) serviceSignaled(p *sim.Proc, ss *slotState) {
 	ss.req = req
 	p.SleepJit(gt.ns.job.cfg.Params.EnqueueCost)
 	gt.ns.job.trace.record(gt.ns.job, req, true)
-	gt.ns.queue.Put(commMsg{req: req})
+	gt.ns.intake.postRequest(req)
 	gt.ns.job.sim.SpawnID("gpu-sig-wb", ss.rank, func(h *sim.Proc) {
 		req.done.Wait(h)
 		gt.writeBack(h, ss, mb)
@@ -215,7 +215,7 @@ func (gt *gpuThread) advance(p *sim.Proc, ss *slotState) bool {
 		ss.doneReady = false
 		p.SleepJit(gt.ns.job.cfg.Params.EnqueueCost)
 		gt.ns.job.trace.record(gt.ns.job, req, true)
-		gt.ns.queue.Put(commMsg{req: req})
+		gt.ns.intake.postRequest(req)
 		// A tiny helper marks the slot ready for its completion stage; the
 		// write-back itself happens on a poll tick (stage 3).
 		gt.ns.job.sim.SpawnID("gpu-done", ss.rank, func(h *sim.Proc) {
@@ -261,7 +261,7 @@ func (gt *gpuThread) buildRequest(p *sim.Proc, ss *slotState) *request {
 	req := &request{
 		op:   ss.op,
 		rank: ss.rank,
-		done: gt.ns.job.sim.NewEventID("gpu-req", ss.rank),
+		done: gt.ns.job.rt.NewEventID("gpu-req", ss.rank),
 	}
 	switch ss.op {
 	case opSend:

@@ -10,6 +10,8 @@ import (
 	"dcgn/internal/mpi"
 	"dcgn/internal/pcie"
 	"dcgn/internal/sim"
+	"dcgn/internal/transport"
+	"dcgn/internal/transport/simmpi"
 )
 
 // Job is one DCGN application run: a cluster configuration plus the CPU
@@ -20,7 +22,10 @@ type Job struct {
 	cfg  Config
 	rmap RankMap
 
-	sim   *sim.Sim
+	// rt is the execution substrate: the deterministic simulator (runSim)
+	// or goroutines on the wall clock (runLive).
+	rt    rt
+	sim   *sim.Sim // non-nil only on the simulated backend
 	net   *fabric.Network
 	world *mpi.World
 	nodes []*nodeState
@@ -147,22 +152,57 @@ type Report struct {
 	PoolReleases uint64
 	// PoolHits counts acquires served by reuse rather than allocation.
 	PoolHits uint64
+	// Nodes holds per-node progress-engine statistics, indexed by node.
+	Nodes []NodeStats
 	// Trace holds per-request lifecycle records when Config.Trace is on.
 	Trace []TraceRecord
 }
 
-// Run executes the job to completion and reports virtual-time results.
+// NodeStats is one node's progress-engine activity, layer by layer.
+type NodeStats struct {
+	Node int
+	// RequestsHandled counts events the node's comm thread dispatched.
+	RequestsHandled int
+	// LocalRequests / WireMessages split the intake stream by source:
+	// requests posted by resident kernels (CPU and GPU) vs. inbound wire
+	// messages funneled in by the receiver.
+	LocalRequests int64
+	WireMessages  int64
+	// PeakIntakeDepth is the high-water mark of the intake queue (events
+	// waiting for the comm thread).
+	PeakIntakeDepth int
+	// PeakPending is the high-water mark of the matching index (pending
+	// sends + receives + unexpected inbound messages).
+	PeakPending int
+}
+
+// Run executes the job to completion and reports results on the
+// configured backend: virtual time on the default simulated transport,
+// wall-clock time on the live goroutine transport.
 func (j *Job) Run() (Report, error) {
 	if j.cpuKernel == nil && j.gpuKernel == nil {
 		return Report{}, fmt.Errorf("dcgn: no kernels installed")
 	}
+	switch j.cfg.Transport.Name() {
+	case transport.BackendSim:
+		return j.runSim()
+	case transport.BackendLive:
+		return j.runLive()
+	default:
+		return Report{}, fmt.Errorf("dcgn: unknown transport backend %q", j.cfg.Transport.Backend)
+	}
+}
 
+// runSim executes the job on the simulated backend and reports
+// virtual-time results.
+func (j *Job) runSim() (Report, error) {
 	s := sim.New()
 	if j.cfg.JitterFrac > 0 || j.cfg.JitterSeed != 0 {
 		s.SetJitter(j.cfg.JitterFrac, j.cfg.JitterSeed)
 	}
 	s.SetMaxTime(j.cfg.MaxVirtualTime)
 	j.sim = s
+	j.rt = simRT{s: s}
 	if j.cfg.Trace {
 		j.trace = &traceSink{}
 	}
@@ -179,14 +219,14 @@ func (j *Job) Run() (Report, error) {
 	j.nodes = nil
 	for n := 0; n < j.cfg.Nodes; n++ {
 		ns := &nodeState{
-			job:     j,
-			node:    n,
-			mpiRank: j.world.Rank(n),
-			bus:     pcie.New(s, fmt.Sprintf("n%d", n), j.cfg.Bus),
-			queue:   sim.NewQueue[commMsg](s, fmt.Sprintf("commq:%d", n)),
-			index:   newMatchIndex(),
-			coll:    make(map[opKind]*collGroup),
+			job:    j,
+			node:   n,
+			tr:     j.wrapTransport(simmpi.New(j.world.Rank(n))),
+			bus:    pcie.New(s, fmt.Sprintf("n%d", n), j.cfg.Bus),
+			intake: newIntake(j.rt.NewQueue(fmt.Sprintf("commq:%d", n))),
+			index:  newMatchIndex(),
 		}
+		ns.coll = newCollAccum(ns)
 		for g := 0; g < j.rmap.Spec(n).GPUs; g++ {
 			devCfg := j.cfg.Device
 			devCfg.Name = fmt.Sprintf("gpu%d.%d", n, g)
@@ -202,18 +242,8 @@ func (j *Job) Run() (Report, error) {
 	}
 
 	// CPU-kernel threads.
-	if j.cpuKernel != nil {
-		for n := 0; n < j.cfg.Nodes; n++ {
-			for c := 0; c < j.rmap.Spec(n).CPUKernels; c++ {
-				ns := j.nodes[n]
-				rank := j.rmap.CPURank(n, c)
-				s.Spawn(fmt.Sprintf("cpu-kern:%d.%d", n, c), func(p *sim.Proc) {
-					j.cpuKernel(&CPUCtx{job: j, ns: ns, p: p, rank: rank})
-				})
-			}
-		}
-	} else if j.hasCPUs() {
-		return Report{}, fmt.Errorf("dcgn: CPU-kernel threads requested but no CPU kernel installed")
+	if err := j.spawnCPUKernels(); err != nil {
+		return Report{}, err
 	}
 
 	// GPU-kernel threads: setup, launch, wait, teardown.
@@ -244,15 +274,63 @@ func (j *Job) Run() (Report, error) {
 
 	err := s.Run()
 	rep := Report{Elapsed: s.Now(), NetPackets: j.net.PacketsSent, NetBytes: j.net.BytesSent}
+	j.fillReport(&rep)
+	return rep, err
+}
+
+// wrapTransport applies the Config.WrapTransport hook, if any.
+func (j *Job) wrapTransport(tr transport.Transport) transport.Transport {
+	if j.cfg.WrapTransport != nil {
+		return j.cfg.WrapTransport(tr)
+	}
+	return tr
+}
+
+// spawnCPUKernels starts one thread per CPU-kernel rank on the job's
+// substrate (simulated procs or live goroutines).
+func (j *Job) spawnCPUKernels() error {
+	if j.cpuKernel == nil {
+		if j.hasCPUs() {
+			return fmt.Errorf("dcgn: CPU-kernel threads requested but no CPU kernel installed")
+		}
+		return nil
+	}
+	for n := 0; n < j.cfg.Nodes; n++ {
+		for c := 0; c < j.rmap.Spec(n).CPUKernels; c++ {
+			ns := j.nodes[n]
+			rank := j.rmap.CPURank(n, c)
+			j.rt.Spawn(fmt.Sprintf("cpu-kern:%d.%d", n, c), func(p transport.Proc) {
+				j.cpuKernel(&CPUCtx{job: j, ns: ns, tp: p, rank: rank})
+			})
+		}
+	}
+	return nil
+}
+
+// fillReport assembles the backend-independent portion of a Report from
+// the per-node engine state (trace, node stats, bus/GPU aggregates, pool
+// accounting).
+func (j *Job) fillReport(rep *Report) {
 	if j.trace != nil {
 		rep.Trace = j.trace.records
 	}
 	for _, ns := range j.nodes {
-		rep.BusTransfers += ns.bus.Transfers
-		rep.BusCtlOps += ns.bus.CtlOps
-		rep.Requests += ns.requestsHandled
-		if ns.index.peak > rep.PeakPending {
-			rep.PeakPending = ns.index.peak
+		st := NodeStats{
+			Node:            ns.node,
+			RequestsHandled: ns.requestsHandled,
+			LocalRequests:   ns.intake.localPosts.Load(),
+			WireMessages:    ns.intake.wirePosts.Load(),
+			PeakIntakeDepth: int(ns.intake.peakDepth.Load()),
+			PeakPending:     ns.index.peakDepth(),
+		}
+		rep.Nodes = append(rep.Nodes, st)
+		if ns.bus != nil {
+			rep.BusTransfers += ns.bus.Transfers
+			rep.BusCtlOps += ns.bus.CtlOps
+		}
+		rep.Requests += st.RequestsHandled
+		if st.PeakPending > rep.PeakPending {
+			rep.PeakPending = st.PeakPending
 		}
 		for _, gt := range ns.gpus {
 			rep.Polls += gt.Polls
@@ -262,5 +340,4 @@ func (j *Job) Run() (Report, error) {
 	rep.PoolAcquires = j.pool.Acquires()
 	rep.PoolReleases = j.pool.Releases()
 	rep.PoolHits = j.pool.Hits()
-	return rep, err
 }

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dcgn/internal/bufpool"
+	"dcgn/internal/transport/live"
+)
+
+// runLive executes the job on the live backend: the same progress engine
+// (intake, matcher, collective accumulator, comm thread) running on real
+// goroutines over the in-process goroutine/channel transport, on the wall
+// clock. The simulated device model does not exist here, so only CPU
+// kernels are supported; GPU jobs use the default simulated backend.
+//
+// The live backend trades determinism for real concurrency: it is how the
+// engine's thread-confinement discipline is exercised under the race
+// detector, which the one-goroutine-at-a-time simulator cannot do.
+func (j *Job) runLive() (Report, error) {
+	if j.hasGPUs() {
+		return Report{}, fmt.Errorf("dcgn: live backend supports CPU kernels only (GPUs need the simulated device model)")
+	}
+	if j.cfg.JitterFrac > 0 {
+		return Report{}, fmt.Errorf("dcgn: live backend has no virtual-time jitter model")
+	}
+
+	rt := newLiveRT()
+	j.rt = rt
+	if j.cfg.Trace {
+		j.trace = &traceSink{}
+	}
+	j.pool = bufpool.New()
+	cluster := live.New(j.cfg.Nodes, j.pool)
+
+	j.nodes = nil
+	for n := 0; n < j.cfg.Nodes; n++ {
+		ns := &nodeState{
+			job:    j,
+			node:   n,
+			tr:     j.wrapTransport(cluster.Node(n)),
+			intake: newIntake(rt.NewQueue(fmt.Sprintf("commq:%d", n))),
+			index:  newMatchIndex(),
+		}
+		ns.coll = newCollAccum(ns)
+		ns.start()
+		j.nodes = append(j.nodes, ns)
+	}
+
+	if err := j.spawnCPUKernels(); err != nil {
+		// Engine daemons are already running; unwind them before returning.
+		cluster.Close()
+		for _, ns := range j.nodes {
+			ns.intake.close()
+		}
+		rt.daemons.Wait()
+		return Report{}, err
+	}
+
+	// MaxVirtualTime doubles as the wall-clock watchdog: a deadlocked
+	// application (unmatched receive, incomplete collective) would block
+	// the kernel WaitGroup forever.
+	workersDone := make(chan struct{})
+	go func() {
+		rt.workers.Wait()
+		close(workersDone)
+	}()
+	var runErr error
+	select {
+	case <-workersDone:
+	case <-time.After(j.cfg.MaxVirtualTime):
+		runErr = fmt.Errorf("dcgn: live run exceeded %v (deadlocked kernels?)", j.cfg.MaxVirtualTime)
+	}
+
+	// Teardown: closing the transport unwinds blocked receivers and
+	// collective participants; closing the intakes unwinds the comm
+	// threads. Quiesce the daemons before reading any engine state.
+	cluster.Close()
+	for _, ns := range j.nodes {
+		ns.intake.close()
+	}
+	if runErr != nil {
+		// Timed out: kernels (and the daemons completing their requests)
+		// may be blocked for good; report what is safely readable.
+		return Report{Elapsed: rt.Now()}, runErr
+	}
+	rt.daemons.Wait()
+
+	rep := Report{
+		Elapsed:    rt.Now(),
+		NetPackets: int(cluster.Packets()),
+		NetBytes:   cluster.Bytes(),
+	}
+	j.fillReport(&rep)
+	return rep, nil
+}

@@ -23,6 +23,23 @@ package core
 // itself, so all operations are amortized O(1) and matched requests are
 // never pinned by a retained backing array.
 
+// matcher is the progress engine's matching layer: it parks pending
+// sends, receives and unexpected inbound messages and hands back the
+// FIFO-correct counterpart for each new arrival. matchIndex is the
+// default (and only) implementation; the interface exists so the event
+// loop depends on match semantics, not on the index's data structures.
+type matcher interface {
+	addSend(req *request)
+	takeSendFrom(src, dst int) *request
+	takeSendTo(dst int) *request
+	addRecv(req *request)
+	takeRecvFor(src, dst int) *request
+	addUnexpected(in *inbound)
+	takeUnexpectedFor(src, dst int) *inbound
+	depth() int
+	peakDepth() int
+}
+
 // pairKey identifies one (source rank, destination rank) FIFO channel.
 type pairKey struct{ src, dst int }
 
@@ -127,6 +144,9 @@ func newMatchIndex() *matchIndex {
 // depth is the total number of live pending entries (sends + recvs +
 // unexpected inbound), the per-node queue depth reported in traces.
 func (mi *matchIndex) depth() int { return mi.sends + mi.recvs + mi.unexp }
+
+// peakDepth is the high-water mark of depth() over the run.
+func (mi *matchIndex) peakDepth() int { return mi.peak }
 
 func (mi *matchIndex) note() {
 	if d := mi.depth(); d > mi.peak {

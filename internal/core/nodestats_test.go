@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestReportNodeStats checks the per-node, per-layer statistics surfaced
+// from the intake layer: the split of the event stream into local requests
+// and wire messages, the intake high-water mark, and agreement with the
+// aggregate counters.
+func TestReportNodeStats(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		const n = 8
+		job := NewJob(backendConfig(backend, 2, 1))
+		job.SetCPUKernel(func(c *CPUCtx) {
+			buf := make([]byte, 64)
+			for i := 0; i < n; i++ {
+				switch c.Rank() {
+				case 0:
+					if err := c.Send(1, buf); err != nil {
+						t.Error(err)
+					}
+				case 1:
+					if _, err := c.Recv(0, buf); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+			c.Barrier()
+		})
+		rep, err := job.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Nodes) != 2 {
+			t.Fatalf("want 2 node entries, got %d", len(rep.Nodes))
+		}
+		sum := 0
+		for i, st := range rep.Nodes {
+			if st.Node != i {
+				t.Errorf("entry %d has node %d", i, st.Node)
+			}
+			if st.LocalRequests == 0 {
+				t.Errorf("node %d reports no local requests", i)
+			}
+			if st.RequestsHandled != int(st.LocalRequests+st.WireMessages) {
+				t.Errorf("node %d: handled %d != local %d + wire %d",
+					i, st.RequestsHandled, st.LocalRequests, st.WireMessages)
+			}
+			if st.PeakIntakeDepth < 1 {
+				t.Errorf("node %d: peak intake depth %d", i, st.PeakIntakeDepth)
+			}
+			sum += st.RequestsHandled
+		}
+		// Node 1 receives every wire message of the n sends.
+		if rep.Nodes[1].WireMessages < n {
+			t.Errorf("node 1 saw %d wire messages, want >= %d", rep.Nodes[1].WireMessages, n)
+		}
+		if sum != rep.Requests {
+			t.Errorf("node sum %d != aggregate Requests %d", sum, rep.Requests)
+		}
+		// The sender never enqueues a receive, so its matching index peak
+		// stays small while the engine still reports it per node.
+		if rep.Nodes[1].PeakPending == 0 {
+			t.Errorf("node 1 matching index never held a pending entry")
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"time"
+
+	"dcgn/internal/transport"
+)
+
+// Point-to-point handling: the comm thread matches local traffic with
+// memcpy instead of MPI (paper §6.2) and relays remote traffic through
+// the transport. All matching state lives in ns.index (the matcher).
+
+// handleSendrecv splits a combined exchange into its send and receive
+// halves and completes the parent when both finish. The split happens
+// inside the comm thread, so a GPU-sourced exchange costs a single mailbox
+// round trip — the optimization §5.1 credits for Cannon's performance.
+func (ns *nodeState) handleSendrecv(p transport.Proc, req *request) {
+	rt := ns.job.rt
+	sendPart := &request{
+		op: opSend, rank: req.rank, peer: req.peer, buf: req.buf,
+		done: rt.NewEventID("srv-send", req.rank),
+	}
+	recvPart := &request{
+		op: opRecv, rank: req.rank, peer: req.peer2, buf: req.recvBuf,
+		done: rt.NewEventID("srv-recv", req.rank),
+	}
+	ns.handleRecv(p, recvPart)
+	ns.handleSend(p, sendPart)
+	rt.Spawn("dcgn-sendrecv-join", func(h transport.Proc) {
+		sendPart.done.Wait(h)
+		recvPart.done.Wait(h)
+		err := sendPart.err
+		if err == nil {
+			err = recvPart.err
+		}
+		req.complete(recvPart.status.Source, recvPart.status.Bytes, err)
+	})
+}
+
+// handleSend matches a local-destination send against posted receives or
+// relays a remote-destination send over the transport.
+func (ns *nodeState) handleSend(p transport.Proc, req *request) {
+	ns.observe(p, req)
+	dstNode := ns.job.rmap.Node(req.peer)
+	if dstNode != ns.node {
+		// Remote: a helper performs the (possibly rendezvous) transport send
+		// so the comm thread keeps draining its queue; completion is signaled
+		// when the underlying send completes, as in the paper's dataflow
+		// (Fig. 2, steps 2-3).
+		msg := packWire(ns.job.pool, req.rank, req.peer, req.buf)
+		ns.job.rt.SpawnID("dcgn-tx", ns.node, func(h transport.Proc) {
+			h.SleepJit(ns.job.cfg.Params.RemoteRelayCost)
+			err := ns.tr.Send(h, dstNode, msg)
+			// Send has buffered semantics (eager copy or rendezvous
+			// snapshot), so the wire buffer is ours again once it returns.
+			ns.job.pool.Put(msg)
+			h.SleepJit(ns.job.cfg.Params.NotifyCost)
+			req.complete(req.rank, len(req.buf), err)
+		})
+		return
+	}
+	// Local destination: match a posted receive (FIFO).
+	if rr := ns.index.takeRecvFor(req.rank, req.peer); rr != nil {
+		ns.matched(p, req, rr)
+		ns.deliverLocal(p, req, rr)
+		return
+	}
+	ns.index.addSend(req)
+}
+
+// handleRecv matches a posted receive against pending local sends, then
+// against unexpected inbound messages; otherwise it is queued.
+func (ns *nodeState) handleRecv(p transport.Proc, req *request) {
+	ns.observe(p, req)
+	if req.peer != AnySource && ns.job.rmap.Node(req.peer) == ns.node {
+		// Potential local sender.
+		if sr := ns.index.takeSendFrom(req.peer, req.rank); sr != nil {
+			ns.matched(p, req, sr)
+			ns.deliverLocal(p, sr, req)
+			return
+		}
+	}
+	if req.peer == AnySource {
+		if sr := ns.index.takeSendTo(req.rank); sr != nil {
+			ns.matched(p, req, sr)
+			ns.deliverLocal(p, sr, req)
+			return
+		}
+	}
+	if in := ns.index.takeUnexpectedFor(req.peer, req.rank); in != nil {
+		ns.matched(p, req, nil)
+		ns.deliverInbound(p, in, req, true)
+		return
+	}
+	ns.index.addRecv(req)
+}
+
+// handleInbound matches a wire message against posted receives.
+func (ns *nodeState) handleInbound(p transport.Proc, in *inbound) {
+	if rr := ns.index.takeRecvFor(in.src, in.dst); rr != nil {
+		ns.matched(p, nil, rr)
+		ns.deliverInbound(p, in, rr, false)
+		return
+	}
+	ns.index.addUnexpected(in)
+}
+
+// observe stamps a point-to-point request as it is first handled: the
+// current queue depth and the handling time, from which the trace layer
+// derives how long the request waited in the matching index.
+func (ns *nodeState) observe(p transport.Proc, req *request) {
+	req.handledAt = p.Now()
+	req.queueDepth = ns.index.depth()
+}
+
+// matched stamps both sides of a match with the match time. Either side
+// may be nil (inbound wire messages are not traced requests).
+func (ns *nodeState) matched(p transport.Proc, a, b *request) {
+	now := p.Now()
+	if a != nil {
+		a.matchedAt = now
+	}
+	if b != nil {
+		b.matchedAt = now
+	}
+}
+
+// deliverLocal completes a matched local send/recv pair: the comm thread
+// performs the memcpy itself instead of using MPI (paper §6.2).
+func (ns *nodeState) deliverLocal(p transport.Proc, send, recv *request) {
+	n := len(send.buf)
+	var err error
+	if n > len(recv.buf) {
+		n = len(recv.buf)
+		err = ErrTruncate
+	}
+	ns.chargeMemcpy(p, n)
+	copy(recv.buf[:n], send.buf[:n])
+	p.SleepJit(ns.job.cfg.Params.NotifyCost)
+	send.complete(send.rank, len(send.buf), err)
+	p.SleepJit(ns.job.cfg.Params.NotifyCost)
+	recv.complete(send.rank, n, err)
+}
+
+// deliverInbound completes a posted receive with a wire payload. A
+// pre-posted receive is delivered without a staging copy (the underlying
+// MPI lands data in the matched buffer); only messages that sat in the
+// unexpected queue pay the memcpy.
+func (ns *nodeState) deliverInbound(p transport.Proc, in *inbound, recv *request, wasUnexpected bool) {
+	n := len(in.data)
+	var err error
+	if n > len(recv.buf) {
+		n = len(recv.buf)
+		err = ErrTruncate
+	}
+	if wasUnexpected {
+		ns.chargeMemcpy(p, n)
+	}
+	copy(recv.buf[:n], in.data[:n])
+	if in.backing != nil {
+		ns.job.pool.Put(in.backing)
+		in.backing, in.data = nil, nil
+	}
+	p.SleepJit(ns.job.cfg.Params.NotifyCost)
+	recv.complete(in.src, n, err)
+}
+
+// chargeMemcpy charges the comm thread for one staging copy.
+func (ns *nodeState) chargeMemcpy(p transport.Proc, n int) {
+	if n == 0 {
+		return
+	}
+	p.SleepJit(time.Duration(float64(n) / ns.job.cfg.Params.LocalMemcpyBW * 1e9))
+}

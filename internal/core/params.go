@@ -26,6 +26,7 @@ import (
 	"dcgn/internal/fabric"
 	"dcgn/internal/mpi"
 	"dcgn/internal/pcie"
+	"dcgn/internal/transport"
 )
 
 // Params holds DCGN's internal overhead model. The defaults are calibrated
@@ -118,6 +119,16 @@ type Config struct {
 	Bus    pcie.Config
 	MPI    mpi.Config
 	Params Params
+
+	// Transport selects the progress-engine backend: the default simulated
+	// MPI transport on the deterministic virtual cluster, or the live
+	// goroutine/channel transport on the wall clock (CPU kernels only).
+	Transport transport.Config
+
+	// WrapTransport, when set, wraps each node's transport endpoint before
+	// the progress engine uses it. It exists for tests: fault injection
+	// (failing collectives, dropping sends) and instrumentation.
+	WrapTransport func(transport.Transport) transport.Transport
 
 	// JitterFrac/JitterSeed add multiplicative timing noise (for the
 	// run-to-run variation experiments, Fig. 5). Zero disables jitter.

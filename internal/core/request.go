@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"dcgn/internal/bufpool"
-	"dcgn/internal/sim"
 )
 
 // CommStatus is DCGN's receive status (the paper's dcgn::CommStatus).
@@ -79,7 +78,7 @@ type request struct {
 	// scatter (root's source is buf... see gather/scatter handlers).
 	recvBuf []byte
 
-	done   *sim.Event
+	done   completion
 	status CommStatus
 	err    error
 
@@ -129,10 +128,6 @@ func packPeers(dst, src int) int64 {
 func unpackPeers(v int64) (dst, src int) {
 	return int(int32(uint32(v))), int(int32(v >> 32))
 }
-
-// dcgnTag is the MPI tag carrying all DCGN point-to-point traffic; messages
-// are demultiplexed by header, not by MPI matching.
-const dcgnTag = 770001
 
 // wireHeaderLen is the length of the DCGN message header on the wire.
 const wireHeaderLen = 24

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"dcgn/internal/transport"
+)
+
+// liveRT is the live substrate: goroutines, closable events and
+// mutex-guarded queues on the wall clock. Every spawned thread — workers
+// and daemons alike — is tracked in one WaitGroup; daemons are written to
+// terminate once their queue or transport is closed, so runLive can wait
+// for a fully quiescent engine before assembling the report.
+type liveRT struct {
+	proc *transport.WallProc
+	// workers tracks application-driven threads (kernels and the helpers
+	// their requests spawn): when it drains, the run is done. daemons
+	// tracks service threads (comm threads, receivers, trace collectors),
+	// which are unwound by closing their queues and transports afterwards.
+	workers sync.WaitGroup
+	daemons sync.WaitGroup
+}
+
+func newLiveRT() *liveRT {
+	return &liveRT{proc: &transport.WallProc{Epoch: time.Now()}}
+}
+
+func (r *liveRT) Now() time.Duration { return r.proc.Now() }
+
+func (r *liveRT) NewEventID(string, int) completion {
+	return &liveEvent{ch: make(chan struct{})}
+}
+
+func (r *liveRT) go1(wg *sync.WaitGroup, fn func(transport.Proc)) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fn(r.proc)
+	}()
+}
+
+func (r *liveRT) Spawn(_ string, fn func(transport.Proc))          { r.go1(&r.workers, fn) }
+func (r *liveRT) SpawnID(_ string, _ int, fn func(transport.Proc)) { r.go1(&r.workers, fn) }
+func (r *liveRT) SpawnDaemon(_ string, fn func(transport.Proc))    { r.go1(&r.daemons, fn) }
+func (r *liveRT) SpawnDaemonID(_ string, _ int, fn func(transport.Proc)) {
+	r.go1(&r.daemons, fn)
+}
+
+func (r *liveRT) NewQueue(string) commQueue {
+	q := &liveQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// liveEvent is a one-shot completion built on channel close, giving
+// waiters the usual happens-before edge over the completed request's
+// fields.
+type liveEvent struct {
+	ch   chan struct{}
+	once sync.Once
+}
+
+func (e *liveEvent) Fire() { e.once.Do(func() { close(e.ch) }) }
+
+func (e *liveEvent) Fired() bool {
+	select {
+	case <-e.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+func (e *liveEvent) Wait(transport.Proc) { <-e.ch }
+
+// liveQueue is an unbounded multi-producer FIFO with shutdown: Get blocks
+// while empty and returns ok=false once the queue is closed and drained.
+type liveQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []commMsg
+	head   int
+	closed bool
+}
+
+func (q *liveQueue) Put(m commMsg) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.items = append(q.items, m)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *liveQueue) Get(transport.Proc) (commMsg, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head >= len(q.items) && !q.closed {
+		q.cond.Wait()
+	}
+	if q.head >= len(q.items) {
+		return commMsg{}, false
+	}
+	m := q.items[q.head]
+	q.items[q.head] = commMsg{}
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return m, true
+}
+
+func (q *liveQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}
+
+// close shuts the queue down, waking blocked getters.
+func (q *liveQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

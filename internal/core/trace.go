@@ -4,9 +4,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
-	"dcgn/internal/sim"
+	"dcgn/internal/transport"
 )
 
 // TraceRecord is one completed communication request, recorded when
@@ -34,8 +35,11 @@ type TraceRecord struct {
 // Latency is the request's time in the DCGN runtime.
 func (tr TraceRecord) Latency() time.Duration { return tr.Done - tr.Post }
 
-// traceSink collects records for the whole job.
+// traceSink collects records for the whole job. The mutex serializes
+// appends on the live backend, where trace daemons are real goroutines;
+// under the simulator only one proc runs at a time and it is uncontended.
 type traceSink struct {
+	mu      sync.Mutex
 	records []TraceRecord
 }
 
@@ -45,13 +49,15 @@ func (ts *traceSink) record(j *Job, req *request, gpu bool) {
 	if ts == nil {
 		return
 	}
-	post := j.sim.Now()
-	j.sim.SpawnDaemon("trace", func(p *sim.Proc) {
+	post := j.rt.Now()
+	j.rt.SpawnDaemon("trace", func(p transport.Proc) {
 		req.done.Wait(p)
 		wait := time.Duration(0)
 		if req.matchedAt > req.handledAt {
 			wait = req.matchedAt - req.handledAt
 		}
+		ts.mu.Lock()
+		defer ts.mu.Unlock()
 		ts.records = append(ts.records, TraceRecord{
 			Op:         req.op.String(),
 			Rank:       req.rank,

@@ -19,6 +19,7 @@ import (
 	"dcgn/internal/mpi"
 	"dcgn/internal/pcie"
 	"dcgn/internal/sim"
+	"dcgn/internal/transport"
 )
 
 // Config describes a GAS cluster.
@@ -31,6 +32,13 @@ type Config struct {
 	Net    fabric.Config
 	Bus    pcie.Config
 	MPI    mpi.Config
+
+	// Transport selects the execution backend, mirroring core.Config. GAS
+	// benchmarks the simulated MPI library itself (the paper's MVAPICH2
+	// baseline), so only the default simulated backend is supported; the
+	// field exists so harnesses can thread one backend setting through
+	// both models and get a clear error rather than silent divergence.
+	Transport transport.Config
 
 	JitterFrac     float64
 	JitterSeed     int64
@@ -114,6 +122,9 @@ func Run(cfg Config, worker func(w *Worker)) (Report, error) {
 	}
 	if cfg.MaxVirtualTime == 0 {
 		cfg.MaxVirtualTime = time.Hour
+	}
+	if cfg.Transport.Name() != transport.BackendSim {
+		return Report{}, fmt.Errorf("gas: backend %q not supported (GAS benchmarks the simulated MPI library itself)", cfg.Transport.Backend)
 	}
 	s := sim.New()
 	if cfg.JitterFrac > 0 {

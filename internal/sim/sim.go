@@ -398,6 +398,7 @@ func (s *Sim) Run() error {
 // TimeoutError reports that the virtual clock exceeded the SetMaxTime limit.
 type TimeoutError struct{ Limit time.Duration }
 
+// Error describes the exceeded virtual-time limit.
 func (e *TimeoutError) Error() string {
 	return fmt.Sprintf("sim: virtual time exceeded limit %v", e.Limit)
 }
@@ -472,6 +473,7 @@ type DeadlockError struct {
 	Blocked []string
 }
 
+// Error lists the blocked procs at the deadlock point.
 func (e *DeadlockError) Error() string {
 	return fmt.Sprintf("sim: deadlock at %v: %d procs blocked: %v", e.Time, len(e.Blocked), e.Blocked)
 }
@@ -483,6 +485,7 @@ type PanicError struct {
 	Stack string
 }
 
+// Error names the panicking proc and the panic value.
 func (e *PanicError) Error() string {
 	return fmt.Sprintf("sim: proc %q panicked: %v", e.Proc, e.Value)
 }

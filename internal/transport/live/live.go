@@ -1,0 +1,340 @@
+// Package live is the goroutine/channel transport backend: real
+// concurrency on the wall clock, with no dependency on internal/sim. Each
+// node's endpoint delivers framed wire messages through a buffered Go
+// channel, and node-level collectives rendezvous through a shared
+// coordinator guarded by a mutex and condition variable.
+//
+// The backend exists to prove the progress-engine/transport seam is real
+// (the same matching, ordering and collective semantics run unchanged on
+// a completely different substrate) and to exercise DCGN's engine under
+// the race detector, where the deterministic simulator — which runs one
+// goroutine at a time — cannot surface data races by construction.
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dcgn/internal/bufpool"
+	"dcgn/internal/transport"
+)
+
+// wireDepth is the per-node inbound channel capacity. It only bounds
+// burstiness, not correctness: every node's receiver daemon drains its
+// endpoint into the (unbounded) intake queue, so senders never block for
+// long.
+const wireDepth = 128
+
+// Cluster is a set of live node endpoints wired to each other.
+type Cluster struct {
+	pool *bufpool.Pool
+	eps  []*Endpoint
+
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	packets atomic.Int64
+	bytes   atomic.Int64
+
+	coll collRound
+}
+
+// New creates a cluster of nodes endpoints sharing pool for wire-message
+// staging (nil allocates a private pool).
+func New(nodes int, pool *bufpool.Pool) *Cluster {
+	if nodes <= 0 {
+		panic("live: need at least one node")
+	}
+	if pool == nil {
+		pool = bufpool.New()
+	}
+	c := &Cluster{pool: pool, closed: make(chan struct{})}
+	c.coll.init(c, nodes)
+	for n := 0; n < nodes; n++ {
+		c.eps = append(c.eps, &Endpoint{c: c, node: n, in: make(chan []byte, wireDepth)})
+	}
+	return c
+}
+
+// Node returns the endpoint serving node n.
+func (c *Cluster) Node(n int) *Endpoint { return c.eps[n] }
+
+// Packets returns the number of wire messages delivered so far.
+func (c *Cluster) Packets() int64 { return c.packets.Load() }
+
+// Bytes returns the total wire bytes delivered so far.
+func (c *Cluster) Bytes() int64 { return c.bytes.Load() }
+
+// Close shuts the whole cluster down: blocked receivers and collective
+// participants unwind with transport.ErrClosed, and undelivered wire
+// buffers drain back to the pool. It is idempotent.
+func (c *Cluster) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.coll.wakeAll()
+		for _, ep := range c.eps {
+			for {
+				select {
+				case m := <-ep.in:
+					c.pool.Put(m)
+					continue
+				default:
+				}
+				break
+			}
+		}
+	})
+	return nil
+}
+
+func (c *Cluster) isClosed() bool {
+	select {
+	case <-c.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Endpoint is one node's live transport.
+type Endpoint struct {
+	c    *Cluster
+	node int
+	in   chan []byte
+}
+
+// Send copies msg into a pooled buffer and delivers it to dstNode's
+// inbound channel; the copy gives Send the same buffered semantics as the
+// simulated MPI backend (msg is the caller's again on return).
+func (e *Endpoint) Send(_ transport.Proc, dstNode int, msg []byte) error {
+	if dstNode < 0 || dstNode >= len(e.c.eps) {
+		return fmt.Errorf("live: send to bad node %d (cluster of %d)", dstNode, len(e.c.eps))
+	}
+	cp := e.c.pool.Get(len(msg))
+	copy(cp, msg)
+	select {
+	case e.c.eps[dstNode].in <- cp:
+		e.c.packets.Add(1)
+		e.c.bytes.Add(int64(len(msg)))
+		return nil
+	case <-e.c.closed:
+		e.c.pool.Put(cp)
+		return transport.ErrClosed
+	}
+}
+
+// RecvMsg blocks for the next inbound wire message; the returned buffer
+// is the caller's to release. After Close it returns transport.ErrClosed.
+func (e *Endpoint) RecvMsg(_ transport.Proc) ([]byte, error) {
+	select {
+	case m := <-e.in:
+		return m, nil
+	case <-e.c.closed:
+		// Closed: prefer draining any message that raced the close so
+		// shutdown doesn't strand deliverable traffic.
+		select {
+		case m := <-e.in:
+			return m, nil
+		default:
+			return nil, transport.ErrClosed
+		}
+	}
+}
+
+// Barrier blocks until every node has entered the barrier.
+func (e *Endpoint) Barrier(_ transport.Proc) error {
+	return e.c.coll.run(e.node, &collArgs{op: "barrier"}, func([]*collArgs) error { return nil })
+}
+
+// Bcast broadcasts buf from rootNode to every node's equal-length buffer.
+func (e *Endpoint) Bcast(_ transport.Proc, buf []byte, rootNode int) error {
+	return e.c.coll.run(e.node, &collArgs{op: "bcast", root: rootNode, buf: buf}, func(args []*collArgs) error {
+		if rootNode < 0 || rootNode >= len(args) {
+			return fmt.Errorf("live: bcast root %d out of range", rootNode)
+		}
+		src := args[rootNode].buf
+		for i, a := range args {
+			if len(a.buf) != len(src) {
+				return fmt.Errorf("live: bcast buffer length mismatch: node %d has %d, root has %d", i, len(a.buf), len(src))
+			}
+			if i != rootNode {
+				copy(a.buf, src)
+			}
+		}
+		return nil
+	})
+}
+
+// Gatherv concatenates each node's sendBuf into rootNode's recvBuf in
+// node order.
+func (e *Endpoint) Gatherv(_ transport.Proc, sendBuf, recvBuf []byte, counts []int, rootNode int) error {
+	return e.c.coll.run(e.node, &collArgs{op: "gatherv", root: rootNode, buf: sendBuf, buf2: recvBuf, counts: counts}, func(args []*collArgs) error {
+		counts := args[rootNode].counts
+		if len(counts) != len(args) {
+			return fmt.Errorf("live: gatherv counts length %d != %d nodes", len(counts), len(args))
+		}
+		dst := args[rootNode].buf2
+		off := 0
+		for i, a := range args {
+			if len(a.buf) != counts[i] {
+				return fmt.Errorf("live: gatherv node %d contributes %d bytes, counts say %d", i, len(a.buf), counts[i])
+			}
+			if off+counts[i] > len(dst) {
+				return fmt.Errorf("live: gatherv root buffer too small (%d bytes)", len(dst))
+			}
+			copy(dst[off:], a.buf)
+			off += counts[i]
+		}
+		return nil
+	})
+}
+
+// Scatterv splits rootNode's sendBuf by counts and delivers each node its
+// chunk.
+func (e *Endpoint) Scatterv(_ transport.Proc, sendBuf []byte, counts []int, recvBuf []byte, rootNode int) error {
+	return e.c.coll.run(e.node, &collArgs{op: "scatterv", root: rootNode, buf: recvBuf, buf2: sendBuf, counts: counts}, func(args []*collArgs) error {
+		counts := args[rootNode].counts
+		if len(counts) != len(args) {
+			return fmt.Errorf("live: scatterv counts length %d != %d nodes", len(counts), len(args))
+		}
+		src := args[rootNode].buf2
+		off := 0
+		for i, a := range args {
+			if len(a.buf) != counts[i] {
+				return fmt.Errorf("live: scatterv node %d expects %d bytes, counts say %d", i, len(a.buf), counts[i])
+			}
+			if off+counts[i] > len(src) {
+				return fmt.Errorf("live: scatterv root buffer too small (%d bytes)", len(src))
+			}
+			copy(a.buf, src[off:off+counts[i]])
+			off += counts[i]
+		}
+		return nil
+	})
+}
+
+// Alltoallv exchanges variable-size segments: node i's segment j lands in
+// node j's receive segment i.
+func (e *Endpoint) Alltoallv(_ transport.Proc, sendBuf []byte, sendCounts []int, recvBuf []byte, recvCounts []int) error {
+	return e.c.coll.run(e.node, &collArgs{op: "alltoallv", buf: sendBuf, buf2: recvBuf, counts: sendCounts, counts2: recvCounts}, func(args []*collArgs) error {
+		n := len(args)
+		for i, a := range args {
+			if len(a.counts) != n || len(a.counts2) != n {
+				return fmt.Errorf("live: alltoallv node %d counts length != %d nodes", i, n)
+			}
+		}
+		for i, src := range args {
+			sendOff := 0
+			for j := 0; j < n; j++ {
+				seg := src.counts[j]
+				if seg != args[j].counts2[i] {
+					return fmt.Errorf("live: alltoallv count mismatch: node %d sends %d to node %d, which expects %d", i, seg, j, args[j].counts2[i])
+				}
+				recvOff := 0
+				for k := 0; k < i; k++ {
+					recvOff += args[j].counts2[k]
+				}
+				copy(args[j].buf2[recvOff:recvOff+seg], src.buf[sendOff:sendOff+seg])
+				sendOff += seg
+			}
+		}
+		return nil
+	})
+}
+
+// Close shuts down the whole cluster this endpoint belongs to.
+func (e *Endpoint) Close() error { return e.c.Close() }
+
+// collArgs is one node's contribution to a collective round.
+type collArgs struct {
+	op      string
+	root    int
+	buf     []byte
+	buf2    []byte
+	counts  []int
+	counts2 []int
+}
+
+// collRound is the cluster-wide collective rendezvous: each node arrives
+// with its arguments, the last arrival performs the data movement for the
+// whole round under the lock, and everyone leaves with the round's error.
+// Generation counting makes the rendezvous reusable: a fast node may
+// enter round k+1 while slow nodes are still waking from round k, but
+// round k+1 cannot complete (and so cannot overwrite the shared error)
+// until every round-k participant has left.
+type collRound struct {
+	c    *Cluster
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	n       int
+	gen     uint64
+	arrived int
+	args    []*collArgs
+	err     error
+}
+
+func (cr *collRound) init(c *Cluster, n int) {
+	cr.c = c
+	cr.n = n
+	cr.args = make([]*collArgs, n)
+	cr.cond = sync.NewCond(&cr.mu)
+}
+
+// wakeAll unblocks every waiting participant (used by Close).
+func (cr *collRound) wakeAll() {
+	cr.mu.Lock()
+	cr.cond.Broadcast()
+	cr.mu.Unlock()
+}
+
+// run joins the current round on behalf of node, performing combine once
+// all nodes have arrived.
+func (cr *collRound) run(node int, a *collArgs, combine func(args []*collArgs) error) error {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	if cr.c.isClosed() {
+		return transport.ErrClosed
+	}
+	myGen := cr.gen
+	cr.args[node] = a
+	cr.arrived++
+	if cr.arrived == cr.n {
+		err := cr.checkOps()
+		if err == nil {
+			err = combine(cr.args)
+		}
+		cr.err = err
+		cr.gen++
+		cr.arrived = 0
+		for i := range cr.args {
+			cr.args[i] = nil
+		}
+		cr.cond.Broadcast()
+		return err
+	}
+	for cr.gen == myGen && !cr.c.isClosed() {
+		cr.cond.Wait()
+	}
+	if cr.gen == myGen {
+		return transport.ErrClosed
+	}
+	return cr.err
+}
+
+// checkOps verifies every participant joined the same collective with the
+// same root — the cross-node analogue of the comm thread's local
+// accumulator checks.
+func (cr *collRound) checkOps() error {
+	first := cr.args[0]
+	for i, a := range cr.args[1:] {
+		if a.op != first.op {
+			return fmt.Errorf("live: collective mismatch: node 0 in %s, node %d in %s", first.op, i+1, a.op)
+		}
+		if a.root != first.root {
+			return fmt.Errorf("live: %s root mismatch: node 0 says %d, node %d says %d", first.op, first.root, i+1, a.root)
+		}
+	}
+	return nil
+}

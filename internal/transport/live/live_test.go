@@ -1,0 +1,256 @@
+package live
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dcgn/internal/transport"
+)
+
+var wall = &transport.WallProc{Epoch: time.Now()}
+
+func TestSendRecvRoundtrip(t *testing.T) {
+	c := New(2, nil)
+	defer c.Close()
+	msg := []byte("hello over the wire")
+	if err := c.Node(0).Send(wall, 1, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Node(1).RecvMsg(wall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(msg)], msg) {
+		t.Fatalf("payload corrupted: %q", got)
+	}
+	if c.Packets() != 1 || c.Bytes() != int64(len(msg)) {
+		t.Fatalf("counters: %d packets, %d bytes", c.Packets(), c.Bytes())
+	}
+}
+
+func TestSendIsBuffered(t *testing.T) {
+	c := New(2, nil)
+	defer c.Close()
+	msg := []byte("mutate me")
+	if err := c.Node(0).Send(wall, 1, msg); err != nil {
+		t.Fatal(err)
+	}
+	copy(msg, "XXXXXXXXX") // caller reuses its buffer immediately
+	got, err := c.Node(1).RecvMsg(wall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:9], []byte("mutate me")) {
+		t.Fatalf("send aliased the caller's buffer: %q", got[:9])
+	}
+}
+
+func TestSendBadNode(t *testing.T) {
+	c := New(2, nil)
+	defer c.Close()
+	if err := c.Node(0).Send(wall, 7, []byte("x")); err == nil {
+		t.Fatal("send to out-of-range node succeeded")
+	}
+}
+
+func TestCloseUnblocksReceiver(t *testing.T) {
+	c := New(1, nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Node(0).RecvMsg(wall)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, transport.ErrClosed) {
+			t.Fatalf("want ErrClosed, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("receiver still blocked after Close")
+	}
+}
+
+func TestCloseUnblocksCollective(t *testing.T) {
+	c := New(2, nil)
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Node(0).Barrier(wall) // node 1 never joins
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, transport.ErrClosed) {
+			t.Fatalf("want ErrClosed, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("collective participant still blocked after Close")
+	}
+}
+
+// runColl runs fn concurrently for every node and returns the per-node
+// errors.
+func runColl(c *Cluster, n int, fn func(node int) error) []error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+func TestBcast(t *testing.T) {
+	const nodes = 3
+	c := New(nodes, nil)
+	defer c.Close()
+	bufs := make([][]byte, nodes)
+	for i := range bufs {
+		bufs[i] = make([]byte, 8)
+	}
+	copy(bufs[1], "rootdata")
+	for i, err := range runColl(c, nodes, func(n int) error {
+		return c.Node(n).Bcast(wall, bufs[n], 1)
+	}) {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	for i, b := range bufs {
+		if !bytes.Equal(b, []byte("rootdata")) {
+			t.Fatalf("node %d got %q", i, b)
+		}
+	}
+}
+
+func TestGathervScatterv(t *testing.T) {
+	const nodes = 3
+	c := New(nodes, nil)
+	defer c.Close()
+	counts := []int{2, 3, 4}
+
+	// Gatherv: node i contributes counts[i] bytes of value 'a'+i.
+	root := make([]byte, 9)
+	for i, err := range runColl(c, nodes, func(n int) error {
+		send := bytes.Repeat([]byte{byte('a' + n)}, counts[n])
+		var recv []byte
+		if n == 2 {
+			recv = root
+		}
+		return c.Node(n).Gatherv(wall, send, recv, counts, 2)
+	}) {
+		if err != nil {
+			t.Fatalf("gatherv node %d: %v", i, err)
+		}
+	}
+	if string(root) != "aabbbcccc" {
+		t.Fatalf("gatherv assembled %q", root)
+	}
+
+	// Scatterv: split the assembled buffer back out from node 2.
+	parts := make([][]byte, nodes)
+	for i := range parts {
+		parts[i] = make([]byte, counts[i])
+	}
+	for i, err := range runColl(c, nodes, func(n int) error {
+		var send []byte
+		if n == 2 {
+			send = root
+		}
+		return c.Node(n).Scatterv(wall, send, counts, parts[n], 2)
+	}) {
+		if err != nil {
+			t.Fatalf("scatterv node %d: %v", i, err)
+		}
+	}
+	for i, p := range parts {
+		want := bytes.Repeat([]byte{byte('a' + i)}, counts[i])
+		if !bytes.Equal(p, want) {
+			t.Fatalf("scatterv node %d got %q", i, p)
+		}
+	}
+}
+
+func TestAlltoallv(t *testing.T) {
+	const nodes = 2
+	c := New(nodes, nil)
+	defer c.Close()
+	// Node i sends (i+1) bytes of value 10*i+j to node j.
+	sendCounts := [][]int{{1, 1}, {2, 2}}
+	recvCounts := [][]int{{1, 2}, {1, 2}}
+	sends := [][]byte{
+		{0, 1},           // node 0: one byte to each
+		{10, 10, 11, 11}, // node 1: two bytes to each
+	}
+	recvs := [][]byte{make([]byte, 3), make([]byte, 3)}
+	for i, err := range runColl(c, nodes, func(n int) error {
+		return c.Node(n).Alltoallv(wall, sends[n], sendCounts[n], recvs[n], recvCounts[n])
+	}) {
+		if err != nil {
+			t.Fatalf("alltoallv node %d: %v", i, err)
+		}
+	}
+	if !bytes.Equal(recvs[0], []byte{0, 10, 10}) {
+		t.Fatalf("node 0 received %v", recvs[0])
+	}
+	if !bytes.Equal(recvs[1], []byte{1, 11, 11}) {
+		t.Fatalf("node 1 received %v", recvs[1])
+	}
+}
+
+func TestCollectiveOpMismatch(t *testing.T) {
+	c := New(2, nil)
+	defer c.Close()
+	errs := runColl(c, 2, func(n int) error {
+		if n == 0 {
+			return c.Node(0).Barrier(wall)
+		}
+		return c.Node(1).Bcast(wall, make([]byte, 4), 0)
+	})
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("node %d: op mismatch went unreported", i)
+		}
+	}
+}
+
+func TestCollectiveRendezvousReuse(t *testing.T) {
+	// Back-to-back rounds through the same rendezvous, alternating ops.
+	const nodes = 3
+	c := New(nodes, nil)
+	defer c.Close()
+	for round := 0; round < 50; round++ {
+		buf := make([][]byte, nodes)
+		for i := range buf {
+			buf[i] = make([]byte, 4)
+		}
+		copy(buf[round%nodes], fmt.Sprintf("r%03d", round))
+		root := round % nodes
+		for i, err := range runColl(c, nodes, func(n int) error {
+			if err := c.Node(n).Barrier(wall); err != nil {
+				return err
+			}
+			return c.Node(n).Bcast(wall, buf[n], root)
+		}) {
+			if err != nil {
+				t.Fatalf("round %d node %d: %v", round, i, err)
+			}
+		}
+		want := fmt.Sprintf("r%03d", round)
+		for i, b := range buf {
+			if string(b) != want {
+				t.Fatalf("round %d node %d got %q", round, i, b)
+			}
+		}
+	}
+}

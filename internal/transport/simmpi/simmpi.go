@@ -1,0 +1,83 @@
+// Package simmpi adapts internal/mpi's simulated ranks to the
+// transport.Transport seam: it is the default progress-engine backend,
+// playing MVAPICH2's role from the paper ("DCGN uses MPI as its
+// underlying communication library", §3.2.2) on the deterministic
+// simulated cluster fabric.
+//
+// Every operation forwards to the wrapped *mpi.Rank on the calling
+// *sim.Proc, so the virtual-time behavior of a job using this backend is
+// bit-identical to the pre-seam engine that called mpi.Rank directly —
+// the property the golden determinism suite pins.
+package simmpi
+
+import (
+	"fmt"
+
+	"dcgn/internal/mpi"
+	"dcgn/internal/sim"
+	"dcgn/internal/transport"
+)
+
+// dcgnTag is the MPI tag carrying all DCGN point-to-point wire traffic;
+// messages are demultiplexed by the DCGN header, not by MPI matching.
+const dcgnTag = 770001
+
+// Transport is one node's simulated-MPI endpoint.
+type Transport struct {
+	rank *mpi.Rank
+}
+
+// New wraps one underlying MPI rank (one per node) as a Transport.
+func New(rank *mpi.Rank) *Transport { return &Transport{rank: rank} }
+
+// proc recovers the simulated proc a transport call runs under.
+func proc(p transport.Proc) *sim.Proc {
+	sp, ok := p.(*sim.Proc)
+	if !ok {
+		panic(fmt.Sprintf("simmpi: call on non-simulated proc %T", p))
+	}
+	return sp
+}
+
+// Send transmits one framed wire message to dstNode with buffered
+// semantics (eager copy or rendezvous snapshot in the underlying MPI).
+func (t *Transport) Send(p transport.Proc, dstNode int, msg []byte) error {
+	return t.rank.Send(proc(p), msg, dstNode, dcgnTag)
+}
+
+// RecvMsg blocks for the next inbound wire message, taking ownership of
+// the underlying MPI's pooled staging buffer (zero-copy relay).
+func (t *Transport) RecvMsg(p transport.Proc) ([]byte, error) {
+	_, msg, err := t.rank.RecvMsg(proc(p), mpi.AnySource, dcgnTag)
+	return msg, err
+}
+
+// Barrier runs the node-level MPI barrier.
+func (t *Transport) Barrier(p transport.Proc) error {
+	t.rank.Barrier(proc(p))
+	return nil
+}
+
+// Bcast runs the node-level MPI broadcast from rootNode.
+func (t *Transport) Bcast(p transport.Proc, buf []byte, rootNode int) error {
+	return t.rank.Bcast(proc(p), buf, rootNode)
+}
+
+// Gatherv runs the vector MPI gather to rootNode.
+func (t *Transport) Gatherv(p transport.Proc, sendBuf, recvBuf []byte, counts []int, rootNode int) error {
+	return t.rank.Gatherv(proc(p), sendBuf, recvBuf, counts, rootNode)
+}
+
+// Scatterv runs the vector MPI scatter from rootNode.
+func (t *Transport) Scatterv(p transport.Proc, sendBuf []byte, counts []int, recvBuf []byte, rootNode int) error {
+	return t.rank.Scatterv(proc(p), sendBuf, counts, recvBuf, rootNode)
+}
+
+// Alltoallv runs the vector MPI all-to-all.
+func (t *Transport) Alltoallv(p transport.Proc, sendBuf []byte, sendCounts []int, recvBuf []byte, recvCounts []int) error {
+	return t.rank.Alltoallv(proc(p), sendBuf, sendCounts, recvBuf, recvCounts)
+}
+
+// Close is a no-op: simulated daemons are torn down by the simulator at
+// the end of the run.
+func (t *Transport) Close() error { return nil }

@@ -1,0 +1,126 @@
+// Package transport defines the wire seam of the DCGN progress engine:
+// the interface between the per-node communication thread (intake +
+// matching + collective accumulation, internal/core) and whatever
+// substrate actually moves bytes between nodes.
+//
+// The paper's design (§3.2.2) has the communication thread own "the
+// underlying communication library" — MPI in the original. Everything the
+// comm thread needs from that library is node-level: send one framed wire
+// message to a peer node, block for the next inbound message, and run
+// node-level collectives. Transport captures exactly that surface, so the
+// matching/ordering semantics live once in internal/core and backends are
+// interchangeable:
+//
+//   - simmpi: the default deterministic backend, adapting internal/mpi
+//     over the simulated cluster fabric (the configuration every golden
+//     determinism test pins).
+//   - live: real goroutines and channels on the wall clock, with no
+//     dependency on internal/sim — proof that the engine/transport seam is
+//     real, and a harness for running DCGN semantics under the race
+//     detector.
+package transport
+
+import (
+	"errors"
+	"time"
+)
+
+// Backend names accepted by Config.Backend.
+const (
+	// BackendSim is the deterministic simulated-MPI backend (the default).
+	BackendSim = "sim"
+	// BackendLive is the goroutine/channel wall-clock backend.
+	BackendLive = "live"
+)
+
+// ErrClosed is returned by Transport operations after Close: blocked
+// receivers and collective participants unwind with it instead of hanging.
+var ErrClosed = errors.New("transport: closed")
+
+// Config selects the progress-engine substrate for a job.
+type Config struct {
+	// Backend names the transport backend: BackendSim (default when
+	// empty) or BackendLive.
+	Backend string
+}
+
+// Name returns the configured backend name with the default applied.
+func (c Config) Name() string {
+	if c.Backend == "" {
+		return BackendSim
+	}
+	return c.Backend
+}
+
+// Proc is the thread of control a Transport call runs under. On the
+// simulated backend it is the calling *sim.Proc (which satisfies this
+// interface directly, and which the backend type-asserts back to schedule
+// on the simulator); on the live backend it is a WallProc, whose sleeps
+// are no-ops because modeled costs are replaced by real execution time.
+type Proc interface {
+	// Now returns the current time on the backend's clock (virtual or
+	// wall) since the start of the run.
+	Now() time.Duration
+	// Sleep charges d of execution time to the calling thread.
+	Sleep(d time.Duration)
+	// SleepJit charges d perturbed by the run's configured jitter.
+	SleepJit(d time.Duration)
+}
+
+// Transport is a node-level communication endpoint: the pluggable layer 3
+// of the progress engine. One Transport instance serves one node; its
+// methods are called by that node's communication thread and helpers.
+//
+// Send and RecvMsg carry opaque framed wire messages (internal/core's
+// header + payload). Send has buffered semantics: when it returns, the
+// caller may reuse msg. RecvMsg has take-ownership semantics: the returned
+// buffer belongs to the caller, who releases it to the job's buffer pool
+// after delivery.
+//
+// The collectives are node-level (one call per node, every node
+// participating), mirroring the paper's "one MPI collective per node once
+// all resident ranks have joined" pattern (§3.2.3).
+type Transport interface {
+	// Send transmits one framed wire message to dstNode, blocking until
+	// the message is buffered or delivered (msg is reusable on return).
+	Send(p Proc, dstNode int, msg []byte) error
+	// RecvMsg blocks until the next inbound wire message arrives and
+	// transfers ownership of its buffer to the caller. After Close it
+	// returns ErrClosed.
+	RecvMsg(p Proc) ([]byte, error)
+	// Barrier blocks until every node has entered the barrier.
+	Barrier(p Proc) error
+	// Bcast broadcasts buf from rootNode; every node passes an
+	// equal-length buffer.
+	Bcast(p Proc, buf []byte, rootNode int) error
+	// Gatherv concatenates each node's sendBuf (len counts[node]) into
+	// rootNode's recvBuf in node order; recvBuf may be nil elsewhere.
+	Gatherv(p Proc, sendBuf, recvBuf []byte, counts []int, rootNode int) error
+	// Scatterv splits rootNode's sendBuf by counts and delivers chunk
+	// counts[node] into each node's recvBuf; sendBuf may be nil elsewhere.
+	Scatterv(p Proc, sendBuf []byte, counts []int, recvBuf []byte, rootNode int) error
+	// Alltoallv exchanges variable-size segments: node i's sendBuf segment
+	// j (length sendCounts[j]) lands in node j's recvBuf segment i (length
+	// recvCounts[i]), with segments packed in node order.
+	Alltoallv(p Proc, sendBuf []byte, sendCounts []int, recvBuf []byte, recvCounts []int) error
+	// Close shuts the endpoint down, waking blocked receivers and
+	// collective participants with ErrClosed. It is idempotent.
+	Close() error
+}
+
+// WallProc is the Proc of live-backend threads: Now is wall-clock time
+// since Epoch, and the sleeps are no-ops because modeled overheads are
+// replaced by the real cost of execution.
+type WallProc struct {
+	// Epoch is the instant the run started; Now is measured from it.
+	Epoch time.Time
+}
+
+// Now returns the wall-clock time elapsed since Epoch.
+func (w *WallProc) Now() time.Duration { return time.Since(w.Epoch) }
+
+// Sleep is a no-op: live-backend costs are real, not modeled.
+func (w *WallProc) Sleep(time.Duration) {}
+
+// SleepJit is a no-op: live-backend costs are real, not modeled.
+func (w *WallProc) SleepJit(time.Duration) {}
