@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt lintdoc test race race-live bench bench-json benchguard ci
+.PHONY: build vet fmt lintdoc test race race-live bench bench-json benchguard chaos ci
 
 build:
 	$(GO) build ./...
@@ -53,4 +53,12 @@ benchguard:
 	$(GO) test -run='^$$' -bench='BenchmarkMatchIndex|BenchmarkHighFanoutMatching|BenchmarkEnginePingPong/sim' \
 		-benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchguard -baseline testdata/bench_baseline.json
 
-ci: build vet fmt lintdoc test race race-live bench benchguard
+# Chaos smoke: the wire-hardening differential (reliability layer vs
+# injected faults) under the race detector on both backends, plus the
+# lossy-wire application runs and a seeded standalone chaos run.
+chaos:
+	$(GO) test -race ./internal/core/ -run 'Chaos|Reliable'
+	$(GO) test ./internal/apps/ -run 'SurvivesLossyWire'
+	$(GO) run -race ./cmd/dcgn-bench -chaos -backend live -chaos-collfail 0.2 -chaos-seed 11
+
+ci: build vet fmt lintdoc test race race-live bench benchguard chaos

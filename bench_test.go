@@ -346,11 +346,12 @@ func BenchmarkEnginePingPong(b *testing.B) {
 		iters   = 64
 		payload = 1024
 	)
-	run := func(b *testing.B, backend string) {
+	run := func(b *testing.B, backend string, reliable bool) {
 		for i := 0; i < b.N; i++ {
 			cfg := dcgn.DefaultConfig()
 			cfg.Nodes, cfg.CPUKernels, cfg.GPUs = 2, 1, 0
 			cfg.Transport.Backend = backend
+			cfg.Reliability.Enabled = reliable
 			if backend == dcgn.BackendLive {
 				cfg.MaxVirtualTime = 30 * time.Second // wall-clock watchdog
 			}
@@ -383,8 +384,12 @@ func BenchmarkEnginePingPong(b *testing.B) {
 			b.ReportMetric(float64(rep.Requests)/float64(2*iters), "req-per-msg")
 		}
 	}
-	b.Run("sim", func(b *testing.B) { run(b, dcgn.BackendSim) })
-	b.Run("live", func(b *testing.B) { run(b, dcgn.BackendLive) })
+	b.Run("sim", func(b *testing.B) { run(b, dcgn.BackendSim, false) })
+	// sim-reliable guards the no-fault overhead of the seq/ack wire format:
+	// its allocs/op baseline keeps the reliability layer's clean-path cost
+	// (one ack frame + one retransmit timer per message) from creeping.
+	b.Run("sim-reliable", func(b *testing.B) { run(b, dcgn.BackendSim, true) })
+	b.Run("live", func(b *testing.B) { run(b, dcgn.BackendLive, false) })
 }
 
 // BenchmarkTable3Apps runs the DCGN side of the paper's §5.1 applications

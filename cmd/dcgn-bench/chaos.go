@@ -1,0 +1,98 @@
+package main
+
+// `dcgn-bench -chaos` runs the wire-hardening differential harness
+// (internal/chaos) standalone: a seeded randomized workload on a faulted
+// wire whose per-rank digests must match a clean run's, with the fault
+// and retransmit accounting printed. The same harness backs the chaos
+// tests in internal/core/chaos_test.go; this mode is for exploring other
+// seeds, rates and shapes from the command line.
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dcgn/internal/chaos"
+	"dcgn/internal/metrics"
+	"dcgn/internal/transport"
+	"dcgn/internal/transport/faults"
+)
+
+var (
+	chaosSeed    = flag.Int64("chaos-seed", 1, "chaos script seed")
+	chaosRounds  = flag.Int("chaos-rounds", 24, "chaos script rounds per rank")
+	chaosNodes   = flag.Int("chaos-nodes", 3, "chaos cluster nodes")
+	chaosCPUs    = flag.Int("chaos-cpus", 2, "chaos CPU kernels per node")
+	chaosDrop    = flag.Float64("chaos-drop", 0.12, "wire drop probability")
+	chaosDup     = flag.Float64("chaos-dup", 0.08, "wire duplication probability")
+	chaosReorder = flag.Float64("chaos-reorder", 0.08, "wire reordering probability")
+	chaosDelay   = flag.Float64("chaos-delay", 0, "wire delay probability")
+	chaosColl    = flag.Float64("chaos-collfail", 0, "transient collective-failure probability")
+)
+
+// runChaos executes the clean reference and the faulted run, compares
+// digests and prints the accounting. Exits nonzero on divergence.
+func runChaos() {
+	f := faults.Config{
+		Seed:     *chaosSeed,
+		Drop:     *chaosDrop,
+		Dup:      *chaosDup,
+		Reorder:  *chaosReorder,
+		Delay:    *chaosDelay,
+		CollFail: *chaosColl,
+	}
+	opts := chaos.Options{
+		Backend:    *backend,
+		Nodes:      *chaosNodes,
+		CPUs:       *chaosCPUs,
+		Rounds:     *chaosRounds,
+		Seed:       *chaosSeed,
+		AckTimeout: 5 * time.Millisecond,
+	}
+	fmt.Printf("== Chaos differential: %d nodes x %d CPUs, %d rounds, seed %d, backend=%s ==\n",
+		opts.Nodes, opts.CPUs, opts.Rounds, opts.Seed, *backend)
+
+	cleanOpts := opts
+	cleanOpts.Backend = transport.BackendSim
+	clean, err := chaos.Run(cleanOpts)
+	if err != nil {
+		log.Fatalf("clean reference run: %v", err)
+	}
+	opts.Faults = f
+	got, err := chaos.Run(opts)
+	if err != nil {
+		log.Fatalf("faulted run: %v", err)
+	}
+	verdict := "MATCH"
+	for i := range clean.Digests {
+		if got.Digests[i] != clean.Digests[i] {
+			verdict = "DIVERGED"
+		}
+	}
+	fi := got.Report.FaultsInjected
+	metrics.WriteAligned(os.Stdout,
+		[]string{"Digests", "Drops", "Dups", "Reorders", "Delays", "CollFails",
+			"Retransmits", "DupFrames", "Acks", "CollRetries"},
+		[][]string{{
+			verdict,
+			fmt.Sprintf("%d", fi.Drops),
+			fmt.Sprintf("%d", fi.Dups),
+			fmt.Sprintf("%d", fi.Reorders),
+			fmt.Sprintf("%d", fi.Delays),
+			fmt.Sprintf("%d", fi.CollFails),
+			fmt.Sprintf("%d", got.Report.Retransmits),
+			fmt.Sprintf("%d", got.Report.DupWireFrames),
+			fmt.Sprintf("%d", got.Report.AcksReceived),
+			fmt.Sprintf("%d", got.Report.CollRetries),
+		}})
+	if got.Report.PoolAcquires != got.Report.PoolReleases {
+		log.Fatalf("pool leak: %d acquires vs %d releases",
+			got.Report.PoolAcquires, got.Report.PoolReleases)
+	}
+	if verdict != "MATCH" {
+		log.Fatalf("digests diverged from clean run:\nclean: %x\ngot:   %x",
+			clean.Digests, got.Digests)
+	}
+}

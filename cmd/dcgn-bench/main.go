@@ -27,15 +27,20 @@ import (
 )
 
 var (
-	exp     = flag.String("exp", "all", "experiment to run: all|table1|fig6|fig7|mandelbrot|cannon|nbody|pingpong")
-	backend = flag.String("backend", transport.BackendSim, "progress-engine backend: sim|live (only pingpong supports live)")
-	jsonOut = flag.String("json", "", "write the wall-clock/allocation profile as JSON to this file and exit")
+	exp       = flag.String("exp", "all", "experiment to run: all|table1|fig6|fig7|mandelbrot|cannon|nbody|pingpong")
+	backend   = flag.String("backend", transport.BackendSim, "progress-engine backend: sim|live (only pingpong supports live)")
+	jsonOut   = flag.String("json", "", "write the wall-clock/allocation profile as JSON to this file and exit")
+	chaosMode = flag.Bool("chaos", false, "run the wire-hardening chaos differential (see chaos.go flags) and exit")
 )
 
 func main() {
 	flag.Parse()
 	if *jsonOut != "" {
 		writeProfileJSON(*jsonOut)
+		return
+	}
+	if *chaosMode {
+		runChaos()
 		return
 	}
 	if *backend == transport.BackendLive {

@@ -46,6 +46,7 @@ import (
 	"dcgn/internal/mpi"
 	"dcgn/internal/pcie"
 	"dcgn/internal/transport"
+	"dcgn/internal/transport/faults"
 )
 
 // Core job types. See the corresponding internal/core documentation for
@@ -88,6 +89,16 @@ type (
 	// FutureHW enables the §7 "Looking Forward" hardware capabilities
 	// (device-to-CPU signaling, direct device-NIC transfers).
 	FutureHW = core.FutureHW
+	// FaultsConfig injects deterministic wire faults (drop, duplicate,
+	// reorder, delay, transient collective failures) into the transport
+	// (Config.Faults); the zero value is a clean wire.
+	FaultsConfig = faults.Config
+	// Reliability tunes the wire-level ack/retry layer (Config.Reliability);
+	// it is enabled automatically when FaultsConfig injects wire faults.
+	Reliability = core.Reliability
+	// FaultStats counts the faults a FaultsConfig actually injected
+	// (Report.FaultsInjected, NodeStats.Faults).
+	FaultStats = transport.FaultStats
 )
 
 // Substrate types reachable from the public API (device buffers in GPU
@@ -127,6 +138,10 @@ const DevNull = device.Null
 // ErrTruncate is reported when a message exceeds the posted receive
 // buffer.
 var ErrTruncate = core.ErrTruncate
+
+// ErrUnacked is reported when the reliability layer exhausts its
+// retransmit budget without an acknowledgement.
+var ErrUnacked = core.ErrUnacked
 
 // NewJob creates a job for the given cluster configuration.
 func NewJob(cfg Config) *Job { return core.NewJob(cfg) }

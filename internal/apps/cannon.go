@@ -42,6 +42,9 @@ type CannonResult struct {
 	GFLOPS   float64
 	Targets  int
 	Verified bool
+	// Report is the engine report of the DCGN run (fault/retransmit
+	// accounting under lossy-wire configs); zero for GAS/sequential runs.
+	Report core.Report
 }
 
 // cannonGrid returns sqrt(P), panicking unless P is a perfect square and
@@ -205,10 +208,13 @@ func CannonDCGN(cfg core.Config, cc CannonConfig) (CannonResult, error) {
 		s.Dev.CopyOut(s.Proc, s.Bus, s.Args["c"].(device.Ptr), out)
 		cChunks[t] = out
 	})
-	if _, err := job.Run(); err != nil {
+	rep, err := job.Run()
+	if err != nil {
 		return CannonResult{}, err
 	}
-	return cannonResult(cc, q, targets, start, ends, cChunks), nil
+	res := cannonResult(cc, q, targets, start, ends, cChunks)
+	res.Report = rep
+	return res, nil
 }
 
 // CannonGAS runs Cannon's algorithm in the GAS model: host ranks own the

@@ -52,6 +52,9 @@ type MandelResult struct {
 	StripOwner []int
 	// Image holds per-pixel iteration counts, row-major.
 	Image []uint16
+	// Report is the engine report of the DCGN run (fault/retransmit
+	// accounting under lossy-wire configs); zero for GAS/sequential runs.
+	Report core.Report
 }
 
 // mandelStrip computes iteration counts for rows [y0, y0+rows) into out and
@@ -236,7 +239,9 @@ func MandelbrotDCGN(cfg core.Config, mc MandelConfig) (MandelResult, error) {
 	if err != nil {
 		return MandelResult{}, err
 	}
-	return mandelResult(mc, rep.Elapsed, len(workers), owner, img), nil
+	res := mandelResult(mc, rep.Elapsed, len(workers), owner, img)
+	res.Report = rep
+	return res, nil
 }
 
 // MandelbrotGAS runs the GAS+MPI implementation: the same master protocol,

@@ -48,6 +48,9 @@ type NBodyResult struct {
 	StepTime time.Duration
 	Targets  int
 	Verified bool
+	// Report is the engine report of the DCGN run (fault/retransmit
+	// accounting under lossy-wire configs); zero for GAS/sequential runs.
+	Report core.Report
 }
 
 // nbodyInit produces deterministic initial conditions.
@@ -189,10 +192,13 @@ func NBodyDCGN(cfg core.Config, nc NBodyConfig) (NBodyResult, error) {
 		s.Dev.CopyOut(s.Proc, s.Bus, s.Args["bodies"].(device.Ptr), out)
 		finals[s.Args["target"].(int)] = out
 	})
-	if _, err := job.Run(); err != nil {
+	rep, err := job.Run()
+	if err != nil {
 		return NBodyResult{}, err
 	}
-	return nbodyResult(nc, targets, start, ends, finals), nil
+	res := nbodyResult(nc, targets, start, ends, finals)
+	res.Report = rep
+	return res, nil
 }
 
 // NBodyGAS runs the GAS version: per step, launch the force kernel,

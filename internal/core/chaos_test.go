@@ -1,0 +1,142 @@
+package core_test
+
+// Chaos differential suite: the seeded workload in internal/chaos must
+// produce identical per-rank digests whatever the wire does — clean sim,
+// faulted sim, clean live, faulted live. A divergence means the
+// reliability layer let a drop, duplicate or reordering reach the
+// application; the shrinker then reruns with shorter round prefixes to
+// name the smallest failing script.
+
+import (
+	"testing"
+	"time"
+
+	"dcgn/internal/chaos"
+	"dcgn/internal/transport"
+	"dcgn/internal/transport/faults"
+)
+
+// chaosShape is the suite's cluster shape: 3 nodes x 2 CPU kernels.
+func chaosOpts(backend string, rounds int, seed int64, f faults.Config) chaos.Options {
+	return chaos.Options{
+		Backend:    backend,
+		Nodes:      3,
+		CPUs:       2,
+		Rounds:     rounds,
+		Seed:       seed,
+		Faults:     f,
+		AckTimeout: 5 * time.Millisecond, // irrelevant on sim, keeps live fast
+	}
+}
+
+// shrink reruns a failing (seed, faults) combination with growing round
+// prefixes and reports the smallest prefix that still diverges from the
+// clean digests — the chaos harness's shrinking step.
+func shrink(t *testing.T, backend string, maxRounds int, seed int64, f faults.Config) {
+	t.Helper()
+	for r := 1; r <= maxRounds; r++ {
+		clean, err := chaos.Run(chaosOpts(transport.BackendSim, r, seed, faults.Config{}))
+		if err != nil {
+			t.Logf("shrink: clean run failed at %d rounds: %v", r, err)
+			return
+		}
+		got, err := chaos.Run(chaosOpts(backend, r, seed, f))
+		if err != nil || !equalDigests(got.Digests, clean.Digests) {
+			t.Logf("smallest failing script: seed=%d rounds=%d backend=%s (err=%v)", seed, r, backend, err)
+			return
+		}
+	}
+}
+
+func equalDigests(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// requireDifferential runs clean-sim as the reference and asserts that a
+// (backend, faults) run matches it digest-for-digest with a balanced
+// pool, shrinking on failure.
+func requireDifferential(t *testing.T, backend string, rounds int, seed int64, f faults.Config) chaos.Result {
+	t.Helper()
+	clean, err := chaos.Run(chaosOpts(transport.BackendSim, rounds, seed, faults.Config{}))
+	if err != nil {
+		t.Fatalf("clean reference run: %v", err)
+	}
+	got, err := chaos.Run(chaosOpts(backend, rounds, seed, f))
+	if err != nil {
+		shrink(t, backend, rounds, seed, f)
+		t.Fatalf("chaos run (backend=%s): %v", backend, err)
+	}
+	if !equalDigests(got.Digests, clean.Digests) {
+		shrink(t, backend, rounds, seed, f)
+		t.Fatalf("digests diverged from clean run:\nclean: %x\ngot:   %x", clean.Digests, got.Digests)
+	}
+	if got.Report.PoolAcquires != got.Report.PoolReleases {
+		t.Fatalf("pool leak under chaos: %d acquires vs %d releases",
+			got.Report.PoolAcquires, got.Report.PoolReleases)
+	}
+	return got
+}
+
+// TestChaosDifferentialSim sweeps seeds on the simulated backend with a
+// drop rate past the acceptance bar (>= 10%), plus duplication and
+// reordering; every seed must reproduce the clean digests and show the
+// retransmit machinery actually firing.
+func TestChaosDifferentialSim(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1009} {
+		f := faults.Config{Seed: seed, Drop: 0.12, Dup: 0.08, Reorder: 0.08}
+		got := requireDifferential(t, transport.BackendSim, 24, seed, f)
+		if got.Report.FaultsInjected.Drops == 0 {
+			t.Errorf("seed %d: no drops injected; differential proves nothing", seed)
+		}
+		if got.Report.Retransmits == 0 {
+			t.Errorf("seed %d: drops but zero retransmits", seed)
+		}
+	}
+}
+
+// TestChaosDifferentialSimCollFaults adds transient collective failures
+// on top of the wire faults.
+func TestChaosDifferentialSimCollFaults(t *testing.T) {
+	f := faults.Config{Seed: 11, Drop: 0.1, CollFail: 0.2}
+	got := requireDifferential(t, transport.BackendSim, 24, 11, f)
+	if got.Report.FaultsInjected.CollFails == 0 {
+		t.Error("no collective faults injected; test proves nothing")
+	}
+}
+
+// TestChaosDifferentialLive runs the same differential on the live
+// backend — real goroutines, wall-clock retransmit timers — against the
+// clean-sim reference digests. CI runs this package under -race.
+func TestChaosDifferentialLive(t *testing.T) {
+	requireDifferential(t, transport.BackendLive, 16, 5, faults.Config{})
+	got := requireDifferential(t, transport.BackendLive, 16, 5,
+		faults.Config{Seed: 5, Drop: 0.12, Dup: 0.05})
+	if got.Report.Retransmits == 0 && got.Report.FaultsInjected.Drops > 0 {
+		t.Error("live drops but zero retransmits")
+	}
+}
+
+// TestChaosCleanRunDeterminism pins that the harness itself is a pure
+// function of its options on the simulated backend: identical digests
+// AND identical virtual time across repeated runs.
+func TestChaosCleanRunDeterminism(t *testing.T) {
+	a, err := chaos.Run(chaosOpts(transport.BackendSim, 20, 99, faults.Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := chaos.Run(chaosOpts(transport.BackendSim, 20, 99, faults.Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalDigests(a.Digests, b.Digests) || a.Report.Elapsed != b.Report.Elapsed {
+		t.Fatalf("clean chaos runs diverged: %v vs %v", a.Report.Elapsed, b.Report.Elapsed)
+	}
+}

@@ -1,13 +1,40 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"dcgn/internal/transport"
 )
+
+// collRetries bounds re-executions of a node-level collective that failed
+// with transport.ErrTransient. Transient failures are cluster-consistent
+// (every node's middleware fails the same round — see internal/transport/
+// faults), so all nodes retry in lockstep and the rendezvous stays intact.
+const collRetries = 16
+
+// collCall runs one node-level collective transport call, retrying
+// transient injected failures with the reliability layer's backoff
+// schedule (charged as comm-thread time; the comm thread already blocks
+// for the duration of a collective). Non-transient errors surface
+// immediately.
+func (ns *nodeState) collCall(p transport.Proc, call func() error) error {
+	var err error
+	for attempt := 0; attempt <= collRetries; attempt++ {
+		if attempt > 0 {
+			atomic.AddInt64(&ns.collRetried, 1)
+			p.SleepJit(relBackoff(ns.job.cfg.Reliability, attempt-1))
+		}
+		if err = call(); err == nil || !errors.Is(err, transport.ErrTransient) {
+			return err
+		}
+	}
+	return err
+}
 
 // collector is the progress engine's collective-accumulation layer: it
 // gathers local arrivals for each collective until every resident rank has
@@ -135,7 +162,9 @@ func (ns *nodeState) execAlltoall(p transport.Proc, g *collGroup) {
 		}
 	}
 	recvBuf := ns.job.pool.Get(local * total * chunk)
-	err := ns.tr.Alltoallv(p, sendBuf, sendCounts, recvBuf, recvCounts)
+	err := ns.collCall(p, func() error {
+		return ns.tr.Alltoallv(p, sendBuf, sendCounts, recvBuf, recvCounts)
+	})
 	ns.job.pool.Put(scratch)
 	if err != nil {
 		ns.job.pool.Put(recvBuf)
@@ -181,7 +210,7 @@ func collPayloadLen(req *request) int {
 
 // execBarrier runs the node-level barrier and releases all local ranks.
 func (ns *nodeState) execBarrier(p transport.Proc, g *collGroup) {
-	if err := ns.tr.Barrier(p); err != nil {
+	if err := ns.collCall(p, func() error { return ns.tr.Barrier(p) }); err != nil {
 		ns.failCollective(g, err)
 		return
 	}
@@ -204,7 +233,7 @@ func (ns *nodeState) execBcast(p transport.Proc, g *collGroup) {
 			break
 		}
 	}
-	if err := ns.tr.Bcast(p, chosen.buf, rootNode); err != nil {
+	if err := ns.collCall(p, func() error { return ns.tr.Bcast(p, chosen.buf, rootNode) }); err != nil {
 		ns.failCollective(g, err)
 		return
 	}
@@ -246,7 +275,9 @@ func (ns *nodeState) execGather(p transport.Proc, g *collGroup) {
 	if rootNode == ns.node && rootDst == nil {
 		panic("dcgn: gather root resident but no destination buffer")
 	}
-	if err := ns.tr.Gatherv(p, nodeBuf, rootDst, counts, rootNode); err != nil {
+	if err := ns.collCall(p, func() error {
+		return ns.tr.Gatherv(p, nodeBuf, rootDst, counts, rootNode)
+	}); err != nil {
 		ns.failCollective(g, err)
 		return
 	}
@@ -277,7 +308,9 @@ func (ns *nodeState) execScatter(p transport.Proc, g *collGroup) {
 	}
 	nodeBuf := ns.job.pool.Get(ns.localRanks() * chunk)
 	defer ns.job.pool.Put(nodeBuf)
-	if err := ns.tr.Scatterv(p, rootSrc, counts, nodeBuf, rootNode); err != nil {
+	if err := ns.collCall(p, func() error {
+		return ns.tr.Scatterv(p, rootSrc, counts, nodeBuf, rootNode)
+	}); err != nil {
 		ns.failCollective(g, err)
 		return
 	}

@@ -41,8 +41,15 @@ type nodeState struct {
 	index  matcher
 	coll   collector
 
+	// rel holds the wire-level reliability state (reliable.go) when
+	// Config.Reliability is enabled; nil means the legacy wire format.
+	rel *relState
+
 	// Stats.
 	requestsHandled int
+	// collRetried counts node-level collective calls re-executed after a
+	// transient transport failure (collCall); read atomically by fillReport.
+	collRetried int64
 }
 
 // start spawns the node's communication thread and its transport receiver
@@ -84,9 +91,18 @@ func (ns *nodeState) runReceiver(p transport.Proc) {
 		msg, err := ns.tr.RecvMsg(p)
 		if err != nil {
 			if errors.Is(err, transport.ErrClosed) {
+				if ns.rel != nil {
+					// Teardown can close the wire with resequencing gaps
+					// still parked; their buffers go back to the pool.
+					ns.rel.releaseHeld(ns.job.pool)
+				}
 				return // transport shut down (live backend teardown)
 			}
 			panic(fmt.Sprintf("dcgn: receiver on node %d: %v", ns.node, err))
+		}
+		if ns.rel != nil {
+			ns.recvReliable(p, msg)
+			continue
 		}
 		src, dst, payload, err := unpackWire(msg)
 		if err != nil {

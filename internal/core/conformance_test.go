@@ -239,6 +239,86 @@ func TestConformanceCollectives(t *testing.T) {
 	})
 }
 
+// TestConformanceAnySourceLocalVsWire pins the AnySource tie-break when
+// both a pending local send and an OLDER unexpected wire message are
+// eligible: the local send wins (handleRecv consults the local send pool
+// before the unexpected-inbound pool). The schedule is fully causal — a
+// relay chain guarantees both candidates are indexed before the AnySource
+// receive is posted on every backend, so the test pins the matching rule,
+// not a race.
+//
+// Ranks: node 0 hosts 0,1,2; node 1 hosts 3,4,5 (4 and 5 idle).
+// Causal chain: rank 3 sends X to rank 0 (wire, unexpected) then F to
+// rank 1 — per-node-pair FIFO means X is indexed on node 0 before F
+// delivers. rank 1 then relays to rank 2, which posts ISend B to rank 0
+// (local pending) before relaying back through rank 1 to rank 0. When
+// rank 0's AnySource posts, X (older) and B are both eligible; local B
+// must win.
+func TestConformanceAnySourceLocalVsWire(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, backend string) {
+		job := NewJob(backendConfig(backend, 2, 3))
+		payloadX := pattern(32, 0xA7) // wire candidate, from rank 3
+		payloadB := pattern(32, 0xB1) // local candidate, from rank 2
+		tok := func(b byte) []byte { return []byte{b} }
+		job.SetCPUKernel(func(c *CPUCtx) {
+			buf := make([]byte, 32)
+			switch c.Rank() {
+			case 0:
+				if _, err := c.Recv(1, buf[:1]); err != nil { // G: both candidates now indexed
+					t.Errorf("rank 0 recv G: %v", err)
+				}
+				st, err := c.Recv(AnySource, buf)
+				if err != nil {
+					t.Errorf("rank 0 AnySource: %v", err)
+				}
+				if st.Source != 2 {
+					t.Errorf("AnySource matched rank %d; want the pending local send (rank 2)", st.Source)
+				} else if !bytes.Equal(buf[:st.Bytes], payloadB) {
+					t.Error("AnySource delivered wrong payload for local send")
+				}
+				st, err = c.Recv(3, buf)
+				if err != nil || !bytes.Equal(buf[:st.Bytes], payloadX) {
+					t.Errorf("wire message lost after tie-break: %v", err)
+				}
+			case 1:
+				if _, err := c.Recv(3, buf[:1]); err != nil { // F: X already indexed (wire FIFO)
+					t.Errorf("rank 1 recv F: %v", err)
+				}
+				if err := c.Send(2, tok('C')); err != nil {
+					t.Errorf("rank 1 send C: %v", err)
+				}
+				if _, err := c.Recv(2, buf[:1]); err != nil { // E: B already indexed (intake FIFO)
+					t.Errorf("rank 1 recv E: %v", err)
+				}
+				if err := c.Send(0, tok('G')); err != nil {
+					t.Errorf("rank 1 send G: %v", err)
+				}
+			case 2:
+				if _, err := c.Recv(1, buf[:1]); err != nil { // C
+					t.Errorf("rank 2 recv C: %v", err)
+				}
+				op := c.ISend(0, payloadB) // B parks in the local send pool
+				if err := c.Send(1, tok('E')); err != nil {
+					t.Errorf("rank 2 send E: %v", err)
+				}
+				if _, err := op.Wait(c); err != nil {
+					t.Errorf("rank 2 ISend B: %v", err)
+				}
+			case 3:
+				if err := c.Send(0, payloadX); err != nil { // X: lands unexpected
+					t.Errorf("rank 3 send X: %v", err)
+				}
+				if err := c.Send(1, tok('F')); err != nil {
+					t.Errorf("rank 3 send F: %v", err)
+				}
+			}
+		})
+		if _, err := job.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 // TestConformanceTruncation checks ErrTruncate on both the local-memcpy
 // path and the wire path.
 func TestConformanceTruncation(t *testing.T) {
@@ -249,9 +329,11 @@ func TestConformanceTruncation(t *testing.T) {
 			small := make([]byte, 40)
 			switch c.Rank() {
 			case 0: // node 0; rank 1 is local, rank 2 is on node 1
-				// Local path: the sender learns of the truncation too.
-				if err := c.Send(1, big); !errors.Is(err, ErrTruncate) {
-					t.Errorf("local send: want ErrTruncate, got %v", err)
+				// Local path: truncation is receiver-side only, exactly like
+				// the wire path — a sender must not observe different error
+				// semantics depending on where its peer happens to live.
+				if err := c.Send(1, big); err != nil {
+					t.Errorf("local send: want nil (receiver-side truncation), got %v", err)
 				}
 				// Wire path: the send completes when the wire accepts it;
 				// truncation surfaces at the receiver only.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"dcgn/internal/bufpool"
@@ -11,6 +12,7 @@ import (
 	"dcgn/internal/pcie"
 	"dcgn/internal/sim"
 	"dcgn/internal/transport"
+	"dcgn/internal/transport/faults"
 	"dcgn/internal/transport/simmpi"
 )
 
@@ -152,6 +154,20 @@ type Report struct {
 	PoolReleases uint64
 	// PoolHits counts acquires served by reuse rather than allocation.
 	PoolHits uint64
+	// Retransmits / DupWireFrames / AcksSent / AcksReceived aggregate the
+	// reliability layer's activity (reliable.go) over all nodes; all zero
+	// when Reliability is off. Nonzero Retransmits on a faulted run is the
+	// proof the engine survived loss rather than never seeing any.
+	Retransmits   int64
+	DupWireFrames int64
+	AcksSent      int64
+	AcksReceived  int64
+	// CollRetries counts node-level collective calls re-executed after a
+	// transient transport failure, summed over all nodes.
+	CollRetries int64
+	// FaultsInjected totals the fault-injection middleware's activity over
+	// all nodes (zero without Config.Faults).
+	FaultsInjected transport.FaultStats
 	// Nodes holds per-node progress-engine statistics, indexed by node.
 	Nodes []NodeStats
 	// Trace holds per-request lifecycle records when Config.Trace is on.
@@ -174,6 +190,19 @@ type NodeStats struct {
 	// PeakPending is the high-water mark of the matching index (pending
 	// sends + receives + unexpected inbound messages).
 	PeakPending int
+	// Retransmits / DupWireFrames / AcksSent / AcksReceived are this node's
+	// reliability-layer counters: data frames resent after an ack timeout,
+	// duplicate frames discarded by the receiver, and acks sent/received.
+	Retransmits   int64
+	DupWireFrames int64
+	AcksSent      int64
+	AcksReceived  int64
+	// CollRetries counts this node's collective re-executions after
+	// transient transport failures.
+	CollRetries int64
+	// Faults snapshots the faults injected into this node's transport
+	// (zero unless Config.Faults is active).
+	Faults transport.FaultStats
 }
 
 // Run executes the job to completion and reports results on the
@@ -221,10 +250,13 @@ func (j *Job) runSim() (Report, error) {
 		ns := &nodeState{
 			job:    j,
 			node:   n,
-			tr:     j.wrapTransport(simmpi.New(j.world.Rank(n))),
+			tr:     j.wrapTransport(n, simmpi.New(j.world.Rank(n))),
 			bus:    pcie.New(s, fmt.Sprintf("n%d", n), j.cfg.Bus),
 			intake: newIntake(j.rt.NewQueue(fmt.Sprintf("commq:%d", n))),
 			index:  newMatchIndex(),
+		}
+		if j.cfg.Reliability.Enabled {
+			ns.rel = newRelState(j.cfg.Nodes)
 		}
 		ns.coll = newCollAccum(ns)
 		for g := 0; g < j.rmap.Spec(n).GPUs; g++ {
@@ -278,10 +310,17 @@ func (j *Job) runSim() (Report, error) {
 	return rep, err
 }
 
-// wrapTransport applies the Config.WrapTransport hook, if any.
-func (j *Job) wrapTransport(tr transport.Transport) transport.Transport {
+// wrapTransport layers the configured middlewares over a node's raw
+// endpoint: the Config.WrapTransport hook first, then Config.Faults
+// outermost — faults perturb the fully-wrapped wire, exactly where a real
+// fabric would, and the outermost position is what fillReport type-asserts
+// for FaultStats.
+func (j *Job) wrapTransport(node int, tr transport.Transport) transport.Transport {
 	if j.cfg.WrapTransport != nil {
-		return j.cfg.WrapTransport(tr)
+		tr = j.cfg.WrapTransport(tr)
+	}
+	if j.cfg.Faults.Enabled() {
+		tr = faults.New(tr, j.cfg.Faults, node)
 	}
 	return tr
 }
@@ -322,6 +361,22 @@ func (j *Job) fillReport(rep *Report) {
 			WireMessages:    ns.intake.wirePosts.Load(),
 			PeakIntakeDepth: int(ns.intake.peakDepth.Load()),
 			PeakPending:     ns.index.peakDepth(),
+		}
+		if ns.rel != nil {
+			st.Retransmits = atomic.LoadInt64(&ns.rel.retransmits)
+			st.DupWireFrames = atomic.LoadInt64(&ns.rel.dupFrames)
+			st.AcksSent = atomic.LoadInt64(&ns.rel.acksSent)
+			st.AcksReceived = atomic.LoadInt64(&ns.rel.acksReceived)
+			rep.Retransmits += st.Retransmits
+			rep.DupWireFrames += st.DupWireFrames
+			rep.AcksSent += st.AcksSent
+			rep.AcksReceived += st.AcksReceived
+		}
+		st.CollRetries = atomic.LoadInt64(&ns.collRetried)
+		rep.CollRetries += st.CollRetries
+		if fr, ok := ns.tr.(transport.FaultReporter); ok {
+			st.Faults = fr.FaultStats()
+			rep.FaultsInjected = rep.FaultsInjected.Plus(st.Faults)
 		}
 		rep.Nodes = append(rep.Nodes, st)
 		if ns.bus != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"dcgn/internal/bufpool"
@@ -38,9 +39,12 @@ func (j *Job) runLive() (Report, error) {
 		ns := &nodeState{
 			job:    j,
 			node:   n,
-			tr:     j.wrapTransport(cluster.Node(n)),
+			tr:     j.wrapTransport(n, cluster.Node(n)),
 			intake: newIntake(rt.NewQueue(fmt.Sprintf("commq:%d", n))),
 			index:  newMatchIndex(),
+		}
+		if j.cfg.Reliability.Enabled {
+			ns.rel = newRelState(j.cfg.Nodes)
 		}
 		ns.coll = newCollAccum(ns)
 		ns.start()
@@ -59,17 +63,22 @@ func (j *Job) runLive() (Report, error) {
 
 	// MaxVirtualTime doubles as the wall-clock watchdog: a deadlocked
 	// application (unmatched receive, incomplete collective) would block
-	// the kernel WaitGroup forever.
+	// the kernel WaitGroup forever. An explicit timer (not time.After) so
+	// the happy path stops it — with the defaulted 1-hour limit, time.After
+	// leaked a live timer for an hour past every successful run.
 	workersDone := make(chan struct{})
 	go func() {
 		rt.workers.Wait()
 		close(workersDone)
 	}()
+	watchdog := time.NewTimer(j.cfg.MaxVirtualTime)
+	defer watchdog.Stop()
 	var runErr error
 	select {
 	case <-workersDone:
-	case <-time.After(j.cfg.MaxVirtualTime):
-		runErr = fmt.Errorf("dcgn: live run exceeded %v (deadlocked kernels?)", j.cfg.MaxVirtualTime)
+	case <-watchdog.C:
+		runErr = fmt.Errorf("dcgn: live run exceeded %v (deadlocked kernels?)%s",
+			j.cfg.MaxVirtualTime, liveStallDiagnosis(j.nodes))
 	}
 
 	// Teardown: closing the transport unwinds blocked receivers and
@@ -93,4 +102,22 @@ func (j *Job) runLive() (Report, error) {
 	}
 	j.fillReport(&rep)
 	return rep, nil
+}
+
+// liveStallDiagnosis summarizes, per node, what the intake layer still had
+// in flight when the watchdog fired — the first thing a deadlock
+// post-mortem wants to know. It reads only the intake atomics: matcher and
+// collective state are comm-thread-confined and those daemons are still
+// running when this is called.
+func liveStallDiagnosis(nodes []*nodeState) string {
+	var b strings.Builder
+	for _, ns := range nodes {
+		if ns == nil {
+			continue
+		}
+		d := ns.intake.depth()
+		fmt.Fprintf(&b, "; node %d: %d inflight intake events (%d local posts, %d wire posts)",
+			ns.node, d, ns.intake.localPosts.Load(), ns.intake.wirePosts.Load())
+	}
+	return b.String()
 }

@@ -43,6 +43,19 @@ func (ns *nodeState) handleSend(p transport.Proc, req *request) {
 	ns.observe(p, req)
 	dstNode := ns.job.rmap.Node(req.peer)
 	if dstNode != ns.node {
+		if ns.rel != nil {
+			// Reliable path: sequence numbers are assigned here, on the comm
+			// thread, so per-destination ordering is fixed before concurrent
+			// tx helpers race to the transport; the receiver resequences by
+			// these numbers and FIFO matching survives any wire order.
+			seq := ns.rel.nextTx[dstNode]
+			ns.rel.nextTx[dstNode]++
+			msg := packRelData(ns.job.pool, req.rank, req.peer, seq, req.buf)
+			ns.job.rt.SpawnID("dcgn-tx", ns.node, func(h transport.Proc) {
+				ns.sendReliable(h, req, dstNode, seq, msg)
+			})
+			return
+		}
 		// Remote: a helper performs the (possibly rendezvous) transport send
 		// so the comm thread keeps draining its queue; completion is signaled
 		// when the underlying send completes, as in the paper's dataflow
@@ -70,6 +83,16 @@ func (ns *nodeState) handleSend(p transport.Proc, req *request) {
 
 // handleRecv matches a posted receive against pending local sends, then
 // against unexpected inbound messages; otherwise it is queued.
+//
+// AnySource tie-break: when both a pending local send and an unexpected
+// wire message could satisfy an AnySource receive, the local send wins
+// regardless of which arrived first. This is deliberate, not an accident
+// of ordering: DCGN guarantees FIFO only per (source, destination) pair,
+// and cross-source arrival order over a wire is not meaningful — the
+// "older" wire message's wall-clock arrival is an artifact of fabric
+// timing, not program order. Preferring the local pool keeps the comm
+// thread's cheap memcpy path hot and is pinned cross-backend by
+// TestConformanceAnySourceLocalVsWire.
 func (ns *nodeState) handleRecv(p transport.Proc, req *request) {
 	ns.observe(p, req)
 	if req.peer != AnySource && ns.job.rmap.Node(req.peer) == ns.node {
@@ -127,6 +150,12 @@ func (ns *nodeState) matched(p transport.Proc, a, b *request) {
 
 // deliverLocal completes a matched local send/recv pair: the comm thread
 // performs the memcpy itself instead of using MPI (paper §6.2).
+//
+// Truncation is a receiver-side error uniformly: a wire-routed send never
+// learns that the remote receive buffer was short (the transport has
+// already buffered the frame by then), so a locally-matched send must not
+// either — the same program observes the same error semantics whichever
+// node its peer landed on. Pinned by TestConformanceTruncation.
 func (ns *nodeState) deliverLocal(p transport.Proc, send, recv *request) {
 	n := len(send.buf)
 	var err error
@@ -137,7 +166,7 @@ func (ns *nodeState) deliverLocal(p transport.Proc, send, recv *request) {
 	ns.chargeMemcpy(p, n)
 	copy(recv.buf[:n], send.buf[:n])
 	p.SleepJit(ns.job.cfg.Params.NotifyCost)
-	send.complete(send.rank, len(send.buf), err)
+	send.complete(send.rank, len(send.buf), nil)
 	p.SleepJit(ns.job.cfg.Params.NotifyCost)
 	recv.complete(send.rank, n, err)
 }

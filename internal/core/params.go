@@ -27,7 +27,29 @@ import (
 	"dcgn/internal/mpi"
 	"dcgn/internal/pcie"
 	"dcgn/internal/transport"
+	"dcgn/internal/transport/faults"
 )
+
+// Reliability configures the engine's wire-level reliability layer
+// (reliable.go): sequence numbers on every wire frame, receiver-side
+// dedup/resequencing, and sender-side ack/timeout/retransmit with capped
+// exponential backoff. Off by default — the legacy wire format is
+// byte-identical to PR 3 and the golden determinism suite pins it — and
+// auto-enabled whenever Config.Faults can drop or reorder wire messages,
+// because an unreliable engine deadlocks on the first lost packet.
+type Reliability struct {
+	// Enabled switches every wire frame to the sequenced format and turns
+	// on ack/retransmit.
+	Enabled bool
+	// AckTimeout is the initial retransmit timeout (default 20ms); each
+	// retry doubles it up to BackoffCap.
+	AckTimeout time.Duration
+	// MaxRetries bounds retransmissions per message (default 12) before
+	// the send completes with ErrUnacked.
+	MaxRetries int
+	// BackoffCap bounds the doubled timeout (default 500ms).
+	BackoffCap time.Duration
+}
 
 // Params holds DCGN's internal overhead model. The defaults are calibrated
 // so the paper's measured ratios hold (see DESIGN.md §5 and EXPERIMENTS.md):
@@ -130,6 +152,15 @@ type Config struct {
 	// (failing collectives, dropping sends) and instrumentation.
 	WrapTransport func(transport.Transport) transport.Transport
 
+	// Faults installs the deterministic fault-injection middleware
+	// (internal/transport/faults) outermost on every node's transport.
+	// Any nonzero wire-fault probability auto-enables Reliability.
+	Faults faults.Config
+
+	// Reliability configures the wire-level ack/retransmit layer; see the
+	// Reliability type. Zero value = off (legacy wire format).
+	Reliability Reliability
+
 	// JitterFrac/JitterSeed add multiplicative timing noise (for the
 	// run-to-run variation experiments, Fig. 5). Zero disables jitter.
 	JitterFrac float64
@@ -190,6 +221,18 @@ func (c *Config) validate() {
 	}
 	if c.MaxVirtualTime == 0 {
 		c.MaxVirtualTime = time.Hour
+	}
+	if c.Faults.WireActive() {
+		c.Reliability.Enabled = true
+	}
+	if c.Reliability.AckTimeout <= 0 {
+		c.Reliability.AckTimeout = 20 * time.Millisecond
+	}
+	if c.Reliability.MaxRetries <= 0 {
+		c.Reliability.MaxRetries = 12
+	}
+	if c.Reliability.BackoffCap <= 0 {
+		c.Reliability.BackoffCap = 500 * time.Millisecond
 	}
 }
 

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcgn/internal/bufpool"
+	"dcgn/internal/transport"
+)
+
+// Wire-level reliability (Config.Reliability): every inter-node frame
+// carries a per-(sender node, receiver node) sequence number, receivers
+// acknowledge every data frame and resequence out-of-order arrivals, and
+// senders retransmit on ack timeout with capped exponential backoff. The
+// result is that a lossy transport (internal/transport/faults) degrades
+// throughput instead of deadlocking a receive forever, while DCGN's
+// FIFO-per-(source, destination) matching semantics survive drops,
+// duplicates and reordering unchanged.
+//
+// The layer is strictly opt-in: with Reliability.Enabled false the engine
+// speaks the legacy 24-byte wire format of PR 3, byte-identical, which the
+// golden determinism suite pins.
+
+// ErrUnacked is reported by a send whose wire frame was never acknowledged
+// within Reliability.MaxRetries retransmissions — the reliability layer's
+// "the peer is unreachable" verdict.
+var ErrUnacked = errors.New("dcgn: send unacknowledged after retries")
+
+// Sequenced wire format: the legacy header (src rank, dst rank, payload
+// len — request.go) extended with a sequence number and a frame kind.
+const (
+	relHeaderLen = wireHeaderLen + 16
+
+	relKindData = 1 // sequenced payload frame; src/dst are virtual ranks
+	relKindAck  = 2 // acknowledgment; src is the acking NODE id, no payload
+)
+
+// packRelData builds a sequenced data frame in a pooled buffer.
+func packRelData(pool *bufpool.Pool, src, dst int, seq uint64, payload []byte) []byte {
+	msg := pool.Get(relHeaderLen + len(payload))
+	le := binary.LittleEndian
+	le.PutUint64(msg[0:], uint64(int64(src)))
+	le.PutUint64(msg[8:], uint64(int64(dst)))
+	le.PutUint64(msg[16:], uint64(len(payload)))
+	le.PutUint64(msg[24:], seq)
+	le.PutUint64(msg[32:], relKindData)
+	copy(msg[relHeaderLen:], payload)
+	return msg
+}
+
+// packRelAck builds an ack frame for seq, identifying the acking node in
+// the src field (ranks don't matter to the sender's waiter bookkeeping;
+// the node pair does).
+func packRelAck(pool *bufpool.Pool, ackerNode int, seq uint64) []byte {
+	msg := pool.Get(relHeaderLen)
+	le := binary.LittleEndian
+	le.PutUint64(msg[0:], uint64(int64(ackerNode)))
+	le.PutUint64(msg[8:], 0)
+	le.PutUint64(msg[16:], 0)
+	le.PutUint64(msg[24:], seq)
+	le.PutUint64(msg[32:], relKindAck)
+	return msg
+}
+
+// unpackRel splits a sequenced frame. The returned payload aliases msg.
+func unpackRel(msg []byte) (kind int, src, dst int, seq uint64, payload []byte, err error) {
+	if len(msg) < relHeaderLen {
+		return 0, 0, 0, 0, nil, fmt.Errorf("core: short sequenced frame (%d bytes)", len(msg))
+	}
+	le := binary.LittleEndian
+	src = int(int64(le.Uint64(msg[0:])))
+	dst = int(int64(le.Uint64(msg[8:])))
+	n := int(le.Uint64(msg[16:]))
+	seq = le.Uint64(msg[24:])
+	kind = int(le.Uint64(msg[32:]))
+	if kind != relKindData && kind != relKindAck {
+		return 0, 0, 0, 0, nil, fmt.Errorf("core: unknown frame kind %d", kind)
+	}
+	if relHeaderLen+n > len(msg) {
+		return 0, 0, 0, 0, nil, fmt.Errorf("core: sequenced frame truncated: header says %d, have %d", n, len(msg)-relHeaderLen)
+	}
+	return kind, src, dst, seq, msg[relHeaderLen : relHeaderLen+n], nil
+}
+
+// relKey identifies one in-flight frame: the peer node and the sequence
+// number on that node pair.
+type relKey struct {
+	node int
+	seq  uint64
+}
+
+// relWaiter is a sender-side record of an unacknowledged frame. ev is the
+// completion the tx helper currently waits on (re-created per retry); the
+// ack path and the retransmit timer both fire it, and acked — read and
+// written only under relState.mu — disambiguates which happened.
+type relWaiter struct {
+	ev    completion
+	acked bool
+}
+
+// relState is one node's reliability bookkeeping. Ownership is split by
+// thread, mirroring the engine's confinement rules:
+//
+//   - nextTx is touched only by the comm thread (handleSend), which
+//     serializes sequence assignment per destination;
+//   - nextRx and held are touched only by the receiver helper
+//     (runReceiver → recvReliable);
+//   - waiters is shared between tx helpers, the ack path and timers,
+//     guarded by mu. mu is never held across a blocking operation — on the
+//     simulated backend a proc parking with a sync.Mutex held would wedge
+//     the cooperative scheduler (completion.Fire does not block; Wait does
+//     and is always called unlocked).
+type relState struct {
+	mu      sync.Mutex
+	waiters map[relKey]*relWaiter
+
+	nextTx []uint64              // per dst node: next sequence to assign
+	nextRx []uint64              // per src node: next sequence to deliver
+	held   []map[uint64]*inbound // per src node: out-of-order frames parked
+
+	retransmits  int64
+	dupFrames    int64
+	acksSent     int64
+	acksReceived int64
+}
+
+func newRelState(nodes int) *relState {
+	held := make([]map[uint64]*inbound, nodes)
+	for i := range held {
+		held[i] = make(map[uint64]*inbound)
+	}
+	return &relState{
+		waiters: make(map[relKey]*relWaiter),
+		nextTx:  make([]uint64, nodes),
+		nextRx:  make([]uint64, nodes),
+		held:    held,
+	}
+}
+
+// ackArrived resolves the waiter for (peerNode, seq), waking its tx
+// helper. Late or duplicate acks (waiter already gone or resolved) are
+// no-ops.
+func (r *relState) ackArrived(peerNode int, seq uint64) {
+	r.mu.Lock()
+	if w, ok := r.waiters[relKey{peerNode, seq}]; ok && !w.acked {
+		w.acked = true
+		w.ev.Fire()
+	}
+	r.mu.Unlock()
+}
+
+// relBackoff returns the ack timeout for the given attempt number:
+// AckTimeout doubled per retry, capped at BackoffCap.
+func relBackoff(r Reliability, attempt int) time.Duration {
+	d := r.AckTimeout
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= r.BackoffCap {
+			return r.BackoffCap
+		}
+	}
+	if d > r.BackoffCap {
+		return r.BackoffCap
+	}
+	return d
+}
+
+// sendReliable is the sequenced counterpart of the legacy dcgn-tx body:
+// it transmits msg and retransmits on ack timeout until acknowledged, the
+// retry budget is exhausted, or the transport fails hard. The retransmit
+// timer is armed only after Send returns, so a rendezvous transfer never
+// eats into its own ack timeout.
+func (ns *nodeState) sendReliable(h transport.Proc, req *request, dstNode int, seq uint64, msg []byte) {
+	rel := ns.rel
+	cfg := ns.job.cfg.Reliability
+	key := relKey{dstNode, seq}
+	w := &relWaiter{ev: ns.job.rt.NewEventID("rel-wait", int(seq))}
+	rel.mu.Lock()
+	rel.waiters[key] = w
+	rel.mu.Unlock()
+
+	h.SleepJit(ns.job.cfg.Params.RemoteRelayCost)
+	var err error
+	for attempt := 0; ; attempt++ {
+		if sendErr := ns.tr.Send(h, dstNode, msg); sendErr != nil {
+			err = sendErr
+			break
+		}
+		rel.mu.Lock()
+		if w.acked {
+			rel.mu.Unlock()
+			break
+		}
+		ev := w.ev
+		rel.mu.Unlock()
+		cancel := ns.job.rt.After(relBackoff(cfg, attempt), ev.Fire)
+		ev.Wait(h)
+		cancel()
+		rel.mu.Lock()
+		if w.acked {
+			rel.mu.Unlock()
+			break
+		}
+		if attempt >= cfg.MaxRetries {
+			rel.mu.Unlock()
+			err = fmt.Errorf("dcgn: node %d seq %d to node %d: %w", ns.node, seq, dstNode, ErrUnacked)
+			break
+		}
+		// Timed out: re-arm with a fresh completion (the old one is spent)
+		// and go around for a retransmission.
+		w.ev = ns.job.rt.NewEventID("rel-wait", int(seq))
+		rel.mu.Unlock()
+		atomic.AddInt64(&rel.retransmits, 1)
+	}
+	rel.mu.Lock()
+	delete(rel.waiters, key)
+	rel.mu.Unlock()
+	ns.job.pool.Put(msg)
+	h.SleepJit(ns.job.cfg.Params.NotifyCost)
+	req.complete(req.rank, len(req.buf), err)
+}
+
+// sendAck acknowledges seq to peerNode from a spawned helper so the
+// receiver daemon never blocks in a transport send (two receivers
+// synchronously acking into each other's full inbound queues would
+// deadlock). The helper is a worker, not a daemon: the run stays alive
+// until the ack is out and its buffer is back in the pool.
+func (ns *nodeState) sendAck(peerNode int, seq uint64) {
+	ack := packRelAck(ns.job.pool, ns.node, seq)
+	atomic.AddInt64(&ns.rel.acksSent, 1)
+	ns.job.rt.SpawnID("dcgn-ack", ns.node, func(h transport.Proc) {
+		// Best-effort: a dropped or post-close ack is recovered by the
+		// sender's retransmission, which we will re-ack.
+		_ = ns.tr.Send(h, peerNode, ack)
+		ns.job.pool.Put(ack)
+	})
+}
+
+// recvReliable dispatches one sequenced frame inside the receiver helper.
+// Data frames are always (re-)acknowledged — the previous ack may itself
+// have been the frame the fabric dropped — then deduplicated and
+// resequenced so the comm thread observes per-node-pair FIFO delivery no
+// matter what order the wire produced.
+func (ns *nodeState) recvReliable(p transport.Proc, msg []byte) {
+	kind, src, dst, seq, payload, err := unpackRel(msg)
+	if err != nil {
+		panic(fmt.Sprintf("dcgn: receiver on node %d: %v", ns.node, err))
+	}
+	rel := ns.rel
+	if kind == relKindAck {
+		atomic.AddInt64(&rel.acksReceived, 1)
+		rel.ackArrived(src, seq)
+		ns.job.pool.Put(msg)
+		return
+	}
+	srcNode := ns.job.rmap.Node(src)
+	ns.sendAck(srcNode, seq)
+	switch {
+	case seq < rel.nextRx[srcNode]:
+		// Already delivered: a retransmission whose ack was lost.
+		atomic.AddInt64(&rel.dupFrames, 1)
+		ns.job.pool.Put(msg)
+	case seq == rel.nextRx[srcNode]:
+		p.SleepJit(ns.job.cfg.Params.RemoteRelayCost)
+		ns.intake.postInbound(&inbound{src: src, dst: dst, data: payload, backing: msg})
+		rel.nextRx[srcNode]++
+		for {
+			in, ok := rel.held[srcNode][rel.nextRx[srcNode]]
+			if !ok {
+				break
+			}
+			delete(rel.held[srcNode], rel.nextRx[srcNode])
+			p.SleepJit(ns.job.cfg.Params.RemoteRelayCost)
+			ns.intake.postInbound(in)
+			rel.nextRx[srcNode]++
+		}
+	default:
+		// Ahead of the cursor: park it until the gap fills (the sender
+		// retransmits the missing frame until we ack it, so it will).
+		if _, dup := rel.held[srcNode][seq]; dup {
+			atomic.AddInt64(&rel.dupFrames, 1)
+			ns.job.pool.Put(msg)
+		} else {
+			rel.held[srcNode][seq] = &inbound{src: src, dst: dst, data: payload, backing: msg}
+		}
+	}
+}
+
+// releaseHeld returns parked out-of-order frames to the pool; called when
+// the receiver unwinds on a closed transport (live teardown can close the
+// wire with unfilled gaps still parked).
+func (r *relState) releaseHeld(pool *bufpool.Pool) {
+	for _, m := range r.held {
+		for seq, in := range m {
+			pool.Put(in.backing)
+			delete(m, seq)
+		}
+	}
+}

@@ -29,6 +29,11 @@ type rt interface {
 	SpawnDaemonID(prefix string, id int, fn func(p transport.Proc))
 	// NewQueue creates an unbounded FIFO work queue.
 	NewQueue(name string) commQueue
+	// After schedules fn to run on its own thread once d of substrate time
+	// has elapsed, returning a cancel function. Cancel is best-effort: it
+	// guarantees fn will not run if it has not started, and is safe to call
+	// after fn ran. Used for ack-retransmit timeouts (reliable.go).
+	After(d time.Duration, fn func()) (cancel func())
 }
 
 // completion is a one-shot broadcast signal completing one request.
@@ -80,6 +85,20 @@ func (r simRT) SpawnDaemonID(prefix string, id int, fn func(transport.Proc)) {
 
 func (r simRT) NewQueue(name string) commQueue {
 	return &simQueue{q: sim.NewQueue[commMsg](r.s, name)}
+}
+
+// After runs fn on a daemon proc after d of virtual time. The canceled
+// flag is a plain bool because the simulator runs exactly one proc at a
+// time: the timer proc and any canceller are never concurrent.
+func (r simRT) After(d time.Duration, fn func()) (cancel func()) {
+	canceled := false
+	r.s.SpawnDaemon("timer", func(p *sim.Proc) {
+		p.Sleep(d)
+		if !canceled {
+			fn()
+		}
+	})
+	return func() { canceled = true }
 }
 
 // simEvent adapts sim.Event to the completion interface without a per-

@@ -53,6 +53,14 @@ func (r *liveRT) NewQueue(string) commQueue {
 	return q
 }
 
+// After runs fn after d of wall time; cancel stops the underlying timer
+// (and is the reason this is not time.After — an un-stopped timer would
+// outlive the run, the exact leak the live watchdog had).
+func (r *liveRT) After(d time.Duration, fn func()) (cancel func()) {
+	t := time.AfterFunc(d, fn)
+	return func() { t.Stop() }
+}
+
 // liveEvent is a one-shot completion built on channel close, giving
 // waiters the usual happens-before edge over the completed request's
 // fields.

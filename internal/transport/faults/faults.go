@@ -1,0 +1,280 @@
+// Package faults is a deterministic fault-injection middleware for the
+// transport seam: it wraps any transport.Transport and perturbs the wire
+// with seeded drops, duplicates, reorders and delays, plus spurious
+// (transient) collective failures.
+//
+// The middleware is the repo's stand-in for a lossy fabric: DCGN's comm
+// thread owns every transport call (paper §3.2.3), so this one seam is
+// where real-cluster failure modes can be injected and survived. The
+// engine's reliability layer (internal/core/reliable.go) is what turns a
+// faulted wire from a deadlock into a throughput loss; the chaos harness
+// (internal/core/chaos_test.go) asserts exactly that.
+//
+// Determinism: every point-to-point decision is drawn from a per-endpoint
+// generator seeded with Config.Seed XOR the node id, so a simulated run
+// replays bit-identically for a given seed. Collective failures must be
+// cluster-consistent — if one node skips the underlying collective while
+// another enters it, every backend deadlocks — so they are decided from a
+// hash of (Config.Seed, per-endpoint collective call counter), which every
+// node computes identically because every node executes the same sequence
+// of node-level collectives.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dcgn/internal/transport"
+)
+
+// Config holds the fault probabilities. The zero value injects nothing.
+// All probabilities are in [0, 1] and evaluated independently per message
+// (Drop, Dup, Reorder on the send path; Delay on the receive path) or per
+// node-level collective call (CollFail).
+type Config struct {
+	// Seed drives every injection decision; runs on the simulated backend
+	// replay bit-identically per seed.
+	Seed int64
+	// Drop is the probability a wire message is silently discarded.
+	Drop float64
+	// Dup is the probability a wire message is transmitted twice.
+	Dup float64
+	// Reorder is the probability a wire message is held back and
+	// transmitted after the endpoint's next send (at most one message is
+	// held at a time; Close flushes nothing — a held message ages out with
+	// the endpoint, exactly like a message lost in a dying switch).
+	Reorder float64
+	// Delay is the probability an inbound message is delayed before
+	// delivery to the receiver.
+	Delay float64
+	// MaxDelay bounds each injected delay (default 500µs when Delay > 0).
+	MaxDelay time.Duration
+	// CollFail is the probability a node-level collective call fails with
+	// transport.ErrTransient — consistently on every node, so the cluster
+	// stays in lockstep and the engine can simply retry.
+	CollFail float64
+}
+
+// WireActive reports whether any point-to-point fault can fire; the
+// engine auto-enables its reliability layer when it does, because a
+// dropped wire message deadlocks an unreliable receive forever.
+func (c Config) WireActive() bool {
+	return c.Drop > 0 || c.Dup > 0 || c.Reorder > 0 || c.Delay > 0
+}
+
+// Enabled reports whether the middleware would inject anything at all.
+func (c Config) Enabled() bool { return c.WireActive() || c.CollFail > 0 }
+
+// maxDelay returns the configured delay bound with the default applied.
+func (c Config) maxDelay() time.Duration {
+	if c.MaxDelay > 0 {
+		return c.MaxDelay
+	}
+	return 500 * time.Microsecond
+}
+
+// Endpoint wraps one node's transport with fault injection. It implements
+// transport.Transport and transport.FaultReporter.
+type Endpoint struct {
+	inner transport.Transport
+	cfg   Config
+	node  int
+
+	// mu guards the RNG, stats and held-message slot. It is never held
+	// across a (potentially blocking) inner transport call: on the
+	// simulated backend a proc parking while holding a sync.Mutex would
+	// wedge the whole scheduler.
+	mu        sync.Mutex
+	rng       *rand.Rand
+	held      []byte // one reordered message awaiting flush
+	heldDst   int
+	collCalls uint64
+	stats     transport.FaultStats
+}
+
+// New wraps inner with fault injection for the given node. Every endpoint
+// of a cluster must share the same Config (in particular Seed), or the
+// cluster-consistent collective failure decisions diverge.
+func New(inner transport.Transport, cfg Config, node int) *Endpoint {
+	return &Endpoint{
+		inner: inner,
+		cfg:   cfg,
+		node:  node,
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ int64(node)<<17 ^ 0x5bd1e995)),
+	}
+}
+
+// FaultStats returns a snapshot of the faults injected so far.
+func (e *Endpoint) FaultStats() transport.FaultStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// roll draws one Bernoulli decision; callers hold e.mu.
+func (e *Endpoint) roll(p float64) bool { return p > 0 && e.rng.Float64() < p }
+
+// Send applies drop/dup/reorder to msg, then forwards the survivors to
+// the inner transport. Fault decisions apply to the primary message only;
+// a flushed (previously held) message and the duplicate copy are sent
+// as-is, so at most one message is ever parked in the endpoint.
+func (e *Endpoint) Send(p transport.Proc, dstNode int, msg []byte) error {
+	e.mu.Lock()
+	if e.roll(e.cfg.Drop) {
+		e.stats.Drops++
+		e.mu.Unlock()
+		return nil // "sent" into the void; reliability retransmits
+	}
+	dup := e.roll(e.cfg.Dup)
+	if dup {
+		e.stats.Dups++
+	}
+	if e.held == nil && e.roll(e.cfg.Reorder) {
+		// Park a private copy (Send's buffered semantics return msg to the
+		// caller); it rides out with the endpoint's next send. The copy is
+		// a plain allocation, deliberately outside the job's buffer pool:
+		// held messages are fabric state, not engine staging.
+		e.stats.Reorders++
+		e.held = append([]byte(nil), msg...)
+		e.heldDst = dstNode
+		e.mu.Unlock()
+		return nil
+	}
+	var flush []byte
+	var flushDst int
+	if e.held != nil {
+		flush, flushDst = e.held, e.heldDst
+		e.held = nil
+	}
+	e.mu.Unlock()
+
+	if err := e.inner.Send(p, dstNode, msg); err != nil {
+		return err
+	}
+	if dup {
+		if err := e.inner.Send(p, dstNode, msg); err != nil {
+			return err
+		}
+	}
+	if flush != nil {
+		if err := e.inner.Send(p, flushDst, flush); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecvMsg forwards the inner receive, injecting latency on delivery with
+// probability Config.Delay.
+func (e *Endpoint) RecvMsg(p transport.Proc) ([]byte, error) {
+	msg, err := e.inner.RecvMsg(p)
+	if err != nil {
+		return msg, err
+	}
+	e.mu.Lock()
+	var d time.Duration
+	if e.roll(e.cfg.Delay) {
+		e.stats.Delays++
+		d = time.Duration(1 + e.rng.Int63n(int64(e.cfg.maxDelay())))
+	}
+	e.mu.Unlock()
+	if d > 0 {
+		sleepFor(p, d)
+	}
+	return msg, nil
+}
+
+// sleepFor charges an injected delay on whatever clock the backend runs:
+// virtual time on the simulator, real time on the live backend (whose
+// WallProc sleeps are deliberate no-ops, because modeled costs there are
+// replaced by real execution time — an injected delay is real time).
+func sleepFor(p transport.Proc, d time.Duration) {
+	if _, wall := p.(*transport.WallProc); wall {
+		time.Sleep(d)
+		return
+	}
+	p.Sleep(d)
+}
+
+// failCollective decides — identically on every node — whether the
+// current collective round fails. Each endpoint counts its own node-level
+// collective calls; since every node executes the same global sequence of
+// collectives, the counters (and therefore the seeded decisions) agree
+// across the cluster without any coordination.
+func (e *Endpoint) failCollective() error {
+	if e.cfg.CollFail <= 0 {
+		return nil
+	}
+	e.mu.Lock()
+	round := e.collCalls
+	e.collCalls++
+	fail := collRoundProb(e.cfg.Seed, round) < e.cfg.CollFail
+	if fail {
+		e.stats.CollFails++
+	}
+	e.mu.Unlock()
+	if fail {
+		return fmt.Errorf("faults: injected failure on collective round %d: %w", round, transport.ErrTransient)
+	}
+	return nil
+}
+
+// collRoundProb hashes (seed, round) to a uniform [0,1) value with a
+// splitmix64 step — cheap, stateless, and identical on every node.
+func collRoundProb(seed int64, round uint64) float64 {
+	z := uint64(seed) + (round+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// Barrier runs the inner barrier unless this round is failed.
+func (e *Endpoint) Barrier(p transport.Proc) error {
+	if err := e.failCollective(); err != nil {
+		return err
+	}
+	return e.inner.Barrier(p)
+}
+
+// Bcast runs the inner broadcast unless this round is failed.
+func (e *Endpoint) Bcast(p transport.Proc, buf []byte, rootNode int) error {
+	if err := e.failCollective(); err != nil {
+		return err
+	}
+	return e.inner.Bcast(p, buf, rootNode)
+}
+
+// Gatherv runs the inner gather unless this round is failed.
+func (e *Endpoint) Gatherv(p transport.Proc, sendBuf, recvBuf []byte, counts []int, rootNode int) error {
+	if err := e.failCollective(); err != nil {
+		return err
+	}
+	return e.inner.Gatherv(p, sendBuf, recvBuf, counts, rootNode)
+}
+
+// Scatterv runs the inner scatter unless this round is failed.
+func (e *Endpoint) Scatterv(p transport.Proc, sendBuf []byte, counts []int, recvBuf []byte, rootNode int) error {
+	if err := e.failCollective(); err != nil {
+		return err
+	}
+	return e.inner.Scatterv(p, sendBuf, counts, recvBuf, rootNode)
+}
+
+// Alltoallv runs the inner all-to-all unless this round is failed.
+func (e *Endpoint) Alltoallv(p transport.Proc, sendBuf []byte, sendCounts []int, recvBuf []byte, recvCounts []int) error {
+	if err := e.failCollective(); err != nil {
+		return err
+	}
+	return e.inner.Alltoallv(p, sendBuf, sendCounts, recvBuf, recvCounts)
+}
+
+// Close drops any held message and closes the inner transport.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	e.held = nil
+	e.mu.Unlock()
+	return e.inner.Close()
+}

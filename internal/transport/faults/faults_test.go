@@ -1,0 +1,201 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dcgn/internal/transport"
+)
+
+var wall = &transport.WallProc{Epoch: time.Now()}
+
+// recorder is a loopback Transport that records every message Send
+// forwards to it, in order.
+type recorder struct {
+	sent [][]byte
+	dsts []int
+}
+
+func (r *recorder) Send(_ transport.Proc, dstNode int, msg []byte) error {
+	r.sent = append(r.sent, append([]byte(nil), msg...))
+	r.dsts = append(r.dsts, dstNode)
+	return nil
+}
+func (r *recorder) RecvMsg(transport.Proc) ([]byte, error) { return []byte("inbound"), nil }
+func (r *recorder) Barrier(transport.Proc) error           { return nil }
+func (r *recorder) Bcast(transport.Proc, []byte, int) error {
+	return nil
+}
+func (r *recorder) Gatherv(transport.Proc, []byte, []byte, []int, int) error { return nil }
+func (r *recorder) Scatterv(transport.Proc, []byte, []int, []byte, int) error {
+	return nil
+}
+func (r *recorder) Alltoallv(transport.Proc, []byte, []int, []byte, []int) error { return nil }
+func (r *recorder) Close() error                                                 { return nil }
+
+func msgN(n int) []byte { return []byte{byte(n), byte(n >> 8)} }
+
+// driveSends pushes n distinct messages through a fresh endpoint and
+// returns what the inner transport saw plus the fault stats.
+func driveSends(t *testing.T, cfg Config, node, n int) (*recorder, transport.FaultStats) {
+	t.Helper()
+	rec := &recorder{}
+	ep := New(rec, cfg, node)
+	for i := 0; i < n; i++ {
+		if err := ep.Send(wall, i%4, msgN(i)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	return rec, ep.FaultStats()
+}
+
+func TestZeroConfigIsTransparent(t *testing.T) {
+	rec, stats := driveSends(t, Config{}, 0, 100)
+	if len(rec.sent) != 100 {
+		t.Fatalf("transparent endpoint forwarded %d/100 messages", len(rec.sent))
+	}
+	if stats.Total() != 0 {
+		t.Fatalf("zero config injected faults: %+v", stats)
+	}
+	if (Config{}).Enabled() || (Config{}).WireActive() {
+		t.Fatal("zero config reports itself active")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	cfg := Config{Seed: 42, Drop: 0.2, Dup: 0.1, Reorder: 0.1}
+	recA, statsA := driveSends(t, cfg, 3, 500)
+	recB, statsB := driveSends(t, cfg, 3, 500)
+	if statsA != statsB {
+		t.Fatalf("same seed, different stats: %+v vs %+v", statsA, statsB)
+	}
+	if len(recA.sent) != len(recB.sent) {
+		t.Fatalf("same seed, different forwarded counts: %d vs %d", len(recA.sent), len(recB.sent))
+	}
+	for i := range recA.sent {
+		if string(recA.sent[i]) != string(recB.sent[i]) || recA.dsts[i] != recB.dsts[i] {
+			t.Fatalf("same seed, divergent message %d", i)
+		}
+	}
+	_, statsC := driveSends(t, Config{Seed: 43, Drop: 0.2, Dup: 0.1, Reorder: 0.1}, 3, 500)
+	if statsA == statsC {
+		t.Fatal("different seeds produced identical fault streams (suspicious)")
+	}
+}
+
+func TestDropDupCounts(t *testing.T) {
+	const n = 2000
+	rec, stats := driveSends(t, Config{Seed: 7, Drop: 0.25, Dup: 0.25}, 1, n)
+	if stats.Drops == 0 || stats.Dups == 0 {
+		t.Fatalf("expected both drops and dups at 25%%: %+v", stats)
+	}
+	// Every non-dropped message goes out once, plus one extra per dup.
+	want := int64(n) - stats.Drops + stats.Dups
+	if int64(len(rec.sent)) != want {
+		t.Fatalf("forwarded %d messages, accounting says %d (%+v)", len(rec.sent), want, stats)
+	}
+	// Sanity: rates within a loose band of the configured 25%.
+	for name, c := range map[string]int64{"drops": stats.Drops, "dups": stats.Dups} {
+		if c < n/8 || c > n/2 {
+			t.Fatalf("%s=%d wildly off a 25%% rate over %d sends", name, c, n)
+		}
+	}
+}
+
+func TestReorderHoldsAndFlushes(t *testing.T) {
+	// Reorder=1 with one held slot: message 0 is parked, message 1 goes out
+	// and flushes message 0 behind it, message 2 is parked, ... so pairs
+	// swap: 1,0,3,2,...
+	rec, stats := driveSends(t, Config{Seed: 1, Reorder: 1}, 0, 4)
+	if stats.Reorders != 2 {
+		t.Fatalf("expected 2 reorders (one per free slot), got %+v", stats)
+	}
+	var got []int
+	for _, m := range rec.sent {
+		got = append(got, int(m[0])|int(m[1])<<8)
+	}
+	want := []int{1, 0, 3, 2}
+	if len(got) != len(want) {
+		t.Fatalf("forwarded %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("forwarded order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReorderHeldCopyIsPrivate(t *testing.T) {
+	rec := &recorder{}
+	ep := New(rec, Config{Seed: 1, Reorder: 1}, 0)
+	msg := []byte("original")
+	if err := ep.Send(wall, 1, msg); err != nil { // parked
+		t.Fatal(err)
+	}
+	copy(msg, "clobber!")                                      // caller reuses its buffer, per Send's contract
+	if err := ep.Send(wall, 1, []byte("second")); err != nil { // flushes the held copy
+		t.Fatal(err)
+	}
+	if len(rec.sent) != 2 || string(rec.sent[1]) != "original" {
+		t.Fatalf("held message aliased the caller's buffer: %q", rec.sent)
+	}
+}
+
+func TestCloseDropsHeldMessage(t *testing.T) {
+	rec := &recorder{}
+	ep := New(rec, Config{Seed: 1, Reorder: 1}, 0)
+	if err := ep.Send(wall, 1, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.sent) != 0 {
+		t.Fatalf("Close flushed the held message: %q", rec.sent)
+	}
+}
+
+func TestCollectiveFailuresClusterConsistent(t *testing.T) {
+	// Endpoints for different nodes share only the seed; their per-round
+	// collective verdicts must agree exactly.
+	cfg := Config{Seed: 99, CollFail: 0.3}
+	eps := []*Endpoint{New(&recorder{}, cfg, 0), New(&recorder{}, cfg, 1), New(&recorder{}, cfg, 5)}
+	failed := 0
+	for round := 0; round < 200; round++ {
+		verdicts := make([]bool, len(eps))
+		for i, ep := range eps {
+			err := ep.Barrier(wall)
+			verdicts[i] = err != nil
+			if err != nil && !errors.Is(err, transport.ErrTransient) {
+				t.Fatalf("round %d node %d: injected error is not ErrTransient: %v", round, i, err)
+			}
+		}
+		for i := 1; i < len(verdicts); i++ {
+			if verdicts[i] != verdicts[0] {
+				t.Fatalf("round %d: node verdicts diverge: %v", round, verdicts)
+			}
+		}
+		if verdicts[0] {
+			failed++
+		}
+	}
+	if failed == 0 || failed == 200 {
+		t.Fatalf("collective failure rate degenerate: %d/200", failed)
+	}
+	if s := eps[0].FaultStats(); s.CollFails != int64(failed) {
+		t.Fatalf("CollFails=%d, observed %d", s.CollFails, failed)
+	}
+}
+
+func TestDelayCountsOnRecv(t *testing.T) {
+	ep := New(&recorder{}, Config{Seed: 3, Delay: 1, MaxDelay: time.Microsecond}, 0)
+	for i := 0; i < 10; i++ {
+		if _, err := ep.RecvMsg(wall); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := ep.FaultStats(); s.Delays != 10 {
+		t.Fatalf("Delays=%d after 10 certain delays", s.Delays)
+	}
+}

@@ -34,6 +34,16 @@ type Cluster struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 
+	// mu and senders serialize Close against in-flight Sends: a Send holds
+	// a read lock while it commits its buffer and registers in senders, so
+	// Close can take the write lock (barrier: no sender is between its
+	// closed-check and its registration), then wait for registered senders
+	// to finish before draining the channels. Without this, a Send whose
+	// select committed after Close's drain pass stranded a pooled buffer
+	// in the channel forever.
+	mu      sync.RWMutex
+	senders sync.WaitGroup
+
 	packets atomic.Int64
 	bytes   atomic.Int64
 
@@ -73,6 +83,13 @@ func (c *Cluster) Close() error {
 	c.closeOnce.Do(func() {
 		close(c.closed)
 		c.coll.wakeAll()
+		// Barrier: after this Lock/Unlock no Send can still be between its
+		// closed-check and its senders registration, so senders.Wait sees
+		// every in-flight Send, and the drain below sees every buffer they
+		// committed.
+		c.mu.Lock()
+		c.mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+		c.senders.Wait()
 		for _, ep := range c.eps {
 			for {
 				select {
@@ -111,6 +128,18 @@ func (e *Endpoint) Send(_ transport.Proc, dstNode int, msg []byte) error {
 	if dstNode < 0 || dstNode >= len(e.c.eps) {
 		return fmt.Errorf("live: send to bad node %d (cluster of %d)", dstNode, len(e.c.eps))
 	}
+	// Register with the closed-check under the read lock so Close (write
+	// lock + senders.Wait) cannot drain the channels while this send is
+	// still about to commit a buffer into one. A send already blocked in
+	// the select when Close runs unwinds via the closed channel.
+	e.c.mu.RLock()
+	if e.c.isClosed() {
+		e.c.mu.RUnlock()
+		return transport.ErrClosed
+	}
+	e.c.senders.Add(1)
+	e.c.mu.RUnlock()
+	defer e.c.senders.Done()
 	cp := e.c.pool.Get(len(msg))
 	copy(cp, msg)
 	select {

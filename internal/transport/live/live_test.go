@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"dcgn/internal/bufpool"
 	"dcgn/internal/transport"
 )
 
@@ -91,6 +92,44 @@ func TestCloseUnblocksCollective(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("collective participant still blocked after Close")
+	}
+}
+
+// TestCloseSendRaceLeakGuard races concurrent senders against Close and
+// asserts exact pool balance: before Close serialized against in-flight
+// sends, a Send whose select committed after Close's drain pass stranded
+// its pooled buffer in the channel forever. Run under -race in CI.
+func TestCloseSendRaceLeakGuard(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		pool := bufpool.New()
+		c := New(2, pool)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for s := 0; s < 4; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				<-start
+				msg := []byte("race payload")
+				for k := 0; k < 8; k++ {
+					if err := c.Node(s%2).Send(wall, (s+1)%2, msg); err != nil {
+						return // closed under us: expected
+					}
+				}
+			}(s)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			c.Close()
+		}()
+		close(start)
+		wg.Wait()
+		if pool.Acquires() != pool.Releases() {
+			t.Fatalf("iter %d: pool leak: %d acquires vs %d releases",
+				iter, pool.Acquires(), pool.Releases())
+		}
 	}
 }
 

@@ -37,6 +37,13 @@ const (
 // receivers and collective participants unwind with it instead of hanging.
 var ErrClosed = errors.New("transport: closed")
 
+// ErrTransient marks an injected, retryable failure: a fault-injection
+// middleware (internal/transport/faults) wraps the errors it fabricates in
+// this sentinel so the progress engine can distinguish "the wire hiccuped,
+// try again" from a real backend error. Engines retry bounded times on
+// errors.Is(err, ErrTransient) and surface everything else.
+var ErrTransient = errors.New("transport: transient injected fault")
+
 // Config selects the progress-engine substrate for a job.
 type Config struct {
 	// Backend names the transport backend: BackendSim (default when
@@ -106,6 +113,48 @@ type Transport interface {
 	// Close shuts the endpoint down, waking blocked receivers and
 	// collective participants with ErrClosed. It is idempotent.
 	Close() error
+}
+
+// FaultStats counts the faults a fault-injection middleware has inflicted
+// on one endpoint. The zero value means "no faults"; per-node snapshots
+// are surfaced through Report.Nodes so chaos runs can assert that the
+// engine actually survived something.
+type FaultStats struct {
+	// Drops counts wire messages silently discarded instead of sent.
+	Drops int64
+	// Dups counts wire messages transmitted twice.
+	Dups int64
+	// Reorders counts wire messages held back and sent after a later one.
+	Reorders int64
+	// Delays counts artificial latency insertions on the receive path.
+	Delays int64
+	// CollFails counts collective calls failed with ErrTransient.
+	CollFails int64
+}
+
+// Total returns the number of injected faults across all classes.
+func (s FaultStats) Total() int64 {
+	return s.Drops + s.Dups + s.Reorders + s.Delays + s.CollFails
+}
+
+// Plus returns the field-wise sum of two snapshots (used to aggregate
+// per-node stats into a whole-run total).
+func (s FaultStats) Plus(o FaultStats) FaultStats {
+	return FaultStats{
+		Drops:     s.Drops + o.Drops,
+		Dups:      s.Dups + o.Dups,
+		Reorders:  s.Reorders + o.Reorders,
+		Delays:    s.Delays + o.Delays,
+		CollFails: s.CollFails + o.CollFails,
+	}
+}
+
+// FaultReporter is implemented by transports (or middlewares) that count
+// injected faults. The engine type-asserts each node's outermost transport
+// against it when assembling Report.Nodes.
+type FaultReporter interface {
+	// FaultStats returns a snapshot of the faults injected so far.
+	FaultStats() FaultStats
 }
 
 // WallProc is the Proc of live-backend threads: Now is wall-clock time
