@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt lintdoc test race race-live bench bench-json benchguard chaos ci
+.PHONY: build vet fmt lintdoc test race race-live bench bench-json benchguard chaos trace-export ci
 
 build:
 	$(GO) build ./...
@@ -61,4 +61,12 @@ chaos:
 	$(GO) test ./internal/apps/ -run 'SurvivesLossyWire'
 	$(GO) run -race ./cmd/dcgn-bench -chaos -backend live -chaos-collfail 0.2 -chaos-seed 11
 
-ci: build vet fmt lintdoc test race race-live bench benchguard chaos
+# Exporter validation: the typed-struct schema tests plus a 4-node fixture
+# run through every dcgn-trace output format.
+trace-export:
+	$(GO) test ./cmd/dcgn-trace/ ./internal/obs/
+	$(GO) run ./cmd/dcgn-trace -nodes 4 -format chrome -o /tmp/dcgn-trace.json
+	$(GO) run ./cmd/dcgn-trace -nodes 4 -format csv -o /tmp/dcgn-trace.csv
+	$(GO) run ./cmd/dcgn-trace -nodes 4 -metrics > /dev/null
+
+ci: build vet fmt lintdoc test race race-live bench benchguard chaos trace-export

@@ -346,12 +346,14 @@ func BenchmarkEnginePingPong(b *testing.B) {
 		iters   = 64
 		payload = 1024
 	)
-	run := func(b *testing.B, backend string, reliable bool) {
+	run := func(b *testing.B, backend string, reliable, traced bool) {
 		for i := 0; i < b.N; i++ {
 			cfg := dcgn.DefaultConfig()
 			cfg.Nodes, cfg.CPUKernels, cfg.GPUs = 2, 1, 0
 			cfg.Transport.Backend = backend
 			cfg.Reliability.Enabled = reliable
+			cfg.Trace = traced
+			cfg.Metrics = traced
 			if backend == dcgn.BackendLive {
 				cfg.MaxVirtualTime = 30 * time.Second // wall-clock watchdog
 			}
@@ -384,12 +386,17 @@ func BenchmarkEnginePingPong(b *testing.B) {
 			b.ReportMetric(float64(rep.Requests)/float64(2*iters), "req-per-msg")
 		}
 	}
-	b.Run("sim", func(b *testing.B) { run(b, dcgn.BackendSim, false) })
+	b.Run("sim", func(b *testing.B) { run(b, dcgn.BackendSim, false, false) })
 	// sim-reliable guards the no-fault overhead of the seq/ack wire format:
 	// its allocs/op baseline keeps the reliability layer's clean-path cost
 	// (one ack frame + one retransmit timer per message) from creeping.
-	b.Run("sim-reliable", func(b *testing.B) { run(b, dcgn.BackendSim, true) })
-	b.Run("live", func(b *testing.B) { run(b, dcgn.BackendLive, false) })
+	b.Run("sim-reliable", func(b *testing.B) { run(b, dcgn.BackendSim, true, false) })
+	// sim-traced guards the full-observability request path: spans plus the
+	// metrics registry must cost a bounded, fixed number of allocations per
+	// run (ring buffers and cached instrument handles are set up once) —
+	// the old SpawnDaemon-per-record sink allocated per traced request.
+	b.Run("sim-traced", func(b *testing.B) { run(b, dcgn.BackendSim, false, true) })
+	b.Run("live", func(b *testing.B) { run(b, dcgn.BackendLive, false, false) })
 }
 
 // BenchmarkTable3Apps runs the DCGN side of the paper's §5.1 applications

@@ -16,6 +16,7 @@ import (
 
 	"dcgn/internal/chaos"
 	"dcgn/internal/metrics"
+	"dcgn/internal/obs"
 	"dcgn/internal/transport"
 	"dcgn/internal/transport/faults"
 )
@@ -30,6 +31,7 @@ var (
 	chaosReorder = flag.Float64("chaos-reorder", 0.08, "wire reordering probability")
 	chaosDelay   = flag.Float64("chaos-delay", 0, "wire delay probability")
 	chaosColl    = flag.Float64("chaos-collfail", 0, "transient collective-failure probability")
+	chaosTrace   = flag.String("chaos-trace", "", "write a Perfetto (Chrome trace-event) JSON dump of the faulted run to this file")
 )
 
 // runChaos executes the clean reference and the faulted run, compares
@@ -50,6 +52,7 @@ func runChaos() {
 		Rounds:     *chaosRounds,
 		Seed:       *chaosSeed,
 		AckTimeout: 5 * time.Millisecond,
+		Trace:      *chaosTrace != "",
 	}
 	fmt.Printf("== Chaos differential: %d nodes x %d CPUs, %d rounds, seed %d, backend=%s ==\n",
 		opts.Nodes, opts.CPUs, opts.Rounds, opts.Seed, *backend)
@@ -64,6 +67,20 @@ func runChaos() {
 	got, err := chaos.Run(opts)
 	if err != nil {
 		log.Fatalf("faulted run: %v", err)
+	}
+	if *chaosTrace != "" {
+		out, err := os.Create(*chaosTrace)
+		if err != nil {
+			log.Fatalf("chaos trace: %v", err)
+		}
+		if err := obs.WriteChromeTrace(out, got.Report.Trace); err != nil {
+			log.Fatalf("chaos trace: %v", err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatalf("chaos trace: %v", err)
+		}
+		fmt.Printf("wrote %d lifecycle spans to %s (load at ui.perfetto.dev)\n",
+			len(got.Report.Trace), *chaosTrace)
 	}
 	verdict := "MATCH"
 	for i := range clean.Digests {

@@ -1,84 +1,150 @@
 // Command dcgn-trace runs a small mixed CPU+GPU DCGN job with request
-// tracing enabled and prints every communication request's lifecycle —
+// tracing enabled and renders every communication request's lifecycle —
 // a direct, inspectable rendition of the paper's Fig. 2 dataflow (post,
 // relay, completion) including the polling delays GPU-sourced requests
 // accumulate.
+//
+// Three renderings of the same spans:
+//
+//	-format table   chronological text table (default)
+//	-format chrome  Chrome trace-event JSON; load at ui.perfetto.dev to
+//	                see one track per node x engine layer (requests,
+//	                intake, match, wire, ack)
+//	-format csv     one row per request for spreadsheet/pandas analysis
+//
+// -metrics additionally prints the run's latency histograms (match wait,
+// queue depth, collective accumulation) from the metrics registry.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
 
 	"dcgn/internal/core"
 	"dcgn/internal/device"
+	"dcgn/internal/metrics"
+	"dcgn/internal/obs"
 )
 
 var (
-	poll   = flag.Duration("poll", 120*time.Microsecond, "GPU poll interval")
-	future = flag.Bool("future", false, "enable the §7 future-hardware mode (device signaling + GPUDirect)")
+	poll        = flag.Duration("poll", 120*time.Microsecond, "GPU poll interval")
+	future      = flag.Bool("future", false, "enable the §7 future-hardware mode (device signaling + GPUDirect)")
+	nodes       = flag.Int("nodes", 2, "cluster nodes (each contributes one CPU-kernel rank and one single-slot GPU rank)")
+	format      = flag.String("format", "table", "output format: table, chrome (Perfetto trace-event JSON), csv")
+	outPath     = flag.String("o", "", "write the trace to this file instead of stdout")
+	showMetrics = flag.Bool("metrics", false, "print the metrics-registry histograms after the trace (table format only)")
 )
 
-func main() {
-	flag.Parse()
+const payload = 4096
+
+// traceConfig is the demo cluster: n nodes, one CPU-kernel thread and one
+// single-slot GPU per node, so ranks alternate cpu, gpu node by node
+// (rank 2i = CPU of node i, rank 2i+1 = its GPU).
+func traceConfig(n int, poll time.Duration, future, withMetrics bool) core.Config {
 	cfg := core.DefaultConfig()
-	cfg.Nodes, cfg.CPUKernels, cfg.GPUs, cfg.SlotsPerGPU = 2, 1, 1, 1
-	cfg.PollInterval = *poll
+	cfg.Nodes, cfg.CPUKernels, cfg.GPUs, cfg.SlotsPerGPU = n, 1, 1, 1
+	cfg.PollInterval = poll
 	cfg.Trace = true
-	if *future {
+	cfg.Metrics = withMetrics
+	if future {
 		cfg.FutureHW.DeviceSignal = true
 		cfg.FutureHW.GPUDirect = true
 	}
+	return cfg
+}
+
+// runTraceJob executes the demo workload on an n-node cluster: every CPU
+// rank sends one payload to the *next* node's GPU and waits for the reply;
+// every GPU receives from the *previous* node's CPU and echoes the payload
+// back. All traffic crosses the wire, every receive exercises the matching
+// index, and the closing barrier exercises the collective accumulator.
+func runTraceJob(cfg core.Config) (core.Report, error) {
+	n := cfg.Nodes
 	job := core.NewJob(cfg)
-	// Ranks: 0 = CPU node 0, 1 = GPU node 0, 2 = CPU node 1, 3 = GPU node 1.
+	cpuOf := func(node int) int { return 2 * ((node%n + n) % n) }
+	gpuOf := func(node int) int { return cpuOf(node) + 1 }
 
 	job.SetCPUKernel(func(c *core.CPUCtx) {
-		buf := make([]byte, 4096)
-		switch c.Rank() {
-		case 0:
-			if err := c.Send(3, buf); err != nil { // CPU -> remote GPU
-				panic(err)
-			}
-			if _, err := c.Recv(core.AnySource, buf); err != nil { // <- GPU
-				panic(err)
-			}
-		case 2:
-			if _, err := c.Recv(3, buf); err != nil { // <- GPU on node 1
-				panic(err)
-			}
+		buf := make([]byte, payload)
+		node := c.Rank() / 2
+		if err := c.Send(gpuOf(node+1), buf); err != nil {
+			panic(err)
+		}
+		if _, err := c.Recv(core.AnySource, buf); err != nil {
+			panic(err)
 		}
 		c.Barrier()
 	})
 	job.SetGPUSetup(func(s *core.GPUSetup) {
-		s.Args["buf"] = s.Dev.Mem().MustAlloc(4096)
+		s.Args["buf"] = s.Dev.Mem().MustAlloc(payload)
 	})
 	job.SetGPUKernel(1, 8, func(g *core.GPUCtx) {
 		ptr := g.Arg("buf").(device.Ptr)
-		switch g.Rank(0) {
-		case 3:
-			if _, err := g.Recv(0, 0, ptr, 4096); err != nil { // <- CPU 0
-				panic(err)
-			}
-			if err := g.Send(0, 0, ptr, 4096); err != nil { // -> CPU 0
-				panic(err)
-			}
-			if err := g.Send(0, 2, ptr, 4096); err != nil { // -> CPU 2
-				panic(err)
-			}
+		node := g.Rank(0) / 2
+		if _, err := g.Recv(0, cpuOf(node-1), ptr, payload); err != nil {
+			panic(err)
+		}
+		if err := g.Send(0, cpuOf(node-1), ptr, payload); err != nil {
+			panic(err)
 		}
 		g.Barrier(0)
 	})
+	return job.Run()
+}
 
-	rep, err := job.Run()
+func main() {
+	flag.Parse()
+	if *nodes < 2 {
+		log.Fatal("dcgn-trace: -nodes must be >= 2 (the workload crosses the wire)")
+	}
+	rep, err := runTraceJob(traceConfig(*nodes, *poll, *future, *showMetrics))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("job finished in %v virtual time; %d requests, %d polls (%d productive)\n\n",
-		rep.Elapsed, rep.Requests, rep.Polls, rep.PollHits)
-	core.WriteTrace(os.Stdout, rep.Trace)
-	fmt.Println("\nGPU-sourced requests show the polling stages (discovery, relay,")
-	fmt.Println("completion write-back) in their latency; re-run with -future to see")
-	fmt.Println("them collapse, or sweep -poll to trade latency against CPU load.")
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		out = f
+	}
+
+	switch *format {
+	case "chrome":
+		if err := obs.WriteChromeTrace(out, rep.Trace); err != nil {
+			log.Fatal(err)
+		}
+	case "csv":
+		if err := obs.WriteCSV(out, rep.Trace); err != nil {
+			log.Fatal(err)
+		}
+	case "table":
+		fmt.Fprintf(out, "job finished in %v virtual time; %d requests, %d polls (%d productive)\n\n",
+			rep.Elapsed, rep.Requests, rep.Polls, rep.PollHits)
+		core.WriteTrace(out, rep.Trace)
+		if rep.TraceDropped > 0 {
+			fmt.Fprintf(out, "\n(%d oldest spans overwritten; raise Config.TraceCap for the full run)\n", rep.TraceDropped)
+		}
+		if *showMetrics {
+			fmt.Fprintln(out)
+			metrics.WriteHistograms(out, rep.Histograms)
+		}
+		fmt.Fprintln(out, "\nGPU-sourced requests show the polling stages (discovery, relay,")
+		fmt.Fprintln(out, "completion write-back) in their latency; re-run with -future to see")
+		fmt.Fprintln(out, "them collapse, -poll to trade latency against CPU load, or")
+		fmt.Fprintln(out, "-format chrome to inspect the same spans in Perfetto.")
+	default:
+		log.Fatalf("dcgn-trace: unknown -format %q (want table, chrome or csv)", *format)
+	}
 }

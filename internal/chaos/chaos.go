@@ -42,6 +42,12 @@ type Options struct {
 	// AckTimeout overrides the reliability layer's retransmit timeout
 	// (zero keeps the default; live runs want it short).
 	AckTimeout time.Duration
+	// Trace enables lifecycle-span recording (core Config.Trace):
+	// Result.Report.Trace then carries every request's phase timestamps,
+	// ready for a Perfetto dump of a failing shrunken prefix
+	// (obs.WriteChromeTrace). Spans are bookkeeping only — a traced run
+	// executes the identical virtual-time schedule.
+	Trace bool
 }
 
 // Result is one chaos run's outcome.
@@ -101,6 +107,7 @@ func Run(o Options) (Result, error) {
 	cfg.Nodes, cfg.CPUKernels, cfg.GPUs, cfg.SlotsPerGPU = o.Nodes, o.CPUs, 0, 0
 	cfg.Transport.Backend = o.Backend
 	cfg.Faults = o.Faults
+	cfg.Trace = o.Trace
 	if o.AckTimeout > 0 {
 		cfg.Reliability.AckTimeout = o.AckTimeout
 	}

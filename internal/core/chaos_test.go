@@ -8,10 +8,12 @@ package core_test
 // name the smallest failing script.
 
 import (
+	"os"
 	"testing"
 	"time"
 
 	"dcgn/internal/chaos"
+	"dcgn/internal/obs"
 	"dcgn/internal/transport"
 	"dcgn/internal/transport/faults"
 )
@@ -31,7 +33,10 @@ func chaosOpts(backend string, rounds int, seed int64, f faults.Config) chaos.Op
 
 // shrink reruns a failing (seed, faults) combination with growing round
 // prefixes and reports the smallest prefix that still diverges from the
-// clean digests — the chaos harness's shrinking step.
+// clean digests — the chaos harness's shrinking step. The smallest
+// failing prefix is rerun once more with lifecycle spans on and dumped as
+// a Chrome trace-event file, so the post-mortem starts in Perfetto
+// instead of printf.
 func shrink(t *testing.T, backend string, maxRounds int, seed int64, f faults.Config) {
 	t.Helper()
 	for r := 1; r <= maxRounds; r++ {
@@ -43,9 +48,36 @@ func shrink(t *testing.T, backend string, maxRounds int, seed int64, f faults.Co
 		got, err := chaos.Run(chaosOpts(backend, r, seed, f))
 		if err != nil || !equalDigests(got.Digests, clean.Digests) {
 			t.Logf("smallest failing script: seed=%d rounds=%d backend=%s (err=%v)", seed, r, backend, err)
+			dumpChaosTrace(t, backend, r, seed, f)
 			return
 		}
 	}
+}
+
+// dumpChaosTrace reruns a failing prefix with span recording enabled and
+// writes its Perfetto trace next to the test binary's temp space. The
+// rerun is best-effort: on the deterministic sim backend it replays the
+// identical failure; on live it is a fresh sample of the same script.
+func dumpChaosTrace(t *testing.T, backend string, rounds int, seed int64, f faults.Config) {
+	t.Helper()
+	opts := chaosOpts(backend, rounds, seed, f)
+	opts.Trace = true
+	got, _ := chaos.Run(opts) // the error (if any) is the failure under study
+	if len(got.Report.Trace) == 0 {
+		return
+	}
+	out, err := os.CreateTemp("", "dcgn-chaos-*.trace.json")
+	if err != nil {
+		t.Logf("chaos trace dump: %v", err)
+		return
+	}
+	defer out.Close()
+	if err := obs.WriteChromeTrace(out, got.Report.Trace); err != nil {
+		t.Logf("chaos trace dump: %v", err)
+		return
+	}
+	t.Logf("Perfetto trace of failing prefix (%d spans): load %s at ui.perfetto.dev",
+		len(got.Report.Trace), out.Name())
 }
 
 func equalDigests(a, b []uint64) bool {

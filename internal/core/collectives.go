@@ -54,6 +54,10 @@ type collGroup struct {
 	root    int
 	size    int // per-rank payload size, must agree across members
 	members []*request
+	// firstAt is when the first local member arrived; the span from it to
+	// the last resident's arrival is the collective-accumulation wait the
+	// metrics registry histograms.
+	firstAt time.Duration
 	// err records a mismatch among the arrivals (root or size). The group
 	// keeps accumulating so late ranks don't hang, and fails every member
 	// once complete.
@@ -88,7 +92,7 @@ func (ca *collAccum) add(p transport.Proc, req *request) {
 	ns := ca.ns
 	g := ca.groups[req.op]
 	if g == nil {
-		g = &collGroup{root: req.peer, size: -1}
+		g = &collGroup{root: req.peer, size: -1, firstAt: p.Now()}
 		ca.groups[req.op] = g
 	}
 	if req.peer != g.root && g.err == nil {
@@ -109,6 +113,9 @@ func (ca *collAccum) add(p transport.Proc, req *request) {
 		return
 	}
 	delete(ca.groups, req.op)
+	if ns.met != nil {
+		ns.met.observeCollWait(req.op, p.Now()-g.firstAt)
+	}
 	sort.Slice(g.members, func(i, j int) bool { return g.members[i].rank < g.members[j].rank })
 	if g.err != nil {
 		ns.failCollective(g, g.err)

@@ -45,6 +45,13 @@ type nodeState struct {
 	// Config.Reliability is enabled; nil means the legacy wire format.
 	rel *relState
 
+	// met caches this node's metric instruments (Config.Metrics); nil when
+	// metrics are off. obsOn is true when either tracing or metrics are
+	// enabled — the single branch the hot paths take before any
+	// observability stamp.
+	met   *nodeMetrics
+	obsOn bool
+
 	// Stats.
 	requestsHandled int
 	// collRetried counts node-level collective calls re-executed after a
@@ -69,6 +76,14 @@ func (ns *nodeState) runCommThread(p transport.Proc) {
 		msg, ok := ns.intake.next(p)
 		if !ok {
 			return // intake shut down (live backend teardown)
+		}
+		if ns.obsOn {
+			if msg.req != nil {
+				msg.req.dequeuedAt = p.Now()
+			}
+			if ns.met != nil {
+				ns.met.intakeDepth.Observe(int64(ns.intake.depth()))
+			}
 		}
 		p.SleepJit(ns.job.cfg.Params.DispatchCost)
 		ns.requestsHandled++

@@ -70,10 +70,11 @@ func (c *CPUCtx) SendRecv(dst int, sendBuf []byte, src int, recvBuf []byte) (Com
 		peer2: src,
 		buf:   sendBuf,
 		done:  c.job.rt.NewEventID("cpu-req", c.rank),
+		ns:    c.ns,
 	}
 	req.recvBuf = recvBuf
 	c.tp.SleepJit(c.job.cfg.Params.EnqueueCost)
-	c.job.trace.record(c.job, req, false)
+	c.job.trace.record(c.job, req)
 	c.ns.intake.postRequest(req)
 	req.done.Wait(c.tp)
 	return req.status, req.err
@@ -175,10 +176,11 @@ func (c *CPUCtx) relayAsync(op opKind, peer int, buf, recvBuf []byte) *AsyncOp {
 		peer: peer,
 		buf:  buf,
 		done: c.job.rt.NewEventID("cpu-areq", c.rank),
+		ns:   c.ns,
 	}
 	req.recvBuf = recvBuf
 	c.tp.SleepJit(c.job.cfg.Params.EnqueueCost)
-	c.job.trace.record(c.job, req, false)
+	c.job.trace.record(c.job, req)
 	c.ns.intake.postRequest(req)
 	return &AsyncOp{req: req}
 }
@@ -192,10 +194,11 @@ func (c *CPUCtx) relay(op opKind, peer int, buf, recvBuf []byte) *request {
 		peer: peer,
 		buf:  buf,
 		done: c.job.rt.NewEventID("cpu-req", c.rank),
+		ns:   c.ns,
 	}
 	req.recvBuf = recvBuf
 	c.tp.SleepJit(c.job.cfg.Params.EnqueueCost)
-	c.job.trace.record(c.job, req, false)
+	c.job.trace.record(c.job, req)
 	c.ns.intake.postRequest(req)
 	req.done.Wait(c.tp)
 	return req

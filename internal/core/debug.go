@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	"dcgn/internal/obs"
+)
+
+// debugServer is the opt-in live-inspection endpoint (Config.DebugAddr):
+// an HTTP listener serving expvar-style JSON snapshots of the metrics
+// registry at /debug/dcgn while the job runs. The mutex makes the bound
+// address readable from any goroutine — tests and tooling poll
+// Job.DebugAddr while Run is in flight.
+type debugServer struct {
+	mu  sync.Mutex
+	ln  net.Listener
+	srv *http.Server
+}
+
+// startDebugServer binds Config.DebugAddr and begins serving registry
+// snapshots. No-op when DebugAddr is empty. ":0" binds a free port; the
+// chosen address is readable via Job.DebugAddr.
+func (j *Job) startDebugServer() error {
+	if j.cfg.DebugAddr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", j.cfg.DebugAddr)
+	if err != nil {
+		return fmt.Errorf("dcgn: debug endpoint %q: %w", j.cfg.DebugAddr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/dcgn", obs.DebugHandler(j.metrics))
+	srv := &http.Server{Handler: mux}
+	j.debug.mu.Lock()
+	j.debug.ln, j.debug.srv = ln, srv
+	j.debug.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }() // exits with ErrServerClosed on stop
+	return nil
+}
+
+// stopDebugServer tears the endpoint down; safe when it never started.
+func (j *Job) stopDebugServer() {
+	j.debug.mu.Lock()
+	srv := j.debug.srv
+	j.debug.ln, j.debug.srv = nil, nil
+	j.debug.mu.Unlock()
+	if srv != nil {
+		_ = srv.Close()
+	}
+}
+
+// DebugAddr reports the bound address of the live-inspection endpoint
+// ("host:port", ready for an HTTP GET of /debug/dcgn), or "" when
+// Config.DebugAddr is unset or the job is not running.
+func (j *Job) DebugAddr() string {
+	j.debug.mu.Lock()
+	defer j.debug.mu.Unlock()
+	if j.debug.ln == nil {
+		return ""
+	}
+	return j.debug.ln.Addr().String()
+}

@@ -165,7 +165,7 @@ func (gt *gpuThread) serviceSignaled(p *sim.Proc, ss *slotState) {
 	req := gt.buildRequest(p, ss)
 	ss.req = req
 	p.SleepJit(gt.ns.job.cfg.Params.EnqueueCost)
-	gt.ns.job.trace.record(gt.ns.job, req, true)
+	gt.ns.job.trace.record(gt.ns.job, req)
 	gt.ns.intake.postRequest(req)
 	gt.ns.job.sim.SpawnID("gpu-sig-wb", ss.rank, func(h *sim.Proc) {
 		req.done.Wait(h)
@@ -186,6 +186,12 @@ func (gt *gpuThread) poll(p *sim.Proc) {
 	}
 	if hit {
 		gt.Hits++
+	}
+	if met := gt.ns.met; met != nil {
+		met.gpuPolls.Add(1)
+		if hit {
+			met.gpuPollHits.Add(1)
+		}
 	}
 }
 
@@ -214,7 +220,7 @@ func (gt *gpuThread) advance(p *sim.Proc, ss *slotState) bool {
 		ss.req = req
 		ss.doneReady = false
 		p.SleepJit(gt.ns.job.cfg.Params.EnqueueCost)
-		gt.ns.job.trace.record(gt.ns.job, req, true)
+		gt.ns.job.trace.record(gt.ns.job, req)
 		gt.ns.intake.postRequest(req)
 		// A tiny helper marks the slot ready for its completion stage; the
 		// write-back itself happens on a poll tick (stage 3).
@@ -262,6 +268,8 @@ func (gt *gpuThread) buildRequest(p *sim.Proc, ss *slotState) *request {
 		op:   ss.op,
 		rank: ss.rank,
 		done: gt.ns.job.rt.NewEventID("gpu-req", ss.rank),
+		ns:   gt.ns,
+		gpu:  true,
 	}
 	switch ss.op {
 	case opSend:
@@ -344,8 +352,9 @@ func (gt *gpuThread) writeBack(p *sim.Proc, ss *slotState, mb []byte) {
 	le.PutUint32(mb[mbStatus:], mbDone)
 	gt.ns.bus.Ctl(p, 20)
 	// The host staging buffers are done once results are back on the
-	// device. req.buf/recvBuf keep their slice headers (the trace daemon
-	// reads lengths after completion) but the storage returns to the pool.
+	// device: the lifecycle span (if any) was recorded inside complete(),
+	// before this write-back ran, so nothing reads them after the pool
+	// reclaims the storage.
 	gt.ns.job.pool.Put(req.buf)
 	gt.ns.job.pool.Put(req.recvBuf)
 	ss.req = nil

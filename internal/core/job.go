@@ -9,6 +9,7 @@ import (
 	"dcgn/internal/device"
 	"dcgn/internal/fabric"
 	"dcgn/internal/mpi"
+	"dcgn/internal/obs"
 	"dcgn/internal/pcie"
 	"dcgn/internal/sim"
 	"dcgn/internal/transport"
@@ -40,7 +41,14 @@ type Job struct {
 
 	cpuKernel func(*CPUCtx)
 
-	trace *traceSink
+	// trace collects lifecycle spans (Config.Trace); metrics is the
+	// job-wide instrument registry (Config.Metrics). Both nil when off.
+	trace   *traceSink
+	metrics *obs.Registry
+
+	// debug is the live-inspection HTTP endpoint (Config.DebugAddr); see
+	// debug.go.
+	debug debugServer
 
 	gpuGrid     int
 	gpuBlockDim int
@@ -170,9 +178,25 @@ type Report struct {
 	FaultsInjected transport.FaultStats
 	// Nodes holds per-node progress-engine statistics, indexed by node.
 	Nodes []NodeStats
-	// Trace holds per-request lifecycle records when Config.Trace is on.
+	// Trace holds per-request lifecycle spans when Config.Trace is on,
+	// merged from the per-node rings (completion order within a node).
 	Trace []TraceRecord
+	// TraceDropped counts spans overwritten in the fixed-size per-node
+	// rings; nonzero means Trace is a truncated (most-recent) window.
+	TraceDropped uint64
+	// Counters / Gauges / Histograms snapshot the metrics registry when
+	// Config.Metrics is on: flat instrument names ("match_wait_ns/op=send/
+	// src=cpu/size=<2KiB") to final values. Histogram quantiles come from
+	// HistogramSnapshot.Quantile.
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
 }
+
+// HistogramSnapshot is an immutable log2-bucketed distribution from the
+// metrics registry (= obs.HistogramSnapshot), carrying count, sum and
+// per-bucket counts with Mean and Quantile accessors.
+type HistogramSnapshot = obs.HistogramSnapshot
 
 // NodeStats is one node's progress-engine activity, layer by layer.
 type NodeStats struct {
@@ -212,6 +236,16 @@ func (j *Job) Run() (Report, error) {
 	if j.cpuKernel == nil && j.gpuKernel == nil {
 		return Report{}, fmt.Errorf("dcgn: no kernels installed")
 	}
+	if j.cfg.Trace {
+		j.trace = newTraceSink(j.cfg.Nodes, j.cfg.TraceCap)
+	}
+	if j.cfg.Metrics {
+		j.metrics = obs.NewRegistry()
+	}
+	if err := j.startDebugServer(); err != nil {
+		return Report{}, err
+	}
+	defer j.stopDebugServer()
 	switch j.cfg.Transport.Name() {
 	case transport.BackendSim:
 		return j.runSim()
@@ -232,9 +266,6 @@ func (j *Job) runSim() (Report, error) {
 	s.SetMaxTime(j.cfg.MaxVirtualTime)
 	j.sim = s
 	j.rt = simRT{s: s}
-	if j.cfg.Trace {
-		j.trace = &traceSink{}
-	}
 	j.net = fabric.New(s, j.cfg.Nodes, j.cfg.Net)
 	j.pool = bufpool.New()
 	nodeOf := make([]int, j.cfg.Nodes) // one underlying MPI rank per node
@@ -258,6 +289,10 @@ func (j *Job) runSim() (Report, error) {
 		if j.cfg.Reliability.Enabled {
 			ns.rel = newRelState(j.cfg.Nodes)
 		}
+		if j.metrics != nil {
+			ns.met = newNodeMetrics(j.metrics)
+		}
+		ns.obsOn = j.trace != nil || j.metrics != nil
 		ns.coll = newCollAccum(ns)
 		for g := 0; g < j.rmap.Spec(n).GPUs; g++ {
 			devCfg := j.cfg.Device
@@ -351,7 +386,14 @@ func (j *Job) spawnCPUKernels() error {
 // accounting).
 func (j *Job) fillReport(rep *Report) {
 	if j.trace != nil {
-		rep.Trace = j.trace.records
+		rep.Trace = j.trace.spans()
+		rep.TraceDropped = j.trace.dropped()
+	}
+	if j.metrics != nil {
+		snap := j.metrics.Snapshot()
+		rep.Counters = snap.Counters
+		rep.Gauges = snap.Gauges
+		rep.Histograms = snap.Histograms
 	}
 	for _, ns := range j.nodes {
 		st := NodeStats{

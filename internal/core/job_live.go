@@ -28,9 +28,6 @@ func (j *Job) runLive() (Report, error) {
 
 	rt := newLiveRT()
 	j.rt = rt
-	if j.cfg.Trace {
-		j.trace = &traceSink{}
-	}
 	j.pool = bufpool.New()
 	cluster := live.New(j.cfg.Nodes, j.pool)
 
@@ -46,6 +43,10 @@ func (j *Job) runLive() (Report, error) {
 		if j.cfg.Reliability.Enabled {
 			ns.rel = newRelState(j.cfg.Nodes)
 		}
+		if j.metrics != nil {
+			ns.met = newNodeMetrics(j.metrics)
+		}
+		ns.obsOn = j.trace != nil || j.metrics != nil
 		ns.coll = newCollAccum(ns)
 		ns.start()
 		j.nodes = append(j.nodes, ns)

@@ -2,6 +2,8 @@ package core
 
 import (
 	"testing"
+
+	"dcgn/internal/transport/faults"
 )
 
 // TestReportNodeStats checks the per-node, per-layer statistics surfaced
@@ -65,4 +67,90 @@ func TestReportNodeStats(t *testing.T) {
 			t.Errorf("node 1 matching index never held a pending entry")
 		}
 	})
+}
+
+// TestReportAggregatesMatchNodeSums is the report invariant: every
+// job-level aggregate must equal the sum of its per-node entries, and the
+// intake split must tile the handled stream (LocalRequests + WireMessages
+// == RequestsHandled) node by node. The run uses a lossy reliable wire so
+// the reliability counters are all nonzero — summing zeros proves
+// nothing.
+func TestReportAggregatesMatchNodeSums(t *testing.T) {
+	cfg := cpuOnlyConfig(3, 2)
+	cfg.Faults = faults.Config{Seed: 17, Drop: 0.15, Dup: 0.05}
+	job := NewJob(cfg)
+	job.SetCPUKernel(func(c *CPUCtx) {
+		buf := make([]byte, 256)
+		total := 6
+		next := (c.Rank() + 1) % total
+		prev := (c.Rank() + total - 1) % total
+		for i := 0; i < 8; i++ {
+			if c.Rank()%2 == 0 {
+				if err := c.Send(next, buf); err != nil {
+					t.Error(err)
+				}
+				if _, err := c.Recv(prev, buf); err != nil {
+					t.Error(err)
+				}
+			} else {
+				if _, err := c.Recv(prev, buf); err != nil {
+					t.Error(err)
+				}
+				if err := c.Send(next, buf); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+		c.Barrier()
+	})
+	rep, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retransmits == 0 || rep.AcksSent == 0 || rep.AcksReceived == 0 {
+		t.Fatalf("lossy run produced no reliability traffic (retransmits=%d acks=%d/%d); invariant test proves nothing",
+			rep.Retransmits, rep.AcksSent, rep.AcksReceived)
+	}
+
+	var sums NodeStats
+	var faultSum Report
+	requests := 0
+	for _, st := range rep.Nodes {
+		if st.LocalRequests+st.WireMessages != int64(st.RequestsHandled) {
+			t.Errorf("node %d: local %d + wire %d != handled %d",
+				st.Node, st.LocalRequests, st.WireMessages, st.RequestsHandled)
+		}
+		sums.Retransmits += st.Retransmits
+		sums.DupWireFrames += st.DupWireFrames
+		sums.AcksSent += st.AcksSent
+		sums.AcksReceived += st.AcksReceived
+		sums.CollRetries += st.CollRetries
+		faultSum.FaultsInjected = faultSum.FaultsInjected.Plus(st.Faults)
+		requests += st.RequestsHandled
+	}
+	if sums.Retransmits != rep.Retransmits {
+		t.Errorf("node retransmits sum %d != aggregate %d", sums.Retransmits, rep.Retransmits)
+	}
+	if sums.DupWireFrames != rep.DupWireFrames {
+		t.Errorf("node dup-frame sum %d != aggregate %d", sums.DupWireFrames, rep.DupWireFrames)
+	}
+	if sums.AcksSent != rep.AcksSent {
+		t.Errorf("node acks-sent sum %d != aggregate %d", sums.AcksSent, rep.AcksSent)
+	}
+	if sums.AcksReceived != rep.AcksReceived {
+		t.Errorf("node acks-received sum %d != aggregate %d", sums.AcksReceived, rep.AcksReceived)
+	}
+	if sums.CollRetries != rep.CollRetries {
+		t.Errorf("node coll-retry sum %d != aggregate %d", sums.CollRetries, rep.CollRetries)
+	}
+	if faultSum.FaultsInjected != rep.FaultsInjected {
+		t.Errorf("node fault sums %+v != aggregate %+v", faultSum.FaultsInjected, rep.FaultsInjected)
+	}
+	if requests != rep.Requests {
+		t.Errorf("node handled sum %d != aggregate Requests %d", requests, rep.Requests)
+	}
+	// Cross-layer sanity: on a dropping wire some acks vanish in flight.
+	if sums.AcksReceived > sums.AcksSent {
+		t.Errorf("more acks received (%d) than sent (%d)", sums.AcksReceived, sums.AcksSent)
+	}
 }

@@ -18,11 +18,11 @@ func (ns *nodeState) handleSendrecv(p transport.Proc, req *request) {
 	rt := ns.job.rt
 	sendPart := &request{
 		op: opSend, rank: req.rank, peer: req.peer, buf: req.buf,
-		done: rt.NewEventID("srv-send", req.rank),
+		done: rt.NewEventID("srv-send", req.rank), ns: ns, gpu: req.gpu,
 	}
 	recvPart := &request{
 		op: opRecv, rank: req.rank, peer: req.peer2, buf: req.recvBuf,
-		done: rt.NewEventID("srv-recv", req.rank),
+		done: rt.NewEventID("srv-recv", req.rank), ns: ns, gpu: req.gpu,
 	}
 	ns.handleRecv(p, recvPart)
 	ns.handleSend(p, sendPart)
@@ -64,6 +64,9 @@ func (ns *nodeState) handleSend(p transport.Proc, req *request) {
 		ns.job.rt.SpawnID("dcgn-tx", ns.node, func(h transport.Proc) {
 			h.SleepJit(ns.job.cfg.Params.RemoteRelayCost)
 			err := ns.tr.Send(h, dstNode, msg)
+			if ns.obsOn {
+				req.wireSentAt = h.Now()
+			}
 			// Send has buffered semantics (eager copy or rendezvous
 			// snapshot), so the wire buffer is ours again once it returns.
 			ns.job.pool.Put(msg)
@@ -134,17 +137,27 @@ func (ns *nodeState) handleInbound(p transport.Proc, in *inbound) {
 func (ns *nodeState) observe(p transport.Proc, req *request) {
 	req.handledAt = p.Now()
 	req.queueDepth = ns.index.depth()
+	if ns.met != nil {
+		ns.met.matchDepthPeak.SetMax(int64(req.queueDepth))
+	}
 }
 
-// matched stamps both sides of a match with the match time. Either side
-// may be nil (inbound wire messages are not traced requests).
+// matched stamps both sides of a match with the match time and feeds the
+// match-wait histograms. Either side may be nil (inbound wire messages are
+// not traced requests).
 func (ns *nodeState) matched(p transport.Proc, a, b *request) {
 	now := p.Now()
 	if a != nil {
 		a.matchedAt = now
+		if ns.met != nil {
+			ns.met.observeMatchWait(a, now)
+		}
 	}
 	if b != nil {
 		b.matchedAt = now
+		if ns.met != nil {
+			ns.met.observeMatchWait(b, now)
+		}
 	}
 }
 

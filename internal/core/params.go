@@ -170,10 +170,28 @@ type Config struct {
 	// virtual time.
 	MaxVirtualTime time.Duration
 
-	// Trace records every communication request's lifecycle into
-	// Report.Trace (op, ranks, post/done times). For debugging and the
-	// dcgn-trace inspection output; small overhead, off by default.
+	// Trace records every communication request's lifecycle span into
+	// Report.Trace (op, ranks, and per-phase timestamps: posted, dequeued,
+	// handled, matched, wire-sent, acked, done). For debugging, the
+	// dcgn-trace inspection output and the Chrome/Perfetto exporter; small
+	// overhead, off by default.
 	Trace bool
+
+	// TraceCap overrides the per-node span ring capacity (default
+	// obs.DefaultRingCap, 8192). Once a node's ring is full the oldest
+	// spans are overwritten and Report.TraceDropped counts them.
+	TraceCap int
+
+	// Metrics enables the job-wide metrics registry: counters, gauges and
+	// log2-bucketed histograms (match wait, queue depth, poll efficiency,
+	// retransmit backoff, collective-accumulation wait), snapshotted into
+	// Report.Histograms / Counters / Gauges. Off by default.
+	Metrics bool
+
+	// DebugAddr, when non-empty, serves live expvar-style JSON snapshots
+	// of the metrics registry over HTTP for mid-run inspection (":0"
+	// picks a free port; see Job.DebugAddr). Setting it implies Metrics.
+	DebugAddr string
 }
 
 // DefaultConfig returns the paper's testbed shape: 4 nodes, 2 CPU-kernel
@@ -233,6 +251,9 @@ func (c *Config) validate() {
 	}
 	if c.Reliability.BackoffCap <= 0 {
 		c.Reliability.BackoffCap = 500 * time.Millisecond
+	}
+	if c.DebugAddr != "" {
+		c.Metrics = true
 	}
 }
 

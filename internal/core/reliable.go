@@ -190,6 +190,9 @@ func (ns *nodeState) sendReliable(h transport.Proc, req *request, dstNode int, s
 			err = sendErr
 			break
 		}
+		if ns.obsOn && req.wireSentAt == 0 {
+			req.wireSentAt = h.Now()
+		}
 		rel.mu.Lock()
 		if w.acked {
 			rel.mu.Unlock()
@@ -215,6 +218,13 @@ func (ns *nodeState) sendReliable(h transport.Proc, req *request, dstNode int, s
 		w.ev = ns.job.rt.NewEventID("rel-wait", int(seq))
 		rel.mu.Unlock()
 		atomic.AddInt64(&rel.retransmits, 1)
+		if ns.met != nil {
+			ns.met.backoff.Observe(int64(relBackoff(cfg, attempt)))
+		}
+	}
+	if ns.obsOn && err == nil {
+		// The only clean exit from the loop is an acknowledged frame.
+		req.ackedAt = h.Now()
 	}
 	rel.mu.Lock()
 	delete(rel.waiters, key)

@@ -82,20 +82,43 @@ type request struct {
 	status CommStatus
 	err    error
 
-	// Matching observability, stamped by the comm thread (trace.go). A
-	// point-to-point request records the index depth when it was first
-	// handled and the time it was handled and matched; their difference is
-	// the time it sat waiting in the matching index. Collectives and
-	// remote sends do not enter the index and leave matchedAt zero.
+	// ns is the engine state of the node that owns this request, used by
+	// the completion path to fold the lifecycle span into the node's ring.
+	// Nil in bare unit-test requests, which are then simply not recorded.
+	ns *nodeState
+	// gpu marks requests issued by a device slot (set at creation, so
+	// metrics can distinguish sources even with tracing off).
+	gpu bool
+	// traced marks requests whose lifecycle span goes into the trace ring
+	// on completion (set by traceSink.record when Config.Trace is on).
+	traced bool
+
+	// Lifecycle observability, stamped as the request moves through the
+	// engine's layers (trace.go). A point-to-point request records the
+	// index depth when it was first handled and the time it was handled
+	// and matched; their difference is the time it sat waiting in the
+	// matching index. Collectives and remote sends do not enter the index
+	// and leave matchedAt zero; only wire-routed sends stamp wireSentAt,
+	// and only the reliability layer stamps ackedAt.
+	postedAt   time.Duration
+	dequeuedAt time.Duration
 	handledAt  time.Duration
 	matchedAt  time.Duration
+	wireSentAt time.Duration
+	ackedAt    time.Duration
 	queueDepth int
 }
 
-// complete finishes a request and wakes its issuer.
+// complete finishes a request and wakes its issuer. Traced requests record
+// their lifecycle span here, before the issuer is released — a struct copy
+// into the node's ring, on whichever proc or goroutine completed the
+// request, replacing the old one-daemon-per-record design.
 func (r *request) complete(src, n int, err error) {
 	r.status = CommStatus{Source: src, Bytes: n}
 	r.err = err
+	if r.traced && r.ns != nil {
+		r.ns.recordSpan(r)
+	}
 	r.done.Fire()
 }
 

@@ -4,79 +4,108 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"sync"
 	"time"
 
-	"dcgn/internal/transport"
+	"dcgn/internal/obs"
 )
 
-// TraceRecord is one completed communication request, recorded when
-// Config.Trace is on. Post is when the request entered a comm-thread
-// queue; Done is when its issuer was released.
-type TraceRecord struct {
-	Op     string
-	Rank   int
-	Peer   int
-	Bytes  int
-	GPU    bool // issued by a device slot
-	Post   time.Duration
-	Done   time.Duration
-	Failed bool
-	// QueueDepth is the number of pending entries in the node's matching
-	// index when the comm thread first handled the request.
-	QueueDepth int
-	// MatchWait is how long the request sat in the matching index before a
-	// counterpart arrived; zero for requests that matched immediately and
-	// for operations that never enter the index (collectives, remote
-	// sends).
-	MatchWait time.Duration
-}
+// TraceRecord is one completed communication request's lifecycle span,
+// recorded when Config.Trace is on. It is an alias of obs.Span: Post is
+// when the request entered a comm-thread queue, Done is when its issuer
+// was released, and the intermediate phase stamps (Dequeued, Handled,
+// Matched, WireSent, Acked) locate the time in between layer by layer.
+type TraceRecord = obs.Span
 
-// Latency is the request's time in the DCGN runtime.
-func (tr TraceRecord) Latency() time.Duration { return tr.Done - tr.Post }
-
-// traceSink collects records for the whole job. The mutex serializes
-// appends on the live backend, where trace daemons are real goroutines;
-// under the simulator only one proc runs at a time and it is uncontended.
+// traceSink collects lifecycle spans into one fixed-size ring per node.
+// Recording is folded into the request-completion path itself (see
+// request.complete → nodeState.recordSpan): a single struct copy under the
+// node ring's mutex, with no per-record goroutine. The previous design
+// spawned one daemon per traced request that slept until completion; on
+// the simulator that doubled the scheduler's proc churn and on the live
+// backend it was a goroutine per message.
 type traceSink struct {
-	mu      sync.Mutex
-	records []TraceRecord
+	rings []*obs.Ring
 }
 
-// record registers a completion callback on req that appends a trace
-// record when it fires.
-func (ts *traceSink) record(j *Job, req *request, gpu bool) {
+// newTraceSink creates one span ring per node; capPerNode <= 0 selects
+// obs.DefaultRingCap.
+func newTraceSink(nodes, capPerNode int) *traceSink {
+	ts := &traceSink{rings: make([]*obs.Ring, nodes)}
+	for i := range ts.rings {
+		ts.rings[i] = obs.NewRing(capPerNode)
+	}
+	return ts
+}
+
+// record marks a freshly-built request for span collection and stamps its
+// posting time. The span itself is appended when the request completes.
+func (ts *traceSink) record(j *Job, req *request) {
 	if ts == nil {
 		return
 	}
-	post := j.rt.Now()
-	j.rt.SpawnDaemon("trace", func(p transport.Proc) {
-		req.done.Wait(p)
-		wait := time.Duration(0)
-		if req.matchedAt > req.handledAt {
-			wait = req.matchedAt - req.handledAt
-		}
-		ts.mu.Lock()
-		defer ts.mu.Unlock()
-		ts.records = append(ts.records, TraceRecord{
-			Op:         req.op.String(),
-			Rank:       req.rank,
-			Peer:       req.peer,
-			Bytes:      len(req.buf),
-			GPU:        gpu,
-			Post:       post,
-			Done:       p.Now(),
-			Failed:     req.err != nil,
-			QueueDepth: req.queueDepth,
-			MatchWait:  wait,
-		})
+	req.traced = true
+	req.postedAt = j.rt.Now()
+}
+
+// spans merges the per-node rings, node by node, into one slice for
+// Report.Trace. Within a node spans appear in completion order; WriteTrace
+// re-sorts by posting time for the chronological table.
+func (ts *traceSink) spans() []TraceRecord {
+	var out []TraceRecord
+	for _, r := range ts.rings {
+		out = append(out, r.Snapshot()...)
+	}
+	return out
+}
+
+// dropped totals the spans overwritten across all node rings.
+func (ts *traceSink) dropped() uint64 {
+	var n uint64
+	for _, r := range ts.rings {
+		n += r.Dropped()
+	}
+	return n
+}
+
+// recordSpan folds a completed request into its node's span ring. It runs
+// inside request.complete — on whichever proc or goroutine finished the
+// request — before the issuer is woken, so the Done stamp carries the same
+// time the completion was signaled at.
+func (ns *nodeState) recordSpan(req *request) {
+	ts := ns.job.trace
+	if ts == nil {
+		return
+	}
+	var wait time.Duration
+	if req.matchedAt > req.handledAt {
+		wait = req.matchedAt - req.handledAt
+	}
+	ts.rings[ns.node].Append(obs.Span{
+		Op:         req.op.String(),
+		Node:       ns.node,
+		Rank:       req.rank,
+		Peer:       req.peer,
+		Bytes:      len(req.buf),
+		GPU:        req.gpu,
+		Failed:     req.err != nil,
+		Post:       req.postedAt,
+		Dequeued:   req.dequeuedAt,
+		Handled:    req.handledAt,
+		Matched:    req.matchedAt,
+		WireSent:   req.wireSentAt,
+		Acked:      req.ackedAt,
+		Done:       ns.job.rt.Now(),
+		QueueDepth: req.queueDepth,
+		MatchWait:  wait,
 	})
 }
 
-// WriteTrace renders the trace as a chronological table.
+// WriteTrace renders the trace as a chronological table. The sort is
+// stable, so records posted at the same instant keep their completion
+// order (per-node ring order, merged node by node).
 func WriteTrace(w io.Writer, records []TraceRecord) {
 	sorted := append([]TraceRecord(nil), records...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Post < sorted[j].Post })
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Post < sorted[j].Post })
 	fmt.Fprintf(w, "%-10s %-5s %-5s %-9s %-5s %-14s %-14s %-6s %-12s %s\n",
 		"op", "rank", "peer", "bytes", "src", "posted", "done", "depth", "matchwait", "latency")
 	for _, r := range sorted {

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"dcgn/internal/obs"
+)
+
+// WriteHistograms renders a run's metric distributions (Report.Histograms)
+// as an aligned table sorted by instrument name: observation count, mean,
+// and the log2-bucket p50/p90/p99 upper bounds. Instruments whose name
+// carries a "_ns" suffix before any "/label=value" tags are formatted as
+// durations; everything else (queue depths, counts) prints raw.
+func WriteHistograms(w io.Writer, hists map[string]obs.HistogramSnapshot) {
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rows := make([][]string, 0, len(names))
+	for _, name := range names {
+		h := hists[name]
+		val := func(v float64) string {
+			if isDurationMetric(name) {
+				return FormatDuration(time.Duration(v))
+			}
+			return fmt.Sprintf("%.0f", v)
+		}
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d", h.Count),
+			val(h.Mean()),
+			val(float64(h.Quantile(0.50))),
+			val(float64(h.Quantile(0.90))),
+			val(float64(h.Quantile(0.99))),
+		})
+	}
+	WriteAligned(w, []string{"histogram", "count", "mean", "p50", "p90", "p99"}, rows)
+}
+
+// isDurationMetric reports whether an instrument name denotes nanosecond
+// observations: its base name (before the first "/") ends in "_ns".
+func isDurationMetric(name string) bool {
+	base, _, _ := strings.Cut(name, "/")
+	return strings.HasSuffix(base, "_ns")
+}

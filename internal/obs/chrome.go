@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Chrome trace-event exporter: renders spans as the JSON object format
+// consumed by Perfetto (ui.perfetto.dev) and chrome://tracing. Each node
+// becomes one process (pid = node); within it, one thread track per
+// engine layer shows where every request's time went — queueing at the
+// intake, waiting in the matching index, on the wire, and waiting for the
+// ack. Timestamps are microseconds from the run epoch, so simulated
+// (virtual-clock) and live (wall-clock) runs export identically.
+
+// Track ids (Chrome tids) within each node's process, one per engine
+// layer.
+const (
+	// TrackRequest is the whole-lifecycle track: one slice per request,
+	// post to completion.
+	TrackRequest = 0
+	// TrackIntake shows time between posting and the comm-thread dequeue.
+	TrackIntake = 1
+	// TrackMatch shows time spent in the matching layer (handle to match).
+	TrackMatch = 2
+	// TrackWire shows wire-routed sends (handle to transport-send return).
+	TrackWire = 3
+	// TrackAck shows the reliability layer's ack wait (wire-send to ack).
+	TrackAck = 4
+)
+
+// TrackNames maps track ids to the thread names shown in Perfetto.
+var TrackNames = map[int]string{
+	TrackRequest: "requests",
+	TrackIntake:  "intake",
+	TrackMatch:   "match",
+	TrackWire:    "wire",
+	TrackAck:     "ack",
+}
+
+// ChromeTrace is the trace-event JSON file: the object form with a
+// traceEvents array, the schema Perfetto and chrome://tracing load.
+type ChromeTrace struct {
+	// TraceEvents holds every event, metadata first.
+	TraceEvents []ChromeEvent `json:"traceEvents"`
+	// DisplayTimeUnit selects the UI's default zoom unit.
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// ChromeEvent is one trace event: a complete slice (ph "X") or a
+// metadata record (ph "M").
+type ChromeEvent struct {
+	// Name is the slice label (the op) or the metadata kind.
+	Name string `json:"name"`
+	// Ph is the event phase: "X" for complete slices, "M" for metadata.
+	Ph string `json:"ph"`
+	// Ts is the start timestamp in microseconds from the run epoch.
+	Ts float64 `json:"ts"`
+	// Dur is the slice duration in microseconds (ph "X" only).
+	Dur float64 `json:"dur,omitempty"`
+	// Pid is the process id: the node index.
+	Pid int `json:"pid"`
+	// Tid is the thread id: the layer track (Track* constants).
+	Tid int `json:"tid"`
+	// Cat is the event category ("dcgn").
+	Cat string `json:"cat,omitempty"`
+	// Args carries per-event details.
+	Args *ChromeArgs `json:"args,omitempty"`
+}
+
+// ChromeArgs is the typed argument payload of a ChromeEvent.
+type ChromeArgs struct {
+	// Name is the process/thread name (metadata events only).
+	Name string `json:"name,omitempty"`
+	// Rank is the issuing virtual rank.
+	Rank int `json:"rank,omitempty"`
+	// Peer is the peer rank or collective root.
+	Peer int `json:"peer,omitempty"`
+	// Bytes is the payload length.
+	Bytes int `json:"bytes,omitempty"`
+	// Src is the request source class: "cpu" or "gpu".
+	Src string `json:"src,omitempty"`
+	// Failed marks requests that completed with an error.
+	Failed bool `json:"failed,omitempty"`
+	// QueueDepth is the matching-index depth at handling time.
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// MatchWaitNs is the matching-index wait in nanoseconds.
+	MatchWaitNs int64 `json:"match_wait_ns,omitempty"`
+}
+
+// usOf converts a duration offset to trace-event microseconds.
+func usOf(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// BuildChromeTrace assembles the trace-event representation of spans:
+// per-node process and per-layer thread metadata, then one slice per
+// lifecycle phase of every span. Spans are emitted in input order, so a
+// deterministic trace (the simulator's) serializes byte-identically.
+func BuildChromeTrace(spans []Span) ChromeTrace {
+	tr := ChromeTrace{DisplayTimeUnit: "ns"}
+	nodes := 0
+	for _, s := range spans {
+		if s.Node+1 > nodes {
+			nodes = s.Node + 1
+		}
+	}
+	order := []int{TrackRequest, TrackIntake, TrackMatch, TrackWire, TrackAck}
+	for n := 0; n < nodes; n++ {
+		tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+			Name: "process_name", Ph: "M", Pid: n,
+			Args: &ChromeArgs{Name: "node " + strconv.Itoa(n)},
+		})
+		for _, tid := range order {
+			tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+				Name: "thread_name", Ph: "M", Pid: n, Tid: tid,
+				Args: &ChromeArgs{Name: TrackNames[tid]},
+			})
+		}
+	}
+	for _, s := range spans {
+		src := "cpu"
+		if s.GPU {
+			src = "gpu"
+		}
+		args := &ChromeArgs{
+			Rank: s.Rank, Peer: s.Peer, Bytes: s.Bytes, Src: src,
+			Failed: s.Failed, QueueDepth: s.QueueDepth,
+			MatchWaitNs: s.MatchWait.Nanoseconds(),
+		}
+		slice := func(tid int, from, to time.Duration) {
+			if to < from {
+				return
+			}
+			tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+				Name: s.Op, Ph: "X", Cat: "dcgn",
+				Ts: usOf(from), Dur: usOf(to - from),
+				Pid: s.Node, Tid: tid, Args: args,
+			})
+		}
+		slice(TrackRequest, s.Post, s.Done)
+		if s.Dequeued > 0 {
+			slice(TrackIntake, s.Post, s.Dequeued)
+		}
+		if s.Handled > 0 && s.Matched > 0 {
+			slice(TrackMatch, s.Handled, s.Matched)
+		}
+		if s.WireSent > 0 {
+			from := s.Handled
+			if from == 0 {
+				from = s.Post
+			}
+			slice(TrackWire, from, s.WireSent)
+		}
+		if s.Acked > 0 && s.WireSent > 0 {
+			slice(TrackAck, s.WireSent, s.Acked)
+		}
+	}
+	return tr
+}
+
+// WriteChromeTrace serializes spans as trace-event JSON loadable in
+// Perfetto or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(BuildChromeTrace(spans))
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+	"time"
+)
+
+// csvHeader is the column layout of WriteCSV: identity, outcome, then
+// every phase timestamp in nanoseconds from the run epoch (0 = the
+// request never reached that phase, except posted_ns which is always
+// stamped).
+var csvHeader = []string{
+	"op", "node", "rank", "peer", "bytes", "src", "failed",
+	"posted_ns", "dequeued_ns", "handled_ns", "matched_ns",
+	"wiresent_ns", "acked_ns", "done_ns",
+	"queue_depth", "match_wait_ns", "latency_ns",
+}
+
+// WriteCSV renders spans as one CSV row per request, in input order, for
+// spreadsheet or pandas-style analysis of the lifecycle data.
+func WriteCSV(w io.Writer, spans []Span) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	ns := func(d time.Duration) string { return strconv.FormatInt(d.Nanoseconds(), 10) }
+	for _, s := range spans {
+		src := "cpu"
+		if s.GPU {
+			src = "gpu"
+		}
+		row := []string{
+			s.Op,
+			strconv.Itoa(s.Node),
+			strconv.Itoa(s.Rank),
+			strconv.Itoa(s.Peer),
+			strconv.Itoa(s.Bytes),
+			src,
+			strconv.FormatBool(s.Failed),
+			ns(s.Post), ns(s.Dequeued), ns(s.Handled), ns(s.Matched),
+			ns(s.WireSent), ns(s.Acked), ns(s.Done),
+			strconv.Itoa(s.QueueDepth),
+			ns(s.MatchWait),
+			ns(s.Latency()),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// DebugState is the JSON document served by the live-inspection endpoint:
+// an expvar-style snapshot of the registry plus derived per-histogram
+// quantiles, so a curl mid-run answers "where is time going right now"
+// without attaching a tracer.
+type DebugState struct {
+	// Counters maps counter name to current value.
+	Counters map[string]int64 `json:"counters"`
+	// Gauges maps gauge name to current value.
+	Gauges map[string]int64 `json:"gauges"`
+	// Histograms maps histogram name to a quantile summary.
+	Histograms map[string]DebugHistogram `json:"histograms"`
+}
+
+// DebugHistogram is one histogram's summary in the debug document.
+type DebugHistogram struct {
+	// Count is the number of observations so far.
+	Count uint64 `json:"count"`
+	// Sum is the total of all observations.
+	Sum int64 `json:"sum"`
+	// Mean is Sum/Count.
+	Mean float64 `json:"mean"`
+	// P50, P90 and P99 are log2-bucket quantile upper bounds.
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	P99 int64 `json:"p99"`
+	// Buckets holds the raw per-log2-bucket counts.
+	Buckets []uint64 `json:"buckets"`
+}
+
+// DebugSnapshot assembles the debug document from a registry snapshot.
+func DebugSnapshot(s Snapshot) DebugState {
+	out := DebugState{
+		Counters:   s.Counters,
+		Gauges:     s.Gauges,
+		Histograms: make(map[string]DebugHistogram, len(s.Histograms)),
+	}
+	for name, h := range s.Histograms {
+		out.Histograms[name] = DebugHistogram{
+			Count:   h.Count,
+			Sum:     h.Sum,
+			Mean:    h.Mean(),
+			P50:     h.Quantile(0.50),
+			P90:     h.Quantile(0.90),
+			P99:     h.Quantile(0.99),
+			Buckets: h.Buckets,
+		}
+	}
+	return out
+}
+
+// DebugHandler serves the registry as JSON (the live backend mounts it at
+// /debug/dcgn when Config.DebugAddr is set). Each request takes a fresh
+// snapshot, so repeated polls watch the run progress.
+func DebugHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "\t")
+		_ = enc.Encode(DebugSnapshot(r.Snapshot()))
+	})
+}

@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSizeClass(t *testing.T) {
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{0, "0B"},
+		{1, "<2B"},
+		{2, "<4B"},
+		{3, "<4B"},
+		{1023, "<1KiB"},
+		{1024, "<2KiB"},
+		{4096, "<8KiB"},
+		{1 << 20, "<2MiB"},
+	}
+	for _, c := range cases {
+		if got := SizeClass(c.n); got != c.want {
+			t.Errorf("SizeClass(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestRingAppendAndOverwrite(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Append(Span{Rank: i})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", r.Dropped())
+	}
+	snap := r.Snapshot()
+	for i, s := range snap {
+		if s.Rank != i+2 {
+			t.Fatalf("snapshot[%d].Rank = %d, want %d (oldest-first order)", i, s.Rank, i+2)
+		}
+	}
+}
+
+func TestRingDefaultCap(t *testing.T) {
+	r := NewRing(0)
+	if cap(r.buf) != DefaultRingCap {
+		t.Fatalf("cap = %d, want %d", cap(r.buf), DefaultRingCap)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 90 small observations and 10 large ones: p50 lands in the small
+	// bucket, p99 in the large one.
+	for i := 0; i < 90; i++ {
+		h.Observe(100) // bucket 7: [64, 128)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100000) // bucket 17: [65536, 131072)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if want := int64(90*100 + 10*100000); s.Sum != want {
+		t.Fatalf("Sum = %d, want %d", s.Sum, want)
+	}
+	if got := s.Quantile(0.5); got != 127 {
+		t.Errorf("p50 = %d, want 127", got)
+	}
+	if got := s.Quantile(0.99); got != 131071 {
+		t.Errorf("p99 = %d, want 131071", got)
+	}
+	if got := s.Quantile(0); got != 127 {
+		t.Errorf("p0 = %d, want 127", got)
+	}
+	if got := s.Quantile(1); got != 131071 {
+		t.Errorf("p100 = %d, want 131071", got)
+	}
+	if m := s.Mean(); m != float64(s.Sum)/100 {
+		t.Errorf("Mean = %v", m)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0)
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Count != 2 || len(s.Buckets) != 1 || s.Buckets[0] != 2 {
+		t.Fatalf("snapshot = %+v, want both observations in bucket 0", s)
+	}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("p50 = %d, want 0", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := &Histogram{}
+	s := h.Snapshot()
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot misbehaves: %+v", s)
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("acks")
+	c.Add(3)
+	if r.Counter("acks") != c {
+		t.Fatal("Counter not memoized")
+	}
+	g := r.Gauge("depth")
+	g.Set(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Fatalf("SetMax lowered the gauge: %d", g.Value())
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatalf("SetMax did not raise the gauge: %d", g.Value())
+	}
+	r.Histogram("wait").Observe(42)
+	snap := r.Snapshot()
+	if snap.Counters["acks"] != 3 || snap.Gauges["depth"] != 9 || snap.Histograms["wait"].Count != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	names := r.HistogramNames()
+	if len(names) != 1 || names[0] != "wait" {
+		t.Fatalf("HistogramNames = %v", names)
+	}
+}
+
+func sampleSpans() []Span {
+	return []Span{
+		{
+			Op: "send", Node: 0, Rank: 0, Peer: 2, Bytes: 1024,
+			Post: 10 * time.Microsecond, Dequeued: 12 * time.Microsecond,
+			Handled: 13 * time.Microsecond, WireSent: 20 * time.Microsecond,
+			Acked: 30 * time.Microsecond, Done: 31 * time.Microsecond,
+			QueueDepth: 1,
+		},
+		{
+			Op: "recv", Node: 1, Rank: 2, Peer: 0, Bytes: 1024, GPU: true,
+			Post: 11 * time.Microsecond, Dequeued: 14 * time.Microsecond,
+			Handled: 15 * time.Microsecond, Matched: 25 * time.Microsecond,
+			Done: 26 * time.Microsecond, MatchWait: 10 * time.Microsecond,
+		},
+		{
+			Op: "recv", Node: 1, Rank: 3, Peer: 0, Bytes: 64, Failed: true,
+			Post: 12 * time.Microsecond, Done: 40 * time.Microsecond,
+		},
+	}
+}
+
+func TestBuildChromeTrace(t *testing.T) {
+	tr := BuildChromeTrace(sampleSpans())
+	var meta, slices int
+	tracks := map[[2]int]bool{}
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			slices++
+			tracks[[2]int{ev.Pid, ev.Tid}] = true
+			if ev.Dur < 0 {
+				t.Errorf("negative duration: %+v", ev)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	// 2 nodes x (1 process_name + 5 thread_name).
+	if meta != 12 {
+		t.Errorf("metadata events = %d, want 12", meta)
+	}
+	// span 0: request+intake+wire+ack; span 1: request+intake+match;
+	// span 2: request only.
+	if slices != 8 {
+		t.Errorf("slices = %d, want 8", slices)
+	}
+	for _, want := range [][2]int{
+		{0, TrackRequest}, {0, TrackIntake}, {0, TrackWire}, {0, TrackAck},
+		{1, TrackRequest}, {1, TrackIntake}, {1, TrackMatch},
+	} {
+		if !tracks[want] {
+			t.Errorf("missing slice on node %d track %s", want[0], TrackNames[want[1]])
+		}
+	}
+	if tracks[[2]int{1, TrackWire}] {
+		t.Error("unexpected wire slice for a local recv")
+	}
+}
+
+func TestWriteChromeTraceRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var decoded ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid trace-event JSON: %v", err)
+	}
+	if len(decoded.TraceEvents) == 0 {
+		t.Fatal("no events decoded")
+	}
+	// Determinism: same spans, same bytes.
+	var buf2 bytes.Buffer
+	if err := WriteChromeTrace(&buf2, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("chrome trace output is not deterministic")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want header + 3", len(rows))
+	}
+	if rows[0][0] != "op" || rows[0][len(rows[0])-1] != "latency_ns" {
+		t.Fatalf("unexpected header: %v", rows[0])
+	}
+	if rows[1][5] != "cpu" || rows[2][5] != "gpu" {
+		t.Fatalf("src columns wrong: %v / %v", rows[1], rows[2])
+	}
+	if rows[3][6] != "true" {
+		t.Fatalf("failed column wrong: %v", rows[3])
+	}
+	// latency of span 0: 31us - 10us = 21000ns.
+	if rows[1][len(rows[1])-1] != "21000" {
+		t.Fatalf("latency column = %q, want 21000", rows[1][len(rows[1])-1])
+	}
+}
+
+func TestDebugHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("acks").Add(7)
+	r.Gauge("depth").Set(3)
+	for i := 0; i < 4; i++ {
+		r.Histogram("wait").Observe(1000)
+	}
+	srv := httptest.NewServer(DebugHandler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var st DebugState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Counters["acks"] != 7 || st.Gauges["depth"] != 3 {
+		t.Fatalf("decoded state = %+v", st)
+	}
+	h := st.Histograms["wait"]
+	if h.Count != 4 || h.P50 != 1023 || h.Mean != 1000 {
+		t.Fatalf("histogram summary = %+v", h)
+	}
+}

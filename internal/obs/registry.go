@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a job-wide metrics namespace: counters, gauges and
+// log2-bucketed histograms, created on first use and identified by flat
+// string names ("match_wait/op=send/src=cpu/size=<2KiB"). Lookups take a
+// short registry lock; the returned instruments are lock-free atomics, so
+// hot paths hold a pointer and never touch the registry again.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing atomic count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous atomic value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// SetMax raises the gauge to v if v is larger (monotonic high-water mark).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the histogram resolution: bucket i holds observations v
+// with bits.Len64(v) == i, i.e. [2^(i-1), 2^i); bucket 0 holds v <= 0.
+// 64 buckets cover every int64, so Observe never clamps.
+const histBuckets = 64
+
+// Histogram is a lock-free log2-bucketed distribution. Units are the
+// caller's (the engine records nanoseconds for waits and raw counts for
+// depths); log2 bucketing gives ~1 significant bit of resolution across
+// the full range, which is exactly what latency-tail questions need.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot captures a consistent-enough copy for reporting. (Concurrent
+// Observe calls may land between field reads; the engine snapshots after
+// the run quiesces, where the copy is exact.)
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: make([]uint64, histBuckets),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	// Trim trailing empty buckets so snapshots serialize compactly.
+	n := len(s.Buckets)
+	for n > 0 && s.Buckets[n-1] == 0 {
+		n--
+	}
+	s.Buckets = s.Buckets[:n]
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a Histogram: total count and
+// sum plus per-log2-bucket counts (bucket i covers [2^(i-1), 2^i), bucket
+// 0 covers v <= 0; trailing empty buckets are trimmed).
+type HistogramSnapshot struct {
+	// Count is the number of observations.
+	Count uint64
+	// Sum is the total of all observed values.
+	Sum int64
+	// Buckets holds per-bucket observation counts.
+	Buckets []uint64
+}
+
+// Mean is the average observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the inclusive upper bound of the bucket containing the
+// q-quantile observation (q in [0, 1]): 0 for bucket 0, 2^i - 1 for
+// bucket i. Log2 bucketing makes this exact to within a factor of two,
+// which is the resolution the registry trades for fixed memory.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count-1))
+	var cum uint64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum > rank {
+			if i == 0 {
+				return 0
+			}
+			return int64(uint64(1)<<i - 1)
+		}
+	}
+	return int64(uint64(1)<<len(s.Buckets) - 1)
+}
+
+// Snapshot is a point-in-time copy of a whole registry, ready for JSON
+// serialization (the debug endpoint) or report aggregation.
+type Snapshot struct {
+	// Counters maps counter name to value.
+	Counters map[string]int64 `json:"counters"`
+	// Gauges maps gauge name to value.
+	Gauges map[string]int64 `json:"gauges"`
+	// Histograms maps histogram name to its snapshot.
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every instrument's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// HistogramNames returns the registered histogram names, sorted.
+func (r *Registry) HistogramNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

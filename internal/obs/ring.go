@@ -1,0 +1,71 @@
+package obs
+
+import "sync"
+
+// Ring is a fixed-capacity span buffer: appends overwrite the oldest
+// record once full, and the overwrite count is reported so a truncated
+// trace is never mistaken for a complete one. One Ring serves one node
+// (the per-node shard keeps contention off the hot path on the live
+// backend; under the simulator only one proc runs at a time and the
+// mutex is uncontended). The critical section is a single struct copy —
+// no allocation, no goroutine — which is what lets the engine record a
+// span inside the request-completion path itself.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Span
+	start   int // index of the oldest record
+	n       int // live record count
+	dropped uint64
+}
+
+// DefaultRingCap is the per-node span capacity used when the job does not
+// override it (Config.TraceCap in internal/core).
+const DefaultRingCap = 8192
+
+// NewRing creates a ring holding at most capacity spans; capacity <= 0
+// selects DefaultRingCap.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCap
+	}
+	return &Ring{buf: make([]Span, 0, capacity)}
+}
+
+// Append records one span, overwriting the oldest record when full.
+func (r *Ring) Append(s Span) {
+	r.mu.Lock()
+	if r.n < cap(r.buf) {
+		r.buf = append(r.buf, s)
+		r.n++
+	} else {
+		r.buf[r.start] = s
+		r.start = (r.start + 1) % cap(r.buf)
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Len reports the number of live records.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped reports how many records have been overwritten by Append.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Snapshot copies the live records out in append order, oldest first.
+func (r *Ring) Snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%cap(r.buf)])
+	}
+	return out
+}
