@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt lintdoc test race race-live bench bench-json benchguard chaos trace-export ci
+.PHONY: build vet fmt lintdoc test race race-live bench bench-json benchguard chaos trace-export scale ci
 
 build:
 	$(GO) build ./...
@@ -45,13 +45,20 @@ bench:
 # Wall-clock throughput and allocation profile of the hot workloads
 # (high-fanout matching + Table 3 apps), written as JSON.
 bench-json:
-	$(GO) run ./cmd/dcgn-bench -json BENCH_2.json
+	$(GO) run ./cmd/dcgn-bench -json BENCH_6.json
 
 # Allocation tripwire: fails if allocs/op on the matching benchmarks
 # regresses >20% against the committed baseline.
 benchguard:
-	$(GO) test -run='^$$' -bench='BenchmarkMatchIndex|BenchmarkHighFanoutMatching|BenchmarkEnginePingPong/sim' \
+	$(GO) test -run='^$$' -bench='BenchmarkMatchIndex|BenchmarkHighFanoutMatching|BenchmarkEnginePingPong/sim|BenchmarkShardedHighFanout' \
 		-benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchguard -baseline testdata/bench_baseline.json
+
+# Scale smoke mirroring the CI scale/determinism matrix: a 1024-node sharded
+# run (virtual results asserted identical to -shards 1) plus the seeded
+# shard-determinism diff at shard counts 1, 2 and 8 on 256 nodes.
+scale:
+	$(GO) run ./cmd/dcgn-bench -nodes 1024 -shards 8
+	$(GO) run ./cmd/dcgn-bench -scale-verify "1,2,8" -nodes 256
 
 # Chaos smoke: the wire-hardening differential (reliability layer vs
 # injected faults) under the race detector on both backends, plus the
@@ -69,4 +76,4 @@ trace-export:
 	$(GO) run ./cmd/dcgn-trace -nodes 4 -format csv -o /tmp/dcgn-trace.csv
 	$(GO) run ./cmd/dcgn-trace -nodes 4 -metrics > /dev/null
 
-ci: build vet fmt lintdoc test race race-live bench benchguard chaos trace-export
+ci: build vet fmt lintdoc test race race-live bench benchguard chaos trace-export scale

@@ -346,7 +346,7 @@ func BenchmarkEnginePingPong(b *testing.B) {
 		iters   = 64
 		payload = 1024
 	)
-	run := func(b *testing.B, backend string, reliable, traced bool) {
+	run := func(b *testing.B, backend string, reliable, traced bool, shards int) {
 		for i := 0; i < b.N; i++ {
 			cfg := dcgn.DefaultConfig()
 			cfg.Nodes, cfg.CPUKernels, cfg.GPUs = 2, 1, 0
@@ -354,6 +354,7 @@ func BenchmarkEnginePingPong(b *testing.B) {
 			cfg.Reliability.Enabled = reliable
 			cfg.Trace = traced
 			cfg.Metrics = traced
+			cfg.Shards = shards
 			if backend == dcgn.BackendLive {
 				cfg.MaxVirtualTime = 30 * time.Second // wall-clock watchdog
 			}
@@ -386,17 +387,42 @@ func BenchmarkEnginePingPong(b *testing.B) {
 			b.ReportMetric(float64(rep.Requests)/float64(2*iters), "req-per-msg")
 		}
 	}
-	b.Run("sim", func(b *testing.B) { run(b, dcgn.BackendSim, false, false) })
+	b.Run("sim", func(b *testing.B) { run(b, dcgn.BackendSim, false, false, 0) })
 	// sim-reliable guards the no-fault overhead of the seq/ack wire format:
 	// its allocs/op baseline keeps the reliability layer's clean-path cost
 	// (one ack frame + one retransmit timer per message) from creeping.
-	b.Run("sim-reliable", func(b *testing.B) { run(b, dcgn.BackendSim, true, false) })
+	b.Run("sim-reliable", func(b *testing.B) { run(b, dcgn.BackendSim, true, false, 0) })
 	// sim-traced guards the full-observability request path: spans plus the
 	// metrics registry must cost a bounded, fixed number of allocations per
 	// run (ring buffers and cached instrument handles are set up once) —
 	// the old SpawnDaemon-per-record sink allocated per traced request.
-	b.Run("sim-traced", func(b *testing.B) { run(b, dcgn.BackendSim, false, true) })
-	b.Run("live", func(b *testing.B) { run(b, dcgn.BackendLive, false, false) })
+	b.Run("sim-traced", func(b *testing.B) { run(b, dcgn.BackendSim, false, true, 0) })
+	// sim-sharded drives the same ping-pong through the sharded engine (one
+	// shard per node): windows, outbox merges and the per-shard event loops
+	// must not add per-message allocations over the classic path.
+	b.Run("sim-sharded", func(b *testing.B) { run(b, dcgn.BackendSim, false, false, 2) })
+	b.Run("live", func(b *testing.B) { run(b, dcgn.BackendLive, false, false, 0) })
+}
+
+// BenchmarkShardedHighFanout drives the cluster-scale neighbor-exchange
+// workload through the sharded engine (32 nodes over 4 shards) and reports
+// its virtual completion time. The allocs/op column is guarded by
+// cmd/benchguard: cross-shard delivery stages every packet through the
+// coordinator's outboxes, and a copy or dropped pool reuse on that path
+// multiplies across every message in a 1000-node run.
+func BenchmarkShardedHighFanout(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 32
+	cfg.Shards = 4
+	cfg.MPI.TreeCollectives = true
+	for i := 0; i < b.N; i++ {
+		rep, _, err := apps.ScaleFanout(cfg, 2, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.Elapsed.Nanoseconds()), "virtual-ns")
+		b.ReportMetric(float64(rep.NetPackets), "packets")
+	}
 }
 
 // BenchmarkTable3Apps runs the DCGN side of the paper's §5.1 applications

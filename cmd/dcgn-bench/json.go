@@ -26,9 +26,9 @@ type profileEntry struct {
 }
 
 // writeProfileJSON runs the allocation-profile workloads (the high-fanout
-// matching stress and the §5.1 apps at golden-test sizes) and writes the
-// combined profile to path. `make bench-json` materializes BENCH_2.json
-// from this.
+// matching stress, the §5.1 apps at golden-test sizes, and the sharded
+// scale workload at both ends of the shard axis) and writes the combined
+// profile to path. `make bench-json` materializes BENCH_6.json from this.
 func writeProfileJSON(path string) {
 	var entries []profileEntry
 
@@ -126,6 +126,32 @@ func writeProfileJSON(path string) {
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
 			VirtualNs:   rep.Elapsed.Nanoseconds(),
+		})
+	}
+
+	for _, shards := range []int{1, 8} {
+		shards := shards
+		cfg := core.DefaultConfig()
+		cfg.Nodes = 256
+		cfg.Shards = shards
+		cfg.MPI.TreeCollectives = true
+		var rep core.Report
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, _, err = apps.ScaleFanout(cfg, 2, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		entries = append(entries, profileEntry{
+			Name:        fmt.Sprintf("scale/nodes256-shards%d", shards),
+			WallNsPerOp: res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			VirtualNs:   rep.Elapsed.Nanoseconds(),
+			Metrics:     map[string]float64{"net-packets": float64(rep.NetPackets)},
 		})
 	}
 

@@ -9,7 +9,7 @@
 //	dcgn-bench                 # run everything
 //	dcgn-bench -exp table1     # one experiment: table1|fig6|fig7|mandelbrot|cannon|nbody|pingpong
 //	dcgn-bench -backend live -exp pingpong  # ping-pong on the live goroutine backend
-//	dcgn-bench -json BENCH_2.json  # allocation/throughput profile (see json.go)
+//	dcgn-bench -json BENCH_6.json  # allocation/throughput profile (see json.go)
 package main
 
 import (
@@ -41,6 +41,14 @@ func main() {
 	}
 	if *chaosMode {
 		runChaos()
+		return
+	}
+	if *scaleVerify != "" {
+		runScaleVerify()
+		return
+	}
+	if *nodesFlag > 0 {
+		runScaleBench()
 		return
 	}
 	if *backend == transport.BackendLive {

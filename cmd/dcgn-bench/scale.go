@@ -1,0 +1,161 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dcgn/internal/apps"
+	"dcgn/internal/core"
+	"dcgn/internal/fabric"
+	"dcgn/internal/metrics"
+)
+
+// Scale mode exercises the sharded discrete-event core: -nodes selects the
+// cluster size (and enters scale mode), -shards the per-node-group event
+// loop count, -topology the fabric shape. -scale-verify runs the seeded
+// determinism scenario at several shard counts and fails unless every run
+// produces bit-identical per-rank digests and virtual elapsed time.
+var (
+	nodesFlag   = flag.Int("nodes", 0, "scale mode: simulate this many nodes (0 = classic experiments)")
+	shardsFlag  = flag.Int("shards", 8, "scale mode: number of parallel event-loop shards")
+	topoFlag    = flag.String("topology", "flat", "scale mode: fabric topology: flat|fattree|dragonfly")
+	roundsFlag  = flag.Int("rounds", 4, "scale mode: neighbor-exchange rounds per rank")
+	fanoutFlag  = flag.Int("fanout", 4, "scale mode: power-of-two neighbor offsets per rank per round")
+	scaleVerify = flag.String("scale-verify", "", "comma-separated shard counts (e.g. \"1,2,8\"): run the seeded scenario at each and require identical results")
+	minSpeedup  = flag.Float64("min-speedup", 0, "scale mode: fail unless the sharded run beats -shards 1 by at least this factor (0 disables)")
+)
+
+// scaleTopology builds the requested fabric for at least n hosts. The
+// fat-tree picks the smallest even k with k^3/4 >= n; the dragonfly sweeps
+// the balanced a=h, p=a/2 family.
+func scaleTopology(name string, n int) fabric.Topology {
+	const hop = 300 * time.Nanosecond
+	switch name {
+	case "flat":
+		return nil // fabric uses the configured flat link latency
+	case "fattree":
+		for k := 4; ; k += 2 {
+			if k*k*k/4 >= n {
+				return fabric.NewFatTree(k, hop)
+			}
+		}
+	case "dragonfly":
+		for a := 2; ; a += 2 {
+			p := max(1, a/2)
+			if (a*a+1)*a*p >= n {
+				return fabric.NewDragonfly(a, p, a, hop)
+			}
+		}
+	default:
+		log.Fatalf("unknown topology %q (want flat|fattree|dragonfly)", name)
+		return nil
+	}
+}
+
+// scaleCfg assembles the scale-mode job configuration for one shard count.
+func scaleCfg(nodes, shards int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.Shards = shards
+	cfg.Net.Topology = scaleTopology(*topoFlag, nodes)
+	cfg.MPI.TreeCollectives = true
+	return cfg
+}
+
+// runScaleBench times the scale workload at -shards 1 and -shards N on the
+// wall clock and reports the parallel speedup. The virtual results must be
+// identical — that is asserted, not just printed.
+func runScaleBench() {
+	nodes, shards := *nodesFlag, *shardsFlag
+	if shards < 1 {
+		log.Fatalf("-shards must be >= 1, got %d", shards)
+	}
+	fmt.Printf("== Scale: %d nodes, %s fabric, %d rounds x fanout %d ==\n",
+		nodes, *topoFlag, *roundsFlag, *fanoutFlag)
+
+	run := func(sh int) (core.Report, []uint64, time.Duration) {
+		start := time.Now()
+		rep, digests, err := apps.ScaleFanout(scaleCfg(nodes, sh), *roundsFlag, *fanoutFlag)
+		check(err)
+		return rep, digests, time.Since(start)
+	}
+	rep1, dig1, wall1 := run(1)
+	repN, digN, wallN := run(shards)
+
+	if rep1.Elapsed != repN.Elapsed {
+		log.Fatalf("shard-determinism violation: virtual elapsed %v at -shards 1 vs %v at -shards %d",
+			rep1.Elapsed, repN.Elapsed, shards)
+	}
+	for i := range dig1 {
+		if dig1[i] != digN[i] {
+			log.Fatalf("shard-determinism violation: rank %d digest %#x at -shards 1 vs %#x at -shards %d",
+				i, dig1[i], digN[i], shards)
+		}
+	}
+
+	speedup := float64(wall1) / float64(wallN)
+	metrics.WriteAligned(os.Stdout,
+		[]string{"Shards", "Virtual", "Wall", "Packets", "Speedup"},
+		[][]string{
+			{"1", metrics.FormatDuration(rep1.Elapsed), wall1.Round(time.Millisecond).String(),
+				fmt.Sprintf("%d", rep1.NetPackets), "1.00x"},
+			{fmt.Sprintf("%d", shards), metrics.FormatDuration(repN.Elapsed), wallN.Round(time.Millisecond).String(),
+				fmt.Sprintf("%d", repN.NetPackets), fmt.Sprintf("%.2fx", speedup)},
+		})
+	if *minSpeedup > 0 && speedup < *minSpeedup {
+		log.Fatalf("speedup %.2fx below required %.2fx", speedup, *minSpeedup)
+	}
+}
+
+// runScaleVerify is the CI shard-determinism gate: the seeded scenario runs
+// once per requested shard count and every run must produce bit-identical
+// per-rank digests and virtual elapsed time.
+func runScaleVerify() {
+	nodes := *nodesFlag
+	if nodes == 0 {
+		nodes = 256
+	}
+	var counts []int
+	for _, f := range strings.Split(*scaleVerify, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || c < 1 {
+			log.Fatalf("bad -scale-verify entry %q", f)
+		}
+		counts = append(counts, c)
+	}
+	if len(counts) < 2 {
+		log.Fatalf("-scale-verify needs at least two shard counts, got %q", *scaleVerify)
+	}
+	fmt.Printf("== Shard determinism: %d nodes, %s fabric, shard counts %v ==\n", nodes, *topoFlag, counts)
+
+	var ref []uint64
+	var refElapsed time.Duration
+	for i, sh := range counts {
+		rep, digests, err := apps.ScaleFanout(scaleCfg(nodes, sh), *roundsFlag, *fanoutFlag)
+		check(err)
+		sum := uint64(14695981039346656037)
+		for _, d := range digests {
+			sum = (sum ^ d) * 1099511628211
+		}
+		fmt.Printf("shards=%-3d elapsed=%-14v digest=%016x\n", sh, rep.Elapsed, sum)
+		if i == 0 {
+			ref, refElapsed = digests, rep.Elapsed
+			continue
+		}
+		if rep.Elapsed != refElapsed {
+			log.Fatalf("shards=%d: elapsed %v differs from shards=%d's %v", sh, rep.Elapsed, counts[0], refElapsed)
+		}
+		for r := range ref {
+			if digests[r] != ref[r] {
+				log.Fatalf("shards=%d: rank %d digest %#x differs from shards=%d's %#x",
+					sh, r, digests[r], counts[0], ref[r])
+			}
+		}
+	}
+	fmt.Println("all shard counts bit-identical")
+}

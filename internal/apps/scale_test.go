@@ -1,0 +1,81 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"dcgn/internal/core"
+	"dcgn/internal/fabric"
+)
+
+// runScale runs ScaleFanout on nodes nodes with the given shard count and
+// returns the digest vector plus the virtual elapsed time.
+func runScale(t *testing.T, nodes, shards int, topo fabric.Topology) ([]uint64, time.Duration) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.Shards = shards
+	cfg.Net.Topology = topo
+	cfg.MPI.TreeCollectives = true
+	rep, digests, err := ScaleFanout(cfg, 3, 3)
+	if err != nil {
+		t.Fatalf("nodes=%d shards=%d: %v", nodes, shards, err)
+	}
+	return digests, rep.Elapsed
+}
+
+// TestScaleFanoutShardInvariance is the determinism tentpole check: the
+// digest vector and the virtual elapsed time must be bit-identical for
+// every shard count, including the single-shard sharded engine.
+func TestScaleFanoutShardInvariance(t *testing.T) {
+	const nodes = 64
+	want, wantElapsed := runScale(t, nodes, 1, nil)
+	for _, shards := range []int{2, 4, 8} {
+		got, gotElapsed := runScale(t, nodes, shards, nil)
+		if gotElapsed != wantElapsed {
+			t.Errorf("shards=%d: elapsed %v, want %v", shards, gotElapsed, wantElapsed)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: rank %d digest %#x, want %#x", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScaleFanoutTopologyShardInvariance repeats the invariance check on a
+// fat-tree, where the lookahead derives from the topology's cross-shard
+// latency instead of the flat link latency.
+func TestScaleFanoutTopologyShardInvariance(t *testing.T) {
+	const nodes = 16
+	topo := fabric.NewFatTree(4, 100*time.Nanosecond)
+	want, wantElapsed := runScale(t, nodes, 1, topo)
+	for _, shards := range []int{2, 4} {
+		got, gotElapsed := runScale(t, nodes, shards, topo)
+		if gotElapsed != wantElapsed {
+			t.Errorf("shards=%d: elapsed %v, want %v", shards, gotElapsed, wantElapsed)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: rank %d digest %#x, want %#x", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScaleFanoutDigestsNontrivial guards against the digest pipeline
+// degenerating (all-zero or all-equal vectors would make the CI diff
+// vacuous).
+func TestScaleFanoutDigestsNontrivial(t *testing.T) {
+	digests, _ := runScale(t, 8, 2, nil)
+	seen := map[uint64]bool{}
+	for _, d := range digests {
+		if d == 0 {
+			t.Fatal("zero digest")
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all %d digests identical: %#x", len(digests), digests[0])
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"dcgn/internal/device"
 	"dcgn/internal/pcie"
+	"dcgn/internal/sim"
 	"dcgn/internal/transport"
 )
 
@@ -32,6 +33,13 @@ var ErrTruncate = errors.New("dcgn: message truncated (recv buffer too small)")
 type nodeState struct {
 	job  *Job
 	node int
+	// rt is this node's execution substrate. On the plain backends it is
+	// the job-wide substrate; in a sharded run it is the owning shard's
+	// simulator, so everything the node spawns stays on its shard.
+	rt rt
+	// sim is this node's simulator on the simulated backends (the job-wide
+	// one, or the owning shard's in a sharded run); nil on the live backend.
+	sim  *sim.Sim
 	tr   transport.Transport
 	bus  *pcie.Bus
 	devs []*device.Device
@@ -62,9 +70,8 @@ type nodeState struct {
 // start spawns the node's communication thread and its transport receiver
 // helper. Both run for the life of the application (daemons).
 func (ns *nodeState) start() {
-	rt := ns.job.rt
-	rt.SpawnDaemonID("comm", ns.node, ns.runCommThread)
-	rt.SpawnDaemonID("mpi-recv", ns.node, ns.runReceiver)
+	ns.rt.SpawnDaemonID("comm", ns.node, ns.runCommThread)
+	ns.rt.SpawnDaemonID("mpi-recv", ns.node, ns.runReceiver)
 }
 
 // runCommThread is the progress engine's event loop: it drains the intake

@@ -69,12 +69,12 @@ func (c *CPUCtx) SendRecv(dst int, sendBuf []byte, src int, recvBuf []byte) (Com
 		peer:  dst,
 		peer2: src,
 		buf:   sendBuf,
-		done:  c.job.rt.NewEventID("cpu-req", c.rank),
+		done:  c.ns.rt.NewEventID("cpu-req", c.rank),
 		ns:    c.ns,
 	}
 	req.recvBuf = recvBuf
 	c.tp.SleepJit(c.job.cfg.Params.EnqueueCost)
-	c.job.trace.record(c.job, req)
+	c.job.trace.record(c.ns.rt, req)
 	c.ns.intake.postRequest(req)
 	req.done.Wait(c.tp)
 	return req.status, req.err
@@ -175,12 +175,12 @@ func (c *CPUCtx) relayAsync(op opKind, peer int, buf, recvBuf []byte) *AsyncOp {
 		rank: c.rank,
 		peer: peer,
 		buf:  buf,
-		done: c.job.rt.NewEventID("cpu-areq", c.rank),
+		done: c.ns.rt.NewEventID("cpu-areq", c.rank),
 		ns:   c.ns,
 	}
 	req.recvBuf = recvBuf
 	c.tp.SleepJit(c.job.cfg.Params.EnqueueCost)
-	c.job.trace.record(c.job, req)
+	c.job.trace.record(c.ns.rt, req)
 	c.ns.intake.postRequest(req)
 	return &AsyncOp{req: req}
 }
@@ -193,12 +193,12 @@ func (c *CPUCtx) relay(op opKind, peer int, buf, recvBuf []byte) *request {
 		rank: c.rank,
 		peer: peer,
 		buf:  buf,
-		done: c.job.rt.NewEventID("cpu-req", c.rank),
+		done: c.ns.rt.NewEventID("cpu-req", c.rank),
 		ns:   c.ns,
 	}
 	req.recvBuf = recvBuf
 	c.tp.SleepJit(c.job.cfg.Params.EnqueueCost)
-	c.job.trace.record(c.job, req)
+	c.job.trace.record(c.ns.rt, req)
 	c.ns.intake.postRequest(req)
 	req.done.Wait(c.tp)
 	return req

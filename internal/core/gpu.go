@@ -120,8 +120,8 @@ func (gt *gpuThread) startMonitor() {
 	if cfg.FutureHW.DeviceSignal {
 		// Future hardware (§7): the device signals the CPU, so the
 		// GPU-kernel thread blocks on a doorbell instead of polling.
-		gt.doorbell = sim.NewQueue[*slotState](gt.ns.job.sim, fmt.Sprintf("doorbell:%d.%d", gt.ns.node, gt.index))
-		gt.ns.job.sim.SpawnDaemon(fmt.Sprintf("gpu-sig:%d.%d", gt.ns.node, gt.index), func(p *sim.Proc) {
+		gt.doorbell = sim.NewQueue[*slotState](gt.ns.sim, fmt.Sprintf("doorbell:%d.%d", gt.ns.node, gt.index))
+		gt.ns.sim.SpawnDaemon(fmt.Sprintf("gpu-sig:%d.%d", gt.ns.node, gt.index), func(p *sim.Proc) {
 			for {
 				ss := gt.doorbell.Get(p)
 				gt.serviceSignaled(p, ss)
@@ -131,14 +131,30 @@ func (gt *gpuThread) startMonitor() {
 	}
 	nodeGPUs := gt.ns.job.rmap.Spec(gt.ns.node).GPUs
 	offset := cfg.PollInterval * time.Duration(gt.index) / time.Duration(max(1, nodeGPUs))
-	offset += time.Duration(gt.ns.job.sim.Rand().Int63n(int64(cfg.PollInterval)))
-	gt.ns.job.sim.SpawnDaemon(fmt.Sprintf("gpu-mon:%d.%d", gt.ns.node, gt.index), func(p *sim.Proc) {
+	offset += time.Duration(gt.monitorPhase(int64(cfg.PollInterval)))
+	gt.ns.sim.SpawnDaemon(fmt.Sprintf("gpu-mon:%d.%d", gt.ns.node, gt.index), func(p *sim.Proc) {
 		p.Sleep(offset)
 		for {
 			p.SleepJit(cfg.PollInterval)
 			gt.poll(p)
 		}
 	})
+}
+
+// monitorPhase returns the monitor's random initial phase in [0, span).
+// The classic backend draws from the job-wide simulator rng — an order
+// the golden suite pins. Sharded runs derive it from the node and device
+// ids instead: per-shard rng draw order depends on how nodes map to
+// shards, which would break the shards-don't-change-results guarantee.
+func (gt *gpuThread) monitorPhase(span int64) int64 {
+	if gt.ns.job.cfg.Shards == 0 {
+		return gt.ns.sim.Rand().Int63n(span)
+	}
+	h := uint64(gt.ns.node)*0x9e3779b97f4a7c15 + uint64(gt.index) + 0x94d049bb133111eb
+	h ^= h >> 31
+	h *= 0xd6e8feb86659fd93
+	h ^= h >> 27
+	return int64(h % uint64(span))
 }
 
 // payloadBus returns the bus interface used for payload staging: the
@@ -165,9 +181,9 @@ func (gt *gpuThread) serviceSignaled(p *sim.Proc, ss *slotState) {
 	req := gt.buildRequest(p, ss)
 	ss.req = req
 	p.SleepJit(gt.ns.job.cfg.Params.EnqueueCost)
-	gt.ns.job.trace.record(gt.ns.job, req)
+	gt.ns.job.trace.record(gt.ns.rt, req)
 	gt.ns.intake.postRequest(req)
-	gt.ns.job.sim.SpawnID("gpu-sig-wb", ss.rank, func(h *sim.Proc) {
+	gt.ns.sim.SpawnID("gpu-sig-wb", ss.rank, func(h *sim.Proc) {
 		req.done.Wait(h)
 		gt.writeBack(h, ss, mb)
 	})
@@ -220,11 +236,11 @@ func (gt *gpuThread) advance(p *sim.Proc, ss *slotState) bool {
 		ss.req = req
 		ss.doneReady = false
 		p.SleepJit(gt.ns.job.cfg.Params.EnqueueCost)
-		gt.ns.job.trace.record(gt.ns.job, req)
+		gt.ns.job.trace.record(gt.ns.rt, req)
 		gt.ns.intake.postRequest(req)
 		// A tiny helper marks the slot ready for its completion stage; the
 		// write-back itself happens on a poll tick (stage 3).
-		gt.ns.job.sim.SpawnID("gpu-done", ss.rank, func(h *sim.Proc) {
+		gt.ns.sim.SpawnID("gpu-done", ss.rank, func(h *sim.Proc) {
 			req.done.Wait(h)
 			ss.doneReady = true
 		})
@@ -267,7 +283,7 @@ func (gt *gpuThread) buildRequest(p *sim.Proc, ss *slotState) *request {
 	req := &request{
 		op:   ss.op,
 		rank: ss.rank,
-		done: gt.ns.job.rt.NewEventID("gpu-req", ss.rank),
+		done: gt.ns.rt.NewEventID("gpu-req", ss.rank),
 		ns:   gt.ns,
 		gpu:  true,
 	}

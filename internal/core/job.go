@@ -248,8 +248,14 @@ func (j *Job) Run() (Report, error) {
 	defer j.stopDebugServer()
 	switch j.cfg.Transport.Name() {
 	case transport.BackendSim:
+		if j.cfg.Shards > 0 {
+			return j.runShardedSim()
+		}
 		return j.runSim()
 	case transport.BackendLive:
+		if j.cfg.Shards > 0 {
+			return Report{}, fmt.Errorf("dcgn: sharded runs need the simulated backend (the live backend has no virtual clock to window)")
+		}
 		return j.runLive()
 	default:
 		return Report{}, fmt.Errorf("dcgn: unknown transport backend %q", j.cfg.Transport.Backend)
@@ -278,34 +284,7 @@ func (j *Job) runSim() (Report, error) {
 
 	j.nodes = nil
 	for n := 0; n < j.cfg.Nodes; n++ {
-		ns := &nodeState{
-			job:    j,
-			node:   n,
-			tr:     j.wrapTransport(n, simmpi.New(j.world.Rank(n))),
-			bus:    pcie.New(s, fmt.Sprintf("n%d", n), j.cfg.Bus),
-			intake: newIntake(j.rt.NewQueue(fmt.Sprintf("commq:%d", n))),
-			index:  newMatchIndex(),
-		}
-		if j.cfg.Reliability.Enabled {
-			ns.rel = newRelState(j.cfg.Nodes)
-		}
-		if j.metrics != nil {
-			ns.met = newNodeMetrics(j.metrics)
-		}
-		ns.obsOn = j.trace != nil || j.metrics != nil
-		ns.coll = newCollAccum(ns)
-		for g := 0; g < j.rmap.Spec(n).GPUs; g++ {
-			devCfg := j.cfg.Device
-			devCfg.Name = fmt.Sprintf("gpu%d.%d", n, g)
-			dev := device.New(s, devCfg)
-			ns.devs = append(ns.devs, dev)
-			ns.gpus = append(ns.gpus, newGPUThread(ns, g, dev))
-		}
-		ns.start()
-		for _, gt := range ns.gpus {
-			gt.startMonitor()
-		}
-		j.nodes = append(j.nodes, ns)
+		j.nodes = append(j.nodes, j.buildSimNode(n, s, j.rt))
 	}
 
 	// CPU-kernel threads.
@@ -314,35 +293,82 @@ func (j *Job) runSim() (Report, error) {
 	}
 
 	// GPU-kernel threads: setup, launch, wait, teardown.
-	if j.gpuKernel != nil {
-		for n := 0; n < j.cfg.Nodes; n++ {
-			for g := 0; g < j.rmap.Spec(n).GPUs; g++ {
-				ns := j.nodes[n]
-				gt := ns.gpus[g]
-				s.Spawn(fmt.Sprintf("gpu-kern:%d.%d", n, g), func(p *sim.Proc) {
-					setup := &GPUSetup{Job: j, Node: ns.node, GPU: gt.index, Dev: gt.dev, Bus: ns.bus, Proc: p, Args: map[string]any{}}
-					if j.gpuSetup != nil {
-						j.gpuSetup(setup)
-					}
-					l := gt.dev.Launch(p, j.gpuGrid, j.gpuBlockDim, func(b *device.Block) {
-						j.gpuKernel(&GPUCtx{b: b, gt: gt, args: setup.Args})
-					})
-					l.Wait(p)
-					if j.gpuTeardown != nil {
-						setup.Proc = p
-						j.gpuTeardown(setup)
-					}
-				})
-			}
-		}
-	} else if j.hasGPUs() && j.cpuKernel == nil {
-		return Report{}, fmt.Errorf("dcgn: GPUs requested but no GPU kernel installed")
+	if err := j.spawnGPUKernels(); err != nil {
+		return Report{}, err
 	}
 
 	err := s.Run()
 	rep := Report{Elapsed: s.Now(), NetPackets: j.net.PacketsSent, NetBytes: j.net.BytesSent}
 	j.fillReport(&rep)
 	return rep, err
+}
+
+// buildSimNode constructs and starts one node's progress engine on the
+// given simulator (the job-wide one, or the owning shard's in a sharded
+// run). The world must already exist.
+func (j *Job) buildSimNode(n int, s *sim.Sim, rtv rt) *nodeState {
+	ns := &nodeState{
+		job:    j,
+		node:   n,
+		rt:     rtv,
+		sim:    s,
+		tr:     j.wrapTransport(n, simmpi.New(j.world.Rank(n))),
+		bus:    pcie.New(s, fmt.Sprintf("n%d", n), j.cfg.Bus),
+		intake: newIntake(rtv.NewQueue(fmt.Sprintf("commq:%d", n))),
+		index:  newMatchIndex(),
+	}
+	if j.cfg.Reliability.Enabled {
+		ns.rel = newRelState(j.cfg.Nodes)
+	}
+	if j.metrics != nil {
+		ns.met = newNodeMetrics(j.metrics)
+	}
+	ns.obsOn = j.trace != nil || j.metrics != nil
+	ns.coll = newCollAccum(ns)
+	for g := 0; g < j.rmap.Spec(n).GPUs; g++ {
+		devCfg := j.cfg.Device
+		devCfg.Name = fmt.Sprintf("gpu%d.%d", n, g)
+		dev := device.New(s, devCfg)
+		ns.devs = append(ns.devs, dev)
+		ns.gpus = append(ns.gpus, newGPUThread(ns, g, dev))
+	}
+	ns.start()
+	for _, gt := range ns.gpus {
+		gt.startMonitor()
+	}
+	return ns
+}
+
+// spawnGPUKernels starts the per-device setup/launch/wait/teardown threads
+// on each node's own simulator.
+func (j *Job) spawnGPUKernels() error {
+	if j.gpuKernel == nil {
+		if j.hasGPUs() && j.cpuKernel == nil {
+			return fmt.Errorf("dcgn: GPUs requested but no GPU kernel installed")
+		}
+		return nil
+	}
+	for n := 0; n < j.cfg.Nodes; n++ {
+		for g := 0; g < j.rmap.Spec(n).GPUs; g++ {
+			ns := j.nodes[n]
+			gt := ns.gpus[g]
+			ns.sim.Spawn(fmt.Sprintf("gpu-kern:%d.%d", n, g), func(p *sim.Proc) {
+				setup := &GPUSetup{Job: j, Node: ns.node, GPU: gt.index, Dev: gt.dev, Bus: ns.bus, Proc: p, Args: map[string]any{}}
+				if j.gpuSetup != nil {
+					j.gpuSetup(setup)
+				}
+				l := gt.dev.Launch(p, j.gpuGrid, j.gpuBlockDim, func(b *device.Block) {
+					j.gpuKernel(&GPUCtx{b: b, gt: gt, args: setup.Args})
+				})
+				l.Wait(p)
+				if j.gpuTeardown != nil {
+					setup.Proc = p
+					j.gpuTeardown(setup)
+				}
+			})
+		}
+	}
+	return nil
 }
 
 // wrapTransport layers the configured middlewares over a node's raw
@@ -373,7 +399,7 @@ func (j *Job) spawnCPUKernels() error {
 		for c := 0; c < j.rmap.Spec(n).CPUKernels; c++ {
 			ns := j.nodes[n]
 			rank := j.rmap.CPURank(n, c)
-			j.rt.Spawn(fmt.Sprintf("cpu-kern:%d.%d", n, c), func(p transport.Proc) {
+			ns.rt.Spawn(fmt.Sprintf("cpu-kern:%d.%d", n, c), func(p transport.Proc) {
 				j.cpuKernel(&CPUCtx{job: j, ns: ns, tp: p, rank: rank})
 			})
 		}

@@ -36,6 +36,7 @@ func (j *Job) runLive() (Report, error) {
 		ns := &nodeState{
 			job:    j,
 			node:   n,
+			rt:     rt,
 			tr:     j.wrapTransport(n, cluster.Node(n)),
 			intake: newIntake(rt.NewQueue(fmt.Sprintf("commq:%d", n))),
 			index:  newMatchIndex(),

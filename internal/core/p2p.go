@@ -15,7 +15,7 @@ import (
 // inside the comm thread, so a GPU-sourced exchange costs a single mailbox
 // round trip — the optimization §5.1 credits for Cannon's performance.
 func (ns *nodeState) handleSendrecv(p transport.Proc, req *request) {
-	rt := ns.job.rt
+	rt := ns.rt
 	sendPart := &request{
 		op: opSend, rank: req.rank, peer: req.peer, buf: req.buf,
 		done: rt.NewEventID("srv-send", req.rank), ns: ns, gpu: req.gpu,
@@ -51,7 +51,7 @@ func (ns *nodeState) handleSend(p transport.Proc, req *request) {
 			seq := ns.rel.nextTx[dstNode]
 			ns.rel.nextTx[dstNode]++
 			msg := packRelData(ns.job.pool, req.rank, req.peer, seq, req.buf)
-			ns.job.rt.SpawnID("dcgn-tx", ns.node, func(h transport.Proc) {
+			ns.rt.SpawnID("dcgn-tx", ns.node, func(h transport.Proc) {
 				ns.sendReliable(h, req, dstNode, seq, msg)
 			})
 			return
@@ -61,7 +61,7 @@ func (ns *nodeState) handleSend(p transport.Proc, req *request) {
 		// when the underlying send completes, as in the paper's dataflow
 		// (Fig. 2, steps 2-3).
 		msg := packWire(ns.job.pool, req.rank, req.peer, req.buf)
-		ns.job.rt.SpawnID("dcgn-tx", ns.node, func(h transport.Proc) {
+		ns.rt.SpawnID("dcgn-tx", ns.node, func(h transport.Proc) {
 			h.SleepJit(ns.job.cfg.Params.RemoteRelayCost)
 			err := ns.tr.Send(h, dstNode, msg)
 			if ns.obsOn {

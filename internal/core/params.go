@@ -161,6 +161,16 @@ type Config struct {
 	// Reliability type. Zero value = off (legacy wire format).
 	Reliability Reliability
 
+	// Shards splits the simulated cluster into that many per-node-group
+	// event loops that advance in parallel OS threads, synchronized by
+	// conservative lookahead windows derived from the fabric's minimum
+	// cross-shard latency (internal/sim.Sharded). Zero keeps the classic
+	// single event loop; any value >= 1 selects the sharded engine, whose
+	// results are bit-identical for every shard count — Shards=1 is the
+	// way to check that on one thread. Clamped to Nodes. Sharded runs are
+	// simulated-backend only and exclude jitter and fault injection.
+	Shards int
+
 	// JitterFrac/JitterSeed add multiplicative timing noise (for the
 	// run-to-run variation experiments, Fig. 5). Zero disables jitter.
 	JitterFrac float64
@@ -233,6 +243,20 @@ func (c *Config) validate() {
 	}
 	if c.PollInterval <= 0 {
 		c.PollInterval = 120 * time.Microsecond
+	}
+	if c.Shards < 0 {
+		panic("core: negative shard count")
+	}
+	if c.Shards > c.Nodes {
+		c.Shards = c.Nodes
+	}
+	if c.Shards > 0 {
+		if c.JitterFrac > 0 {
+			panic("core: sharded runs do not support jitter (per-shard rng draws would depend on the shard count)")
+		}
+		if c.Faults.Enabled() {
+			panic("core: sharded runs do not support fault injection (the chaos harness runs on the single event loop)")
+		}
 	}
 	if c.Params.MaxMsg == 0 {
 		c.Params = DefaultParams()

@@ -178,7 +178,7 @@ func (ns *nodeState) sendReliable(h transport.Proc, req *request, dstNode int, s
 	rel := ns.rel
 	cfg := ns.job.cfg.Reliability
 	key := relKey{dstNode, seq}
-	w := &relWaiter{ev: ns.job.rt.NewEventID("rel-wait", int(seq))}
+	w := &relWaiter{ev: ns.rt.NewEventID("rel-wait", int(seq))}
 	rel.mu.Lock()
 	rel.waiters[key] = w
 	rel.mu.Unlock()
@@ -200,7 +200,7 @@ func (ns *nodeState) sendReliable(h transport.Proc, req *request, dstNode int, s
 		}
 		ev := w.ev
 		rel.mu.Unlock()
-		cancel := ns.job.rt.After(relBackoff(cfg, attempt), ev.Fire)
+		cancel := ns.rt.After(relBackoff(cfg, attempt), ev.Fire)
 		ev.Wait(h)
 		cancel()
 		rel.mu.Lock()
@@ -215,7 +215,7 @@ func (ns *nodeState) sendReliable(h transport.Proc, req *request, dstNode int, s
 		}
 		// Timed out: re-arm with a fresh completion (the old one is spent)
 		// and go around for a retransmission.
-		w.ev = ns.job.rt.NewEventID("rel-wait", int(seq))
+		w.ev = ns.rt.NewEventID("rel-wait", int(seq))
 		rel.mu.Unlock()
 		atomic.AddInt64(&rel.retransmits, 1)
 		if ns.met != nil {
@@ -242,7 +242,7 @@ func (ns *nodeState) sendReliable(h transport.Proc, req *request, dstNode int, s
 func (ns *nodeState) sendAck(peerNode int, seq uint64) {
 	ack := packRelAck(ns.job.pool, ns.node, seq)
 	atomic.AddInt64(&ns.rel.acksSent, 1)
-	ns.job.rt.SpawnID("dcgn-ack", ns.node, func(h transport.Proc) {
+	ns.rt.SpawnID("dcgn-ack", ns.node, func(h transport.Proc) {
 		// Best-effort: a dropped or post-close ack is recovered by the
 		// sender's retransmission, which we will re-ack.
 		_ = ns.tr.Send(h, peerNode, ack)

@@ -38,13 +38,14 @@ func newTraceSink(nodes, capPerNode int) *traceSink {
 }
 
 // record marks a freshly-built request for span collection and stamps its
-// posting time. The span itself is appended when the request completes.
-func (ts *traceSink) record(j *Job, req *request) {
+// posting time on the issuing node's substrate clock. The span itself is
+// appended when the request completes.
+func (ts *traceSink) record(rt rt, req *request) {
 	if ts == nil {
 		return
 	}
 	req.traced = true
-	req.postedAt = j.rt.Now()
+	req.postedAt = rt.Now()
 }
 
 // spans merges the per-node rings, node by node, into one slice for
@@ -94,7 +95,7 @@ func (ns *nodeState) recordSpan(req *request) {
 		Matched:    req.matchedAt,
 		WireSent:   req.wireSentAt,
 		Acked:      req.ackedAt,
-		Done:       ns.job.rt.Now(),
+		Done:       ns.rt.Now(),
 		QueueDepth: req.queueDepth,
 		MatchWait:  wait,
 	})

@@ -33,6 +33,10 @@ type Config struct {
 	// shared-memory transport.
 	ShmLat time.Duration
 	ShmBW  float64
+	// Topology, when non-nil, replaces the flat Lat with per-pair wire
+	// latencies routed over a modeled switch graph (fat-tree, dragonfly).
+	// NIC overheads and bandwidth still apply at the endpoints.
+	Topology Topology
 }
 
 // DefaultConfig returns InfiniBand-DDR-class constants (2008 era).
@@ -63,30 +67,108 @@ type Network struct {
 	cfg   Config
 	nodes []*Node
 
-	// PacketsSent and BytesSent count inter-node traffic only.
+	// shardOf maps node id → shard index in a sharded network (nil for a
+	// plain single-Sim network).
+	shardOf []int
+
+	// PacketsSent and BytesSent count inter-node traffic only. They are
+	// maintained on plain networks; sharded networks keep per-node
+	// counters instead (shards mutate concurrently) — use Totals for a
+	// mode-independent view.
 	PacketsSent int
 	BytesSent   int64
 }
 
 // New creates a network of n nodes.
 func New(s *sim.Sim, n int, cfg Config) *Network {
+	checkConfig(n, cfg)
+	net := &Network{s: s, cfg: cfg}
+	for i := 0; i < n; i++ {
+		net.nodes = append(net.nodes, newNode(net, i, s, nil))
+	}
+	return net
+}
+
+// NewSharded creates a network of n nodes spread across the shards of a
+// sharded simulation: node i's endpoint state (NICs, inbox) lives on
+// shard shardOf[i]'s Sim, and inter-node packets whose endpoints may be
+// on different shards are delivered through the coordinator's arrival
+// mechanism, ordered by (delivery time, source node, per-source sequence)
+// so the schedule is identical for every shard count.
+func NewSharded(sc *sim.Sharded, n int, cfg Config, shardOf []int) *Network {
+	checkConfig(n, cfg)
+	if len(shardOf) != n {
+		panic("fabric: shardOf length does not match node count")
+	}
+	net := &Network{cfg: cfg, shardOf: shardOf}
+	for i := 0; i < n; i++ {
+		sh := sc.Shard(shardOf[i])
+		net.nodes = append(net.nodes, newNode(net, i, sh.Sim(), sh))
+	}
+	return net
+}
+
+func checkConfig(n int, cfg Config) {
 	if n <= 0 {
 		panic("fabric: need at least one node")
 	}
 	if cfg.BW <= 0 || cfg.ShmBW <= 0 {
 		panic("fabric: non-positive bandwidth")
 	}
-	net := &Network{s: s, cfg: cfg}
-	for i := 0; i < n; i++ {
-		net.nodes = append(net.nodes, &Node{
-			net:     net,
-			id:      i,
-			sendNIC: s.NewResource(fmt.Sprintf("nic-tx%d", i), 1),
-			recvNIC: s.NewResource(fmt.Sprintf("nic-rx%d", i), 1),
-			Inbox:   sim.NewQueue[*Packet](s, fmt.Sprintf("inbox%d", i)),
-		})
+	if cfg.Topology != nil && cfg.Topology.Hosts() < n {
+		panic(fmt.Sprintf("fabric: topology %s has %d hosts for %d nodes",
+			cfg.Topology.Name(), cfg.Topology.Hosts(), n))
 	}
-	return net
+}
+
+func newNode(net *Network, id int, s *sim.Sim, shard *sim.Shard) *Node {
+	return &Node{
+		net:     net,
+		id:      id,
+		s:       s,
+		shard:   shard,
+		sendNIC: s.NewResource(fmt.Sprintf("nic-tx%d", id), 1),
+		recvNIC: s.NewResource(fmt.Sprintf("nic-rx%d", id), 1),
+		Inbox:   sim.NewQueue[*Packet](s, fmt.Sprintf("inbox%d", id)),
+	}
+}
+
+// latency returns the one-way wire latency between two distinct nodes.
+func (n *Network) latency(src, dst int) time.Duration {
+	if n.cfg.Topology != nil {
+		return n.cfg.Topology.Latency(src, dst)
+	}
+	return n.cfg.Lat
+}
+
+// Lookahead returns the conservative lookahead bound for a sharded
+// network: the minimum one-way wire latency between nodes on different
+// shards (falling back to the minimum between any two nodes, then to
+// cfg.Lat, when the partition has no cross-shard pairs).
+func (n *Network) Lookahead() time.Duration {
+	topo := n.cfg.Topology
+	if topo == nil {
+		// Flat crossbar: every inter-node latency is cfg.Lat.
+		return n.cfg.Lat
+	}
+	shardOf := n.shardOf
+	if shardOf == nil {
+		shardOf = make([]int, len(n.nodes))
+	}
+	if l := MinCrossLatency(topo, shardOf); l > 0 {
+		return l
+	}
+	return n.cfg.Lat
+}
+
+// Totals returns inter-node packet and byte counts regardless of whether
+// the network is plain or sharded.
+func (n *Network) Totals() (packets int, bytes int64) {
+	for _, nd := range n.nodes {
+		packets += nd.pkts
+		bytes += nd.bytes
+	}
+	return packets, bytes
 }
 
 // Size returns the number of nodes.
@@ -103,10 +185,19 @@ func (n *Network) Node(id int) *Node { return n.nodes[id] }
 type Node struct {
 	net     *Network
 	id      int
+	s       *sim.Sim   // the Sim owning this node's endpoint state
+	shard   *sim.Shard // non-nil when the network is sharded
 	sendNIC *sim.Resource
 	recvNIC *sim.Resource
 	// Inbox receives every packet addressed to this node, in arrival order.
 	Inbox *sim.Queue[*Packet]
+
+	// xseq numbers this node's inter-node packets; with the delivery time
+	// and node id it forms the deterministic cross-shard ordering key.
+	xseq uint64
+	// pkts/bytes count inter-node traffic from this node (see Totals).
+	pkts  int
+	bytes int64
 }
 
 // ID returns the node id.
@@ -123,27 +214,46 @@ func (nd *Node) Send(p *sim.Proc, dst int, size int, payload any) {
 	cfg := nd.net.cfg
 	if dst == nd.id {
 		// Intra-node shared-memory transport: sender pays the copy, a tiny
-		// helper completes delivery after the latency.
+		// helper completes delivery after the latency. Both endpoints are
+		// the same node (hence the same shard), so this path is identical
+		// in plain and sharded networks.
 		p.SleepJit(time.Duration(float64(size) / cfg.ShmBW * 1e9))
 		target := nd.net.nodes[dst]
 		// Delivery latency is deliberately NOT jittered: constant flight
 		// times preserve per-sender packet order (MPI non-overtaking).
-		nd.net.s.Spawn("shm-deliver", func(d *sim.Proc) {
+		nd.s.Spawn("shm-deliver", func(d *sim.Proc) {
 			d.Sleep(cfg.ShmLat)
 			target.Inbox.Put(pkt)
 		})
 		return
 	}
-	nd.net.PacketsSent++
-	nd.net.BytesSent += int64(size)
+	nd.pkts++
+	nd.bytes += int64(size)
+	if nd.shard == nil {
+		nd.net.PacketsSent++
+		nd.net.BytesSent += int64(size)
+	}
 	// Outbound: hold the TX NIC for overhead + serialization.
 	nd.sendNIC.Use(p, cfg.SendOverhead+time.Duration(float64(size)/cfg.BW*1e9))
-	// In flight + receiver processing.
+	// In flight + receiver processing. Flight latency is NOT jittered so
+	// per-sender packet order is preserved (MPI non-overtaking); jitter
+	// applies to NIC serialization.
 	target := nd.net.nodes[dst]
-	// Flight latency is NOT jittered so per-sender packet order is
-	// preserved (MPI non-overtaking); jitter applies to NIC serialization.
-	nd.net.s.Spawn("wire", func(w *sim.Proc) {
-		w.Sleep(cfg.Lat)
+	lat := nd.net.latency(nd.id, dst)
+	if nd.shard != nil {
+		// The destination may live on another shard: route through the
+		// coordinator's arrival mechanism, whose (time, src, seq) order
+		// makes delivery identical at every shard count. The wire latency
+		// is at least the configured lookahead by construction.
+		nd.xseq++
+		nd.shard.PostArrival(p.Now()+lat, nd.net.shardOf[dst], nd.id, nd.xseq, "wire", func(w *sim.Proc) {
+			target.recvNIC.Use(w, cfg.RecvOverhead)
+			target.Inbox.Put(pkt)
+		})
+		return
+	}
+	nd.s.Spawn("wire", func(w *sim.Proc) {
+		w.Sleep(lat)
 		target.recvNIC.Use(w, cfg.RecvOverhead)
 		target.Inbox.Put(pkt)
 	})

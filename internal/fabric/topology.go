@@ -1,0 +1,271 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+)
+
+// Topology describes host-to-host routing over a modeled switch graph: how
+// many hops a packet between two hosts traverses and the resulting one-way
+// wire latency. A nil Topology in Config means the legacy single-crossbar
+// model where every inter-node packet costs Config.Lat.
+//
+// Topologies are queried concurrently from every shard of a sharded run,
+// so implementations must be immutable after construction.
+type Topology interface {
+	// Name identifies the topology family ("flat", "fattree", "dragonfly").
+	Name() string
+	// Hosts returns the number of host endpoints the topology supports.
+	Hosts() int
+	// Hops returns the number of link traversals between two hosts:
+	// 0 for src == dst, host-switch links included otherwise.
+	Hops(src, dst int) int
+	// Latency returns the one-way wire latency between two hosts
+	// (0 for src == dst).
+	Latency(src, dst int) time.Duration
+}
+
+// flatTopology is the single-crossbar model as a Topology: one logical hop
+// at a fixed latency between any pair of distinct hosts.
+type flatTopology struct {
+	hosts int
+	lat   time.Duration
+}
+
+// NewFlat returns a single-crossbar topology: every pair of distinct hosts
+// is one hop apart at the given latency. It makes the legacy fabric model
+// expressible wherever a Topology is required.
+func NewFlat(hosts int, lat time.Duration) Topology {
+	if hosts <= 0 {
+		panic("fabric: flat topology needs at least one host")
+	}
+	if lat <= 0 {
+		panic("fabric: non-positive flat latency")
+	}
+	return &flatTopology{hosts: hosts, lat: lat}
+}
+
+func (t *flatTopology) Name() string { return "flat" }
+func (t *flatTopology) Hosts() int   { return t.hosts }
+
+func (t *flatTopology) Hops(src, dst int) int {
+	t.check(src, dst)
+	if src == dst {
+		return 0
+	}
+	return 1
+}
+
+func (t *flatTopology) Latency(src, dst int) time.Duration {
+	if t.Hops(src, dst) == 0 {
+		return 0
+	}
+	return t.lat
+}
+
+func (t *flatTopology) check(src, dst int) {
+	if src < 0 || src >= t.hosts || dst < 0 || dst >= t.hosts {
+		panic(fmt.Sprintf("fabric: host pair (%d,%d) outside topology of %d hosts", src, dst, t.hosts))
+	}
+}
+
+// switchTopology is a host-on-switch-graph topology: each host attaches to
+// one switch, and host-pair distance is the (precomputed) switch-graph
+// distance plus the two host-switch links. Per-hop latency is uniform.
+type switchTopology struct {
+	name   string
+	hosts  int
+	hostSw []int     // attachment switch per host
+	dist   [][]int32 // all-pairs switch distances (BFS)
+	hopLat time.Duration
+}
+
+func (t *switchTopology) Name() string { return t.name }
+func (t *switchTopology) Hosts() int   { return t.hosts }
+
+func (t *switchTopology) Hops(src, dst int) int {
+	if src < 0 || src >= t.hosts || dst < 0 || dst >= t.hosts {
+		panic(fmt.Sprintf("fabric: host pair (%d,%d) outside topology of %d hosts", src, dst, t.hosts))
+	}
+	if src == dst {
+		return 0
+	}
+	return int(t.dist[t.hostSw[src]][t.hostSw[dst]]) + 2
+}
+
+func (t *switchTopology) Latency(src, dst int) time.Duration {
+	return time.Duration(t.Hops(src, dst)) * t.hopLat
+}
+
+// NewFatTree builds a k-ary fat-tree (Leiserson/Al-Fares): k pods of k/2
+// edge and k/2 aggregation switches, (k/2)^2 core switches, and k/2 hosts
+// per edge switch — k^3/4 hosts total. Host pairs are 2 hops apart under
+// the same edge switch, 4 within a pod, and 6 across pods, each hop
+// costing hopLat. k must be even and at least 2.
+func NewFatTree(k int, hopLat time.Duration) Topology {
+	if k < 2 || k%2 != 0 {
+		panic("fabric: fat-tree arity must be even and >= 2")
+	}
+	if hopLat <= 0 {
+		panic("fabric: non-positive per-hop latency")
+	}
+	half := k / 2
+	nEdge := k * half
+	nAgg := k * half
+	nCore := half * half
+	adj := make([][]int, nEdge+nAgg+nCore)
+	link := func(a, b int) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				link(pod*half+e, nEdge+pod*half+a)
+			}
+		}
+		for a := 0; a < half; a++ {
+			for c := 0; c < half; c++ {
+				link(nEdge+pod*half+a, nEdge+nAgg+a*half+c)
+			}
+		}
+	}
+	hosts := k * half * half
+	hostSw := make([]int, hosts)
+	for h := range hostSw {
+		hostSw[h] = h / half
+	}
+	return &switchTopology{
+		name:   "fattree",
+		hosts:  hosts,
+		hostSw: hostSw,
+		dist:   allPairsDist(adj, "fattree"),
+		hopLat: hopLat,
+	}
+}
+
+// NewDragonfly builds a dragonfly (Kim et al.): groups of a routers with p
+// hosts each, every router driving h global links, giving a*h+1 groups and
+// (a*h+1)*a*p hosts. Routers within a group form a complete graph and each
+// pair of groups is joined by exactly one global link, so the router-level
+// diameter is 3 (local, global, local) and host pairs are at most 5 hops
+// apart, each hop costing hopLat.
+func NewDragonfly(a, p, h int, hopLat time.Duration) Topology {
+	if a < 1 || p < 1 || h < 1 {
+		panic("fabric: dragonfly parameters must be positive")
+	}
+	if hopLat <= 0 {
+		panic("fabric: non-positive per-hop latency")
+	}
+	groups := a*h + 1
+	routers := groups * a
+	adj := make([][]int, routers)
+	link := func(x, y int) {
+		adj[x] = append(adj[x], y)
+		adj[y] = append(adj[y], x)
+	}
+	for g := 0; g < groups; g++ {
+		for r := 0; r < a; r++ {
+			for r2 := r + 1; r2 < a; r2++ {
+				link(g*a+r, g*a+r2)
+			}
+		}
+	}
+	// Global link between groups gi < gj: each router's h global ports are
+	// indexed m = r*h+q and port m reaches group m (skipping the router's
+	// own group), so gi's port for gj is m=gj-1 and gj's port for gi is
+	// m=gi.
+	for gi := 0; gi < groups; gi++ {
+		for gj := gi + 1; gj < groups; gj++ {
+			link(gi*a+(gj-1)/h, gj*a+gi/h)
+		}
+	}
+	hosts := routers * p
+	hostSw := make([]int, hosts)
+	for hst := range hostSw {
+		hostSw[hst] = hst / p
+	}
+	return &switchTopology{
+		name:   "dragonfly",
+		hosts:  hosts,
+		hostSw: hostSw,
+		dist:   allPairsDist(adj, "dragonfly"),
+		hopLat: hopLat,
+	}
+}
+
+// allPairsDist runs a BFS from every switch, panicking if the graph is
+// disconnected (a construction bug, not a user error).
+func allPairsDist(adj [][]int, name string) [][]int32 {
+	n := len(adj)
+	dist := make([][]int32, n)
+	for s := 0; s < n; s++ {
+		d := make([]int32, n)
+		for i := range d {
+			d[i] = -1
+		}
+		d[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if d[v] < 0 {
+					d[v] = d[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		for i, dv := range d {
+			if dv < 0 {
+				panic(fmt.Sprintf("fabric: %s switch graph disconnected (switch %d unreachable from %d)", name, i, s))
+			}
+		}
+		dist[s] = d
+	}
+	return dist
+}
+
+// Diameter returns the maximum host-pair hop count — the quantity the
+// topology property tests pin (6 for fat-trees, 5 for dragonflies).
+func Diameter(t Topology) int {
+	max := 0
+	for s := 0; s < t.Hosts(); s++ {
+		for d := s + 1; d < t.Hosts(); d++ {
+			if h := t.Hops(s, d); h > max {
+				max = h
+			}
+		}
+	}
+	return max
+}
+
+// MinCrossLatency returns the minimum one-way latency between hosts on
+// different shards — the conservative lookahead bound for a sharded run
+// partitioned by shardOf (host id → shard). With fewer than two shards
+// represented it falls back to the minimum latency between any two
+// distinct hosts, and to 0 if there is only one host (the caller picks a
+// default).
+func MinCrossLatency(t Topology, shardOf []int) time.Duration {
+	min := time.Duration(0)
+	cross := false
+	consider := func(l time.Duration) {
+		if min == 0 || l < min {
+			min = l
+		}
+	}
+	for s := 0; s < len(shardOf); s++ {
+		for d := s + 1; d < len(shardOf); d++ {
+			if shardOf[s] != shardOf[d] {
+				if !cross {
+					cross = true
+					min = 0
+				}
+				consider(t.Latency(s, d))
+			} else if !cross {
+				consider(t.Latency(s, d))
+			}
+		}
+	}
+	return min
+}

@@ -1,0 +1,177 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"dcgn/internal/sim"
+)
+
+const hop = 100 * time.Nanosecond
+
+// TestFatTreeProperties pins host count, connectivity, symmetry and the
+// 2/4/6-hop distance structure of k-ary fat-trees.
+func TestFatTreeProperties(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		ft := NewFatTree(k, hop)
+		half := k / 2
+		if want := k * half * half; ft.Hosts() != want {
+			t.Fatalf("k=%d: hosts %d, want %d", k, ft.Hosts(), want)
+		}
+		for s := 0; s < ft.Hosts(); s++ {
+			for d := 0; d < ft.Hosts(); d++ {
+				h := ft.Hops(s, d)
+				if h != ft.Hops(d, s) {
+					t.Fatalf("k=%d: asymmetric hops (%d,%d)", k, s, d)
+				}
+				switch {
+				case s == d:
+					if h != 0 {
+						t.Fatalf("k=%d: self hops %d", k, h)
+					}
+				case s/half == d/half: // same edge switch
+					if h != 2 {
+						t.Fatalf("k=%d: same-edge pair (%d,%d) hops %d, want 2", k, s, d, h)
+					}
+				case s/(half*half) == d/(half*half): // same pod
+					if h != 4 {
+						t.Fatalf("k=%d: same-pod pair (%d,%d) hops %d, want 4", k, s, d, h)
+					}
+				default:
+					if h != 6 {
+						t.Fatalf("k=%d: cross-pod pair (%d,%d) hops %d, want 6", k, s, d, h)
+					}
+				}
+				if ft.Latency(s, d) != time.Duration(h)*hop {
+					t.Fatalf("k=%d: latency mismatch for (%d,%d)", k, s, d)
+				}
+			}
+		}
+		// Cross-pod pairs exist for every k >= 2, so the diameter is 6.
+		if d := Diameter(ft); d != 6 {
+			t.Fatalf("k=%d: diameter %d, want 6", k, d)
+		}
+	}
+}
+
+// TestDragonflyProperties pins host count, connectivity and the <=5-hop
+// diameter of the dragonfly construction.
+func TestDragonflyProperties(t *testing.T) {
+	for _, tc := range []struct{ a, p, h int }{{2, 2, 1}, {4, 2, 2}, {4, 4, 4}} {
+		df := NewDragonfly(tc.a, tc.p, tc.h, hop)
+		groups := tc.a*tc.h + 1
+		if want := groups * tc.a * tc.p; df.Hosts() != want {
+			t.Fatalf("a=%d p=%d h=%d: hosts %d, want %d", tc.a, tc.p, tc.h, df.Hosts(), want)
+		}
+		for s := 0; s < df.Hosts(); s++ {
+			for d := 0; d < df.Hosts(); d++ {
+				h := df.Hops(s, d)
+				if s == d && h != 0 {
+					t.Fatalf("self hops %d", h)
+				}
+				if s != d && (h < 2 || h > 5) {
+					t.Fatalf("pair (%d,%d) hops %d outside [2,5]", s, d, h)
+				}
+				if h != df.Hops(d, s) {
+					t.Fatalf("asymmetric hops (%d,%d)", s, d)
+				}
+			}
+		}
+		if diam := Diameter(df); diam != 5 {
+			t.Fatalf("a=%d p=%d h=%d: diameter %d, want 5", tc.a, tc.p, tc.h, diam)
+		}
+	}
+}
+
+// TestMinCrossLatency pins the lookahead bound for pod-aligned and
+// edge-splitting shard partitions, plus the single-shard fallback.
+func TestMinCrossLatency(t *testing.T) {
+	ft := NewFatTree(4, hop) // 16 hosts, 4 pods of 4
+	podAligned := make([]int, 16)
+	for i := range podAligned {
+		podAligned[i] = i / 8 // pods {0,1} vs {2,3}: every cross pair crosses pods
+	}
+	if got := MinCrossLatency(ft, podAligned); got != 6*hop {
+		t.Errorf("pod-aligned: %v, want %v", got, 6*hop)
+	}
+	podSplit := make([]int, 16)
+	for i := range podSplit {
+		podSplit[i] = i % 2 // splits every edge switch: 2-hop cross pairs exist
+	}
+	if got := MinCrossLatency(ft, podSplit); got != 2*hop {
+		t.Errorf("edge-split: %v, want %v", got, 2*hop)
+	}
+	single := make([]int, 16)
+	if got := MinCrossLatency(ft, single); got != 2*hop {
+		t.Errorf("single shard fallback: %v, want %v", got, 2*hop)
+	}
+	flat := NewFlat(8, hop)
+	two := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	if got := MinCrossLatency(flat, two); got != hop {
+		t.Errorf("flat: %v, want %v", got, hop)
+	}
+}
+
+// TestShardedNetworkDelivery runs one cross-shard packet through a sharded
+// network and checks the LogGP arithmetic end to end.
+func TestShardedNetworkDelivery(t *testing.T) {
+	sc := sim.NewSharded(2)
+	cfg := testCfg()
+	net := NewSharded(sc, 2, cfg, []int{0, 1})
+	sc.SetLookahead(net.Lookahead())
+	var got *Packet
+	var at time.Duration
+	sc.Shard(0).Sim().Spawn("send", func(p *sim.Proc) {
+		net.Node(0).Send(p, 1, 100, "hi")
+	})
+	sc.Shard(1).Sim().Spawn("recv", func(p *sim.Proc) {
+		got = net.Node(1).Inbox.Get(p)
+		at = p.Now()
+	})
+	if err := sc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Src != 0 || got.Dst != 1 || got.Payload != "hi" {
+		t.Fatalf("packet %+v", got)
+	}
+	want := cfg.SendOverhead + 100*time.Nanosecond + cfg.Lat + cfg.RecvOverhead
+	if at != want {
+		t.Errorf("delivered at %v, want %v", at, want)
+	}
+	if pk, by := net.Totals(); pk != 1 || by != 100 {
+		t.Errorf("totals %d pkts %d bytes", pk, by)
+	}
+}
+
+// TestShardedNetworkTopology checks that a topology's per-pair latency is
+// honored on the sharded wire path.
+func TestShardedNetworkTopology(t *testing.T) {
+	ft := NewFatTree(4, hop) // 16 hosts
+	sc := sim.NewSharded(2)
+	cfg := testCfg()
+	cfg.Topology = ft
+	shardOf := make([]int, 16)
+	for i := range shardOf {
+		shardOf[i] = i / 8
+	}
+	net := NewSharded(sc, 16, cfg, shardOf)
+	if net.Lookahead() != 6*hop {
+		t.Fatalf("lookahead %v, want %v", net.Lookahead(), 6*hop)
+	}
+	sc.SetLookahead(net.Lookahead())
+	var at time.Duration
+	sc.Shard(0).Sim().Spawn("send", func(p *sim.Proc) {
+		net.Node(0).Send(p, 15, 100, nil) // cross-pod: 6 hops
+	})
+	sc.Shard(1).Sim().Spawn("recv", func(p *sim.Proc) {
+		net.Node(15).Inbox.Get(p)
+		at = p.Now()
+	})
+	if err := sc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.SendOverhead + 100*time.Nanosecond + 6*hop + cfg.RecvOverhead
+	if at != want {
+		t.Errorf("delivered at %v, want %v", at, want)
+	}
+}

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"math/bits"
 
 	"dcgn/internal/sim"
 )
@@ -158,7 +159,9 @@ func (c *Comm) Gather(p *sim.Proc, r *Rank, sendBuf, recvBuf []byte, root int) e
 	return c.Gatherv(p, r, sendBuf, recvBuf, counts, root)
 }
 
-// Gatherv collects variable-sized contributions at the root member.
+// Gatherv collects variable-sized contributions at the root member. With
+// Config.TreeCollectives it runs as a binomial tree (see treeGatherv);
+// otherwise the root posts a flat fan-in of n-1 receives.
 func (c *Comm) Gatherv(p *sim.Proc, r *Rank, sendBuf, recvBuf []byte, counts []int, root int) error {
 	n := c.Size()
 	me := c.RankOf(r)
@@ -166,6 +169,9 @@ func (c *Comm) Gatherv(p *sim.Proc, r *Rank, sendBuf, recvBuf []byte, counts []i
 		panic("mpi: Gatherv counts length != communicator size")
 	}
 	p.SleepJit(r.w.cfg.CallOverhead)
+	if r.w.cfg.TreeCollectives && n > 2 {
+		return c.treeGatherv(p, r, sendBuf, recvBuf, counts, root)
+	}
 	if me != root {
 		r.collHop(p, len(sendBuf))
 		return r.Send(p, sendBuf, c.Translate(root), c.collTag(opGather, 0))
@@ -197,7 +203,9 @@ func (c *Comm) Scatter(p *sim.Proc, r *Rank, sendBuf, recvBuf []byte, root int) 
 	return c.Scatterv(p, r, sendBuf, counts, recvBuf, root)
 }
 
-// Scatterv distributes variable-sized chunks from the root member.
+// Scatterv distributes variable-sized chunks from the root member. With
+// Config.TreeCollectives it runs as a binomial tree (see treeScatterv);
+// otherwise the root posts a flat fan-out of n-1 sends.
 func (c *Comm) Scatterv(p *sim.Proc, r *Rank, sendBuf []byte, counts []int, recvBuf []byte, root int) error {
 	n := c.Size()
 	me := c.RankOf(r)
@@ -205,6 +213,9 @@ func (c *Comm) Scatterv(p *sim.Proc, r *Rank, sendBuf []byte, counts []int, recv
 		panic("mpi: Scatterv counts length != communicator size")
 	}
 	p.SleepJit(r.w.cfg.CallOverhead)
+	if r.w.cfg.TreeCollectives && n > 2 {
+		return c.treeScatterv(p, r, sendBuf, counts, recvBuf, root)
+	}
 	if me != root {
 		r.collHop(p, counts[me])
 		_, err := r.Recv(p, recvBuf[:counts[me]], c.Translate(root), c.collTag(opScatter, 0))
@@ -227,6 +238,127 @@ func (c *Comm) Scatterv(p *sim.Proc, r *Rank, sendBuf []byte, counts []int, recv
 		}
 	}
 	return nil
+}
+
+// vrankBytes returns the packed-byte prefix sums in virtual-rank order
+// for a tree collective rooted at root: vd[v+1]-vd[v] is the byte count
+// of virtual rank v (comm rank (v+root)%n), so the bytes of the binomial
+// subtree [lo,hi) are vd[hi]-vd[lo].
+func vrankBytes(counts []int, root int) []int {
+	n := len(counts)
+	vd := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		vd[v+1] = vd[v] + counts[(v+root)%n]
+	}
+	return vd
+}
+
+// subtreeEnd returns the exclusive upper virtual rank of vr's binomial
+// subtree: [vr, vr+lowbit(vr)) clipped to n, the whole range for the root.
+func subtreeEnd(vr, n int) int {
+	if vr == 0 {
+		return n
+	}
+	if end := vr + vr&-vr; end < n {
+		return end
+	}
+	return n
+}
+
+// treeGatherv is the binomial-tree gather: each member accumulates its
+// subtree's contributions (packed in virtual-rank order in a pooled
+// scratch buffer) and forwards one message per level to its parent, so
+// the root receives log2(n) messages instead of n-1 — the fix for the
+// flat-rendezvous incast that serializes at the root's NIC at scale.
+func (c *Comm) treeGatherv(p *sim.Proc, r *Rank, sendBuf, recvBuf []byte, counts []int, root int) error {
+	n := c.Size()
+	me := c.RankOf(r)
+	vr := (me - root + n) % n
+	vd := vrankBytes(counts, root)
+	scratch := r.w.cfg.Pool.Get(vd[subtreeEnd(vr, n)] - vd[vr])
+	defer r.w.cfg.Pool.Put(scratch)
+	copy(scratch[:counts[me]], sendBuf)
+	for mask := 1; mask < n; mask <<= 1 {
+		round := bits.Len(uint(mask)) - 1
+		if vr&mask != 0 {
+			// Covered [vr, vr+mask) so far; ship it to the parent.
+			parent := c.Translate((vr - mask + root) % n)
+			nb := vd[minClip(vr+mask, n)] - vd[vr]
+			r.collHop(p, nb)
+			return r.Send(p, scratch[:nb], parent, c.collTag(opGather, round))
+		}
+		child := vr + mask
+		if child < n {
+			lo, hi := vd[child], vd[minClip(child+mask, n)]
+			off := lo - vd[vr]
+			r.collHop(p, hi-lo)
+			if _, err := r.Recv(p, scratch[off:off+hi-lo], c.Translate((child+root)%n), c.collTag(opGather, round)); err != nil {
+				return err
+			}
+		}
+	}
+	// Only the root (vr == 0) reaches here: unpack virtual-rank order into
+	// the caller's comm-rank displacements.
+	displs := displacements(counts)
+	for v := 0; v < n; v++ {
+		cr := (v + root) % n
+		copy(recvBuf[displs[cr]:displs[cr]+counts[cr]], scratch[vd[v]:vd[v+1]])
+	}
+	return nil
+}
+
+// treeScatterv is the binomial-tree scatter: the root packs all chunks in
+// virtual-rank order and each member forwards its children's subtree
+// blocks level by level, bounding the root's fan-out to log2(n) sends.
+func (c *Comm) treeScatterv(p *sim.Proc, r *Rank, sendBuf []byte, counts []int, recvBuf []byte, root int) error {
+	n := c.Size()
+	me := c.RankOf(r)
+	vr := (me - root + n) % n
+	vd := vrankBytes(counts, root)
+	myBytes := vd[subtreeEnd(vr, n)] - vd[vr]
+	scratch := r.w.cfg.Pool.Get(myBytes)
+	defer r.w.cfg.Pool.Put(scratch)
+	// mask ends at the bit linking vr to its parent (its lowest set bit),
+	// or at the top of the tree for the root.
+	mask := 1
+	for mask < n && vr&mask == 0 {
+		mask <<= 1
+	}
+	if vr == 0 {
+		displs := displacements(counts)
+		for v := 0; v < n; v++ {
+			cr := (v + root) % n
+			copy(scratch[vd[v]:vd[v+1]], sendBuf[displs[cr]:displs[cr]+counts[cr]])
+		}
+	} else {
+		parent := c.Translate((vr - mask + root) % n)
+		r.collHop(p, myBytes)
+		if _, err := r.Recv(p, scratch, parent, c.collTag(opScatter, bits.Len(uint(mask))-1)); err != nil {
+			return err
+		}
+	}
+	for cm := mask >> 1; cm >= 1; cm >>= 1 {
+		child := vr + cm
+		if child >= n {
+			continue
+		}
+		lo, hi := vd[child], vd[minClip(child+cm, n)]
+		off := lo - vd[vr]
+		r.collHop(p, hi-lo)
+		if err := r.Send(p, scratch[off:off+hi-lo], c.Translate((child+root)%n), c.collTag(opScatter, bits.Len(uint(cm))-1)); err != nil {
+			return err
+		}
+	}
+	copy(recvBuf[:counts[me]], scratch[:counts[me]])
+	return nil
+}
+
+// minClip clips a virtual rank to the communicator size.
+func minClip(v, n int) int {
+	if v < n {
+		return v
+	}
+	return n
 }
 
 // Allgather gathers every member's sendBuf into every member's recvBuf

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"dcgn/internal/sim"
 )
@@ -20,7 +21,11 @@ type Comm struct {
 	index map[int]int
 	// splits counts Split calls made on this communicator (per member,
 	// but all members call collectives in the same order, so the local
-	// count agrees everywhere — MPI's ordering requirement).
+	// count agrees everywhere — MPI's ordering requirement). mu guards it:
+	// in a sharded world, members on different shards call Split
+	// concurrently. Host-side bookkeeping only; the per-member counts are
+	// independent, so locking cannot perturb determinism.
+	mu     sync.Mutex
 	splits map[int]int
 }
 
@@ -31,7 +36,9 @@ const ctxStride = 1 << 16
 // MaxUserTag is the largest tag usable with communicator operations.
 const MaxUserTag = ctxStride - 1
 
-// Comm returns the world communicator containing every rank.
+// Comm returns the world communicator containing every rank. The world
+// constructors call it eagerly, so lookups after construction are
+// read-only even in sharded worlds.
 func (w *World) Comm() *Comm {
 	if w.world == nil {
 		members := make([]int, len(w.ranks))
@@ -56,6 +63,8 @@ func (w *World) newComm(id int, members []int) *Comm {
 // split sequence, color): every member computing the same key receives the
 // same id.
 func (w *World) commID(parent, seq, color int) int {
+	w.commMu.Lock()
+	defer w.commMu.Unlock()
 	key := [3]int{parent, seq, color}
 	if id, ok := w.commIDs[key]; ok {
 		return id
@@ -146,8 +155,10 @@ func (c *Comm) Irecv(p *sim.Proc, r *Rank, buf []byte, src, tag int) *Request {
 // negative color returns nil (MPI_UNDEFINED): the caller joins no group.
 func (c *Comm) Split(p *sim.Proc, r *Rank, color, key int) (*Comm, error) {
 	me := c.RankOf(r)
+	c.mu.Lock()
 	seq := c.splits[me]
 	c.splits[me] = seq + 1
+	c.mu.Unlock()
 
 	// Allgather (color, key, worldRank) triplets.
 	mine := make([]byte, 12)

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"dcgn/internal/bufpool"
@@ -60,6 +61,11 @@ type Config struct {
 	// snapshots). nil means the world creates a private pool; DCGN passes
 	// its job-wide pool so acquire/release accounting spans both layers.
 	Pool *bufpool.Pool
+	// TreeCollectives switches Gatherv/Scatterv (and the fixed-size
+	// Gather/Scatter built on them) from the flat fan-in/fan-out — the
+	// root posting n-1 receives or sends — to binomial trees, bounding
+	// the root's incast to log2(n) messages at scale.
+	TreeCollectives bool
 }
 
 // collHopMinSize is the smallest payload that pays CollHopOverhead.
@@ -83,13 +89,18 @@ type Status struct {
 
 // World is a set of ranks mapped onto fabric nodes (MPI_COMM_WORLD).
 type World struct {
-	s      *sim.Sim
+	s      *sim.Sim   // plain-mode simulation (nil in sharded worlds)
+	sims   []*sim.Sim // per-node simulations in sharded worlds (nil otherwise)
 	net    *fabric.Network
 	cfg    Config
 	ranks  []*Rank
 	nodeOf []int
 
-	// Communicator bookkeeping (see comm.go).
+	// Communicator bookkeeping (see comm.go). commMu guards the id map:
+	// in a sharded world, ranks on different shards derive communicators
+	// concurrently. This is host-side bookkeeping only — it never orders
+	// virtual-time events, so the lock cannot perturb determinism.
+	commMu     sync.Mutex
 	world      *Comm
 	commIDs    map[[3]int]int
 	nextCommID int
@@ -98,13 +109,37 @@ type World struct {
 // NewWorld creates a world with len(nodeOf) ranks; rank i runs on fabric
 // node nodeOf[i]. A progress-engine daemon is started per node.
 func NewWorld(s *sim.Sim, net *fabric.Network, nodeOf []int, cfg Config) *World {
+	w := &World{s: s}
+	w.init(net, nodeOf, cfg)
+	return w
+}
+
+// NewWorldSharded creates a world over a sharded fabric: sims[n] is the
+// simulation owning node n (from the shard the node was placed on), and
+// every rank's procs, events and progress engine live on its own node's
+// Sim. All cross-node traffic flows through the sharded fabric's
+// deterministic arrival order, so rank-level behavior is identical for
+// every shard count.
+func NewWorldSharded(sims []*sim.Sim, net *fabric.Network, nodeOf []int, cfg Config) *World {
+	if len(sims) != net.Size() {
+		panic("mpi: sims length does not match network size")
+	}
+	w := &World{sims: sims}
+	w.init(net, nodeOf, cfg)
+	return w
+}
+
+func (w *World) init(net *fabric.Network, nodeOf []int, cfg Config) {
 	if len(nodeOf) == 0 {
 		panic("mpi: empty world")
 	}
 	if cfg.Pool == nil {
 		cfg.Pool = bufpool.New()
 	}
-	w := &World{s: s, net: net, cfg: cfg, nodeOf: append([]int(nil), nodeOf...), commIDs: make(map[[3]int]int)}
+	w.net = net
+	w.cfg = cfg
+	w.nodeOf = append([]int(nil), nodeOf...)
+	w.commIDs = make(map[[3]int]int)
 	for id, node := range nodeOf {
 		if node < 0 || node >= net.Size() {
 			panic(fmt.Sprintf("mpi: rank %d mapped to bad node %d", id, node))
@@ -119,6 +154,9 @@ func NewWorld(s *sim.Sim, net *fabric.Network, nodeOf []int, cfg Config) *World 
 			recvPrefix:   "irecv:" + strconv.Itoa(id),
 		})
 	}
+	// Build the world communicator eagerly: in a sharded world the first
+	// Comm() calls race from different shards.
+	w.Comm()
 	nodes := map[int]bool{}
 	for _, n := range nodeOf {
 		if !nodes[n] {
@@ -126,7 +164,15 @@ func NewWorld(s *sim.Sim, net *fabric.Network, nodeOf []int, cfg Config) *World 
 			w.startEngine(n)
 		}
 	}
-	return w
+}
+
+// simFor returns the simulation owning a fabric node: the per-node Sim of
+// a sharded world, or the single shared Sim otherwise.
+func (w *World) simFor(node int) *sim.Sim {
+	if w.sims != nil {
+		return w.sims[node]
+	}
+	return w.s
 }
 
 // Size returns the number of ranks.
@@ -174,6 +220,9 @@ func (r *Rank) Node() int { return r.node }
 
 // World returns the world this rank belongs to.
 func (r *Rank) World() *World { return r.w }
+
+// sim returns the simulation owning this rank's node.
+func (r *Rank) sim() *sim.Sim { return r.w.simFor(r.node) }
 
 type msgKind int
 
@@ -306,7 +355,7 @@ func (w *World) deliver(rr *recvReq, env *envelope) {
 // completes requests.
 func (w *World) startEngine(node int) {
 	nd := w.net.Node(node)
-	w.s.SpawnDaemon(fmt.Sprintf("mpi-engine:%d", node), func(p *sim.Proc) {
+	w.simFor(node).SpawnDaemon(fmt.Sprintf("mpi-engine:%d", node), func(p *sim.Proc) {
 		for {
 			pkt := nd.Inbox.Get(p)
 			env, ok := pkt.Payload.(*envelope)
@@ -343,7 +392,7 @@ func (w *World) handle(p *sim.Proc, nd *fabric.Node, env *envelope) {
 		delete(r.pendingSends, env.seq)
 		// Transmit the bulk data on a helper so the engine keeps making
 		// progress for other ranks on this node.
-		w.s.Spawn("mpi-rndv-data", func(h *sim.Proc) {
+		w.simFor(r.node).Spawn("mpi-rndv-data", func(h *sim.Proc) {
 			// Snapshot the payload: once the DMA is in flight the sender may
 			// reuse its buffer (its request completes on injection), so the
 			// wire must carry a copy, not a reference.

@@ -145,6 +145,12 @@ type Sim struct {
 	rng        *rand.Rand
 	jitterFrac float64
 	maxTime    int64
+
+	// idleAt records the virtual time at which the live (non-daemon) proc
+	// count last dropped to zero. Sharded runs report elapsed time as the
+	// max of idleAt across shards so that daemon poll timers — whose
+	// progress depends on window placement — cannot leak into Elapsed.
+	idleAt int64
 }
 
 // New creates an empty simulation with the virtual clock at zero.
@@ -254,6 +260,9 @@ func (s *Sim) spawn(name ident, fn func(p *Proc), daemon bool) *Proc {
 			p.state = stateDone
 			if !p.daemon {
 				s.live--
+				if s.live == 0 {
+					s.idleAt = s.now
+				}
 			}
 			s.yieldCh <- struct{}{}
 		}()
