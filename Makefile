@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt lintdoc test race race-live bench bench-json benchguard chaos trace-export scale ci
+.PHONY: build vet fmt lintdoc test race race-live bench bench-json bench-onesided benchguard chaos onesided trace-export scale ci
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,18 @@ bench:
 bench-json:
 	$(GO) run ./cmd/dcgn-bench -json BENCH_6.json
 
+# Classic-vs-triggered one-sided ablation: GPU->CPU one-way latency over
+# both paths per Fig. 6 size, written as JSON.
+bench-onesided:
+	$(GO) run ./cmd/dcgn-bench -onesided BENCH_7.json
+
+# One-sided lane gate: conformance + triggered-path suite and the chaos
+# differential under the race detector, then the ablation JSON.
+onesided:
+	$(GO) test -race ./internal/core/ -run 'OneSided|Triggered'
+	$(GO) test -race ./internal/core/ -run 'ChaosOneSided'
+	$(GO) run ./cmd/dcgn-bench -onesided BENCH_7.json
+
 # Allocation tripwire: fails if allocs/op on the matching benchmarks
 # regresses >20% against the committed baseline.
 benchguard:
@@ -76,4 +88,4 @@ trace-export:
 	$(GO) run ./cmd/dcgn-trace -nodes 4 -format csv -o /tmp/dcgn-trace.csv
 	$(GO) run ./cmd/dcgn-trace -nodes 4 -metrics > /dev/null
 
-ci: build vet fmt lintdoc test race race-live bench benchguard chaos trace-export scale
+ci: build vet fmt lintdoc test race race-live bench benchguard chaos onesided trace-export scale

@@ -402,6 +402,88 @@ func BenchmarkEnginePingPong(b *testing.B) {
 	// must not add per-message allocations over the classic path.
 	b.Run("sim-sharded", func(b *testing.B) { run(b, dcgn.BackendSim, false, false, 2) })
 	b.Run("live", func(b *testing.B) { run(b, dcgn.BackendLive, false, false, 0) })
+	// sim-onesided ping-pongs over the one-sided lane (Put + WinWait
+	// instead of Send + Recv): no matcher entry, no receive posting, and
+	// the allocs/op baseline guards the window apply path the same way sim
+	// guards the matcher path.
+	b.Run("sim-onesided", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := dcgn.DefaultConfig()
+			cfg.Nodes, cfg.CPUKernels, cfg.GPUs = 2, 1, 0
+			cfg.OneSided = true
+			job := dcgn.NewJob(cfg)
+			job.SetCPUKernel(func(c *dcgn.CPUCtx) {
+				buf := make([]byte, payload)
+				win := make([]byte, payload)
+				c.RegisterWindow(0, win)
+				c.Barrier()
+				peer := 1 - c.Rank()
+				for k := 1; k <= iters; k++ {
+					if c.Rank() == 0 {
+						if err := c.Put(peer, 0, 0, buf); err != nil {
+							b.Error(err)
+							return
+						}
+						c.WinWait(0, k)
+					} else {
+						c.WinWait(0, k)
+						if err := c.Put(peer, 0, 0, buf); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+			})
+			rep, err := job.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rep.Elapsed.Nanoseconds())/(2*iters), "oneway-ns")
+		}
+	})
+	// sim-triggered streams GPU-enqueued descriptors through the NIC model
+	// into a remote CPU window — the full tentpole path (descriptor ring,
+	// doorbell, direct fire). Its allocs/op baseline guards the
+	// device-sourced one-sided path end to end.
+	b.Run("sim-triggered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := dcgn.DefaultConfig()
+			cfg.Nodes, cfg.CPUKernels, cfg.GPUs, cfg.SlotsPerGPU = 2, 1, 1, 1
+			cfg.OneSided = true
+			job := dcgn.NewJob(cfg)
+			rm := job.Ranks()
+			srcRank := rm.GPURank(0, 0, 0)
+			dstRank := rm.CPURank(1, 0)
+			win := make([]byte, payload)
+			job.SetCPUKernel(func(c *dcgn.CPUCtx) {
+				if c.Rank() != dstRank {
+					return
+				}
+				// Registered at t=0, inside the device launch latency: no
+				// barrier needed before the first descriptor fires.
+				c.RegisterWindow(0, win)
+				c.WinWait(0, iters)
+			})
+			job.SetGPUSetup(func(s *dcgn.GPUSetup) {
+				s.Args["buf"] = s.Dev.Mem().MustAlloc(payload)
+			})
+			job.SetGPUKernel(1, 8, func(g *dcgn.GPUCtx) {
+				if g.Rank(0) != srcRank {
+					return
+				}
+				ptr := g.Arg("buf").(dcgn.DevPtr)
+				for k := 0; k < iters; k++ {
+					g.TriggerPut(0, 0, dstRank, 0, 0, ptr, payload)
+					g.TriggerFence(0)
+				}
+			})
+			rep, err := job.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rep.Elapsed.Nanoseconds())/iters, "oneway-ns")
+		}
+	})
 }
 
 // BenchmarkShardedHighFanout drives the cluster-scale neighbor-exchange

@@ -31,12 +31,17 @@ var (
 	backend   = flag.String("backend", transport.BackendSim, "progress-engine backend: sim|live (only pingpong supports live)")
 	jsonOut   = flag.String("json", "", "write the wall-clock/allocation profile as JSON to this file and exit")
 	chaosMode = flag.Bool("chaos", false, "run the wire-hardening chaos differential (see chaos.go flags) and exit")
+	onesided  = flag.String("onesided", "", "write the classic-vs-triggered one-sided comparison as JSON to this file and exit")
 )
 
 func main() {
 	flag.Parse()
 	if *jsonOut != "" {
 		writeProfileJSON(*jsonOut)
+		return
+	}
+	if *onesided != "" {
+		writeOneSidedJSON(*onesided)
 		return
 	}
 	if *chaosMode {

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"dcgn/internal/apps"
+	"dcgn/internal/core"
+)
+
+// onesidedEntry is one message size's classic-vs-triggered comparison:
+// the classic path relays a GPU-sourced send through mailbox copy, monitor
+// poll and comm-thread matching; the triggered path fires a device-enqueued
+// descriptor straight from the NIC model into the remote window. Polls and
+// control-plane PCIe operations are whole-run counts — the delta columns
+// are the polling tax the one-sided lane eliminates.
+type onesidedEntry struct {
+	Size            int     `json:"size"`
+	ClassicNs       int64   `json:"classic_ns"`
+	TriggeredNs     int64   `json:"triggered_ns"`
+	ClassicPolls    int     `json:"classic_polls"`
+	TriggeredPolls  int     `json:"triggered_polls"`
+	ClassicHits     int     `json:"classic_poll_hits"`
+	TriggeredHits   int     `json:"triggered_poll_hits"`
+	ClassicCtlOps   int     `json:"classic_ctl_ops"`
+	TriggeredCtlOps int     `json:"triggered_ctl_ops"`
+	Speedup         float64 `json:"speedup"`
+	PollsDelta      int     `json:"polls_delta"`
+	CtlOpsDelta     int     `json:"ctl_ops_delta"`
+}
+
+// writeOneSidedJSON measures the GPU→CPU one-way latency over both paths
+// for every Fig. 6 size and writes the comparison to path (BENCH_7.json in
+// CI), printing the same rows as a table.
+func writeOneSidedJSON(path string) {
+	var entries []onesidedEntry
+	fmt.Println("One-sided ablation: classic device-sourced send vs GPU-triggered put (GPU node0 -> CPU node1)")
+	fmt.Printf("%10s %14s %14s %9s %8s %8s %8s %8s %8s %8s\n",
+		"size", "classic-ns", "triggered-ns", "speedup", "cl-poll", "tr-poll", "cl-hit", "tr-hit", "cl-ctl", "tr-ctl")
+	for _, size := range apps.SendSizes {
+		classic, crep, err := apps.DCGNSendOneWayReport(core.DefaultConfig(), apps.EPGPU, apps.EPCPU, size)
+		if err != nil {
+			log.Fatalf("classic %dB: %v", size, err)
+		}
+		triggered, trep, err := apps.DCGNTriggeredOneWay(core.DefaultConfig(), size)
+		if err != nil {
+			log.Fatalf("triggered %dB: %v", size, err)
+		}
+		e := onesidedEntry{
+			Size:            size,
+			ClassicNs:       classic.Nanoseconds(),
+			TriggeredNs:     triggered.Nanoseconds(),
+			ClassicPolls:    crep.Polls,
+			TriggeredPolls:  trep.Polls,
+			ClassicHits:     crep.PollHits,
+			TriggeredHits:   trep.PollHits,
+			ClassicCtlOps:   crep.BusCtlOps,
+			TriggeredCtlOps: trep.BusCtlOps,
+			Speedup:         float64(classic) / float64(triggered),
+			PollsDelta:      crep.Polls - trep.Polls,
+			CtlOpsDelta:     crep.BusCtlOps - trep.BusCtlOps,
+		}
+		entries = append(entries, e)
+		fmt.Printf("%10s %14d %14d %8.2fx %8d %8d %8d %8d %8d %8d\n",
+			sizeLabel(size), e.ClassicNs, e.TriggeredNs, e.Speedup,
+			e.ClassicPolls, e.TriggeredPolls, e.ClassicHits, e.TriggeredHits,
+			e.ClassicCtlOps, e.TriggeredCtlOps)
+	}
+	data, err := json.MarshalIndent(entries, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d sizes)\n", path, len(entries))
+}
+
+// sizeLabel names a payload size for the comparison table rows.
+func sizeLabel(n int) string {
+	switch {
+	case n == 0:
+		return "0B"
+	case n < 1<<20:
+		return fmt.Sprintf("%dkB", n>>10)
+	default:
+		return fmt.Sprintf("%dMB", n>>20)
+	}
+}

@@ -99,6 +99,12 @@ type (
 	// FaultStats counts the faults a FaultsConfig actually injected
 	// (Report.FaultsInjected, NodeStats.Faults).
 	FaultStats = transport.FaultStats
+	// WinStats is a one-sided window's completion accounting (arrivals,
+	// target-side truncations) from CPUCtx.WinStats (Config.OneSided).
+	WinStats = core.WinStats
+	// PersistentPut is a registered one-sided put handle: register once
+	// with CPUCtx.NewPersistentPut, fire many times with Start.
+	PersistentPut = core.PersistentPut
 )
 
 // Substrate types reachable from the public API (device buffers in GPU
@@ -142,6 +148,10 @@ var ErrTruncate = core.ErrTruncate
 // ErrUnacked is reported when the reliability layer exhausts its
 // retransmit budget without an acknowledgement.
 var ErrUnacked = core.ErrUnacked
+
+// ErrNoOneSided is reported when a one-sided operation reaches a
+// transport stack without a one-sided lane (Config.OneSided unset).
+var ErrNoOneSided = transport.ErrNoOneSided
 
 // NewJob creates a job for the given cluster configuration.
 func NewJob(cfg Config) *Job { return core.NewJob(cfg) }

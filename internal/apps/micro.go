@@ -41,6 +41,13 @@ const warmup = 5 * time.Millisecond
 // from send initiation at the source to receive completion at the
 // destination.
 func DCGNSendOneWay(cfg core.Config, src, dst Endpoint, size int) (time.Duration, error) {
+	d, _, err := dcgnSendOneWay(cfg, src, dst, size)
+	return d, err
+}
+
+// dcgnSendOneWay is the shared implementation; DCGNSendOneWayReport
+// (onesided.go) also returns the Report for path comparisons.
+func dcgnSendOneWay(cfg core.Config, src, dst Endpoint, size int) (time.Duration, core.Report, error) {
 	cfg.Nodes = 2
 	cfg.CPUKernels = 1
 	cfg.GPUs = 1
@@ -98,13 +105,14 @@ func DCGNSendOneWay(cfg core.Config, src, dst Endpoint, size int) (time.Duration
 			tEnd = g.Block().Proc().Now()
 		}
 	})
-	if _, err := job.Run(); err != nil {
-		return 0, err
+	rep, err := job.Run()
+	if err != nil {
+		return 0, core.Report{}, err
 	}
 	if tEnd <= tStart {
-		return 0, fmt.Errorf("apps: send never completed (start %v end %v)", tStart, tEnd)
+		return 0, core.Report{}, fmt.Errorf("apps: send never completed (start %v end %v)", tStart, tEnd)
 	}
-	return tEnd - tStart, nil
+	return tEnd - tStart, rep, nil
 }
 
 // MPISendOneWay measures the raw-MPI (MVAPICH2 stand-in) one-way delivery

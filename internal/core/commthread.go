@@ -53,6 +53,10 @@ type nodeState struct {
 	// Config.Reliability is enabled; nil means the legacy wire format.
 	rel *relState
 
+	// osw holds the one-sided engine (onesided.go) when Config.OneSided is
+	// set; nil means the lane (and its sink daemon) does not exist.
+	osw *osState
+
 	// met caches this node's metric instruments (Config.Metrics); nil when
 	// metrics are off. obsOn is true when either tracing or metrics are
 	// enabled — the single branch the hot paths take before any
@@ -72,6 +76,9 @@ type nodeState struct {
 func (ns *nodeState) start() {
 	ns.rt.SpawnDaemonID("comm", ns.node, ns.runCommThread)
 	ns.rt.SpawnDaemonID("mpi-recv", ns.node, ns.runReceiver)
+	if ns.osw != nil {
+		ns.rt.SpawnDaemonID("os-recv", ns.node, ns.runOneSidedReceiver)
+	}
 }
 
 // runCommThread is the progress engine's event loop: it drains the intake

@@ -90,6 +90,13 @@ type gpuThread struct {
 	// it on post instead of waiting to be polled.
 	doorbell *sim.Queue[*slotState]
 
+	// Triggered one-sided state (gputrigger.go), non-nil only under
+	// Config.OneSided: the device-resident descriptor ring, the NIC
+	// doorbell, and registered persistent descriptors.
+	trig    []*trigSlot
+	trigQ   *sim.Queue[*trigToken]
+	persist []*osPersist
+
 	// Polls counts poll iterations (CPU-load metric for the ablation).
 	Polls int
 	// Hits counts polls that progressed at least one slot.
@@ -105,6 +112,10 @@ func newGPUThread(ns *nodeState, index int, dev *device.Device) *gpuThread {
 			rank: rm.GPURank(ns.node, index, s),
 			mb:   dev.Mem().MustAlloc(mailboxBytes),
 		})
+	}
+	if ns.job.cfg.OneSided {
+		// After the mailboxes, so classic slot addresses are unchanged.
+		gt.initTriggered()
 	}
 	return gt
 }
@@ -177,6 +188,9 @@ func (gt *gpuThread) serviceSignaled(p *sim.Proc, ss *slotState) {
 	}
 	le.PutUint32(mb[mbStatus:], mbClaimed)
 	gt.ns.bus.Ctl(p, 4+mailboxBytes) // one transaction: claim + descriptor read
+	if met := gt.ns.met; met != nil {
+		met.gpuSignals.Add(1)
+	}
 	gt.parseDescriptor(ss, mb)
 	req := gt.buildRequest(p, ss)
 	ss.req = req

@@ -83,6 +83,34 @@ func (gs *GPUSetup) Ranks() []int {
 	return out
 }
 
+// RegisterWindow exposes n bytes of device memory at ptr as slot's rank's
+// one-sided window id (Config.OneSided): peers Put into it over the PCIe
+// payload path without any mailbox transaction on this device. Setup runs
+// before kernels launch, so windows registered here are visible before
+// any traffic.
+func (gs *GPUSetup) RegisterWindow(slot, id int, ptr device.Ptr, n int) {
+	ns := gs.Job.nodes[gs.Node]
+	rank := gs.Job.rmap.GPURank(gs.Node, gs.GPU, slot)
+	ns.registerWindow(&osWindow{key: osWinKey{rank, id}, gt: ns.gpus[gs.GPU], ptr: ptr, size: n})
+}
+
+// RegisterTrigger registers a persistent triggered put on this device
+// (Config.OneSided): n bytes of device memory at ptr into window winID of
+// rank dst at offset, on behalf of srcSlot's rank. The returned id is
+// fired from the kernel with GPUCtx.TriggerStart — register once, fire
+// many times, with no descriptor transfer on any fire.
+func (gs *GPUSetup) RegisterTrigger(srcSlot, dst, winID, offset int, ptr device.Ptr, n int) int {
+	gt := gs.Job.nodes[gs.Node].gpus[gs.GPU]
+	if gt.trigQ == nil {
+		panic(osErrNotEnabled)
+	}
+	gt.persist = append(gt.persist, &osPersist{
+		srcRank: gs.Job.rmap.GPURank(gs.Node, gs.GPU, srcSlot),
+		dstRank: dst, winID: winID, offset: offset, ptr: ptr, size: n,
+	})
+	return len(gt.persist) - 1
+}
+
 // NewJob creates a job for the given cluster configuration.
 func NewJob(cfg Config) *Job {
 	cfg.validate()
@@ -173,6 +201,14 @@ type Report struct {
 	// CollRetries counts node-level collective calls re-executed after a
 	// transient transport failure, summed over all nodes.
 	CollRetries int64
+	// OneSidedPuts / OneSidedGets count origin-side Put/Get operations and
+	// TriggeredOps counts NIC-fired device descriptors over all nodes
+	// (Config.OneSided); OneSidedTruncated counts target-side clipped
+	// applies. All zero when the lane is off.
+	OneSidedPuts      int64
+	OneSidedGets      int64
+	TriggeredOps      int64
+	OneSidedTruncated int64
 	// FaultsInjected totals the fault-injection middleware's activity over
 	// all nodes (zero without Config.Faults).
 	FaultsInjected transport.FaultStats
@@ -224,6 +260,11 @@ type NodeStats struct {
 	// CollRetries counts this node's collective re-executions after
 	// transient transport failures.
 	CollRetries int64
+	// OneSidedPuts / OneSidedGets / TriggeredOps are this node's
+	// origin-side one-sided activity (Config.OneSided).
+	OneSidedPuts int64
+	OneSidedGets int64
+	TriggeredOps int64
 	// Faults snapshots the faults injected into this node's transport
 	// (zero unless Config.Faults is active).
 	Faults transport.FaultStats
@@ -325,6 +366,9 @@ func (j *Job) buildSimNode(n int, s *sim.Sim, rtv rt) *nodeState {
 	}
 	ns.obsOn = j.trace != nil || j.metrics != nil
 	ns.coll = newCollAccum(ns)
+	if j.cfg.OneSided {
+		ns.initOneSided()
+	}
 	for g := 0; g < j.rmap.Spec(n).GPUs; g++ {
 		devCfg := j.cfg.Device
 		devCfg.Name = fmt.Sprintf("gpu%d.%d", n, g)
@@ -335,6 +379,9 @@ func (j *Job) buildSimNode(n int, s *sim.Sim, rtv rt) *nodeState {
 	ns.start()
 	for _, gt := range ns.gpus {
 		gt.startMonitor()
+		if gt.trigQ != nil {
+			gt.startNIC()
+		}
 	}
 	return ns
 }
@@ -442,6 +489,15 @@ func (j *Job) fillReport(rep *Report) {
 		}
 		st.CollRetries = atomic.LoadInt64(&ns.collRetried)
 		rep.CollRetries += st.CollRetries
+		if ns.osw != nil {
+			st.OneSidedPuts = atomic.LoadInt64(&ns.osw.putsSent)
+			st.OneSidedGets = atomic.LoadInt64(&ns.osw.getsSent)
+			st.TriggeredOps = atomic.LoadInt64(&ns.osw.trigFired)
+			rep.OneSidedPuts += st.OneSidedPuts
+			rep.OneSidedGets += st.OneSidedGets
+			rep.TriggeredOps += st.TriggeredOps
+			rep.OneSidedTruncated += atomic.LoadInt64(&ns.osw.truncated)
+		}
 		if fr, ok := ns.tr.(transport.FaultReporter); ok {
 			st.Faults = fr.FaultStats()
 			rep.FaultsInjected = rep.FaultsInjected.Plus(st.Faults)

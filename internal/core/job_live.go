@@ -49,6 +49,9 @@ func (j *Job) runLive() (Report, error) {
 		}
 		ns.obsOn = j.trace != nil || j.metrics != nil
 		ns.coll = newCollAccum(ns)
+		if j.cfg.OneSided {
+			ns.initOneSided()
+		}
 		ns.start()
 		j.nodes = append(j.nodes, ns)
 	}
@@ -96,6 +99,12 @@ func (j *Job) runLive() (Report, error) {
 		return Report{Elapsed: rt.Now()}, runErr
 	}
 	rt.daemons.Wait()
+	// A daemon can spawn one last helper on its way out — an ack for a
+	// duplicate frame that arrived after the kernels finished. The helper
+	// releases pooled staging the daemon acquired, so wait for workers
+	// again (no daemon is left to add more) before snapshotting the pool
+	// counters, or the report reads acquires > releases.
+	rt.workers.Wait()
 
 	rep := Report{
 		Elapsed:    rt.Now(),

@@ -39,6 +39,20 @@ type nodeMetrics struct {
 	// ratio is the paper's §3.2.3 polling-efficiency trade-off.
 	gpuPolls    *obs.Counter
 	gpuPollHits *obs.Counter
+	// gpuSignals counts doorbell-serviced mailbox requests
+	// (FutureHW.DeviceSignal) — the poll-free complement of gpuPolls.
+	gpuSignals *obs.Counter
+
+	// One-sided lane (Config.OneSided). osPuts/osGets count origin-side
+	// operations, osTriggered counts NIC-fired device descriptors;
+	// osTrigFire observes device-enqueue → NIC-fire latency and
+	// osRemoteComplete observes origin-post → target-apply latency, the
+	// enqueued→triggered→remote-complete phases of the lane.
+	osPuts           *obs.Counter
+	osGets           *obs.Counter
+	osTriggered      *obs.Counter
+	osTrigFire       *obs.Histogram
+	osRemoteComplete *obs.Histogram
 
 	// matchWait caches match-wait histograms by op/src/size-class.
 	matchWait map[matchKey]*obs.Histogram
@@ -54,8 +68,16 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 		backoff:        reg.Histogram("retransmit_backoff_ns"),
 		gpuPolls:       reg.Counter("gpu_polls"),
 		gpuPollHits:    reg.Counter("gpu_poll_hits"),
-		matchWait:      make(map[matchKey]*obs.Histogram),
-		collWait:       make(map[opKind]*obs.Histogram),
+		gpuSignals:     reg.Counter("gpu_doorbell_services"),
+
+		osPuts:           reg.Counter("onesided_puts"),
+		osGets:           reg.Counter("onesided_gets"),
+		osTriggered:      reg.Counter("onesided_triggered"),
+		osTrigFire:       reg.Histogram("onesided_trigger_fire_ns"),
+		osRemoteComplete: reg.Histogram("onesided_remote_complete_ns"),
+
+		matchWait: make(map[matchKey]*obs.Histogram),
+		collWait:  make(map[opKind]*obs.Histogram),
 	}
 }
 

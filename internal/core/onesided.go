@@ -1,0 +1,697 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dcgn/internal/device"
+	"dcgn/internal/sim"
+	"dcgn/internal/transport"
+)
+
+// One-sided communication (Config.OneSided): Put/Get against registered
+// memory windows, with remote-completion notification (WinWait) and — on
+// the GPU side (gputrigger.go) — triggered operations the NIC daemon
+// fires straight from a device descriptor ring.
+//
+// The lane deliberately bypasses the whole two-sided progress engine. A
+// classic device-sourced send costs two PCIe control trips plus
+// sleep-based polling per message (paper §5.2: poll, copy, notify — each
+// landing on a poll tick) and then rides intake → matcher → transport on
+// the comm thread. A one-sided frame is posted directly by the producing
+// thread onto the transport's dedicated one-sided lane
+// (transport.OneSided) and applied directly into the target window by the
+// target's sink daemon: no comm-thread dispatch, no matching, no monitor
+// poll tick anywhere on the critical path.
+//
+// Semantics, aligned with the engine's two-sided conventions:
+//
+//   - Windows are identified by (owning rank, window id). Registration is
+//     local (CPUCtx.RegisterWindow / GPUSetup.RegisterWindow); as with
+//     MPI window creation, every rank must register before any peer
+//     targets it — a Barrier after registration is the canonical pattern.
+//   - Truncation is target-side, like receives: a put overflowing its
+//     window is clipped (the window counts it in WinStats.Truncated) and
+//     still completes; a get larger than the window returns the clipped
+//     bytes and ErrTruncate at the origin.
+//   - Ordering: puts from one origin node apply at each target in post
+//     order (under Config.Reliability the lane has its own seq/ack space,
+//     so the order survives drops, duplicates and reordering); puts from
+//     different nodes have no mutual order, exactly like network RDMA.
+//   - Completion: Put returns when the frame is on the wire (and
+//     acknowledged, under reliability); the TARGET observes delivery via
+//     WinWait's arrival count — the remote-completion notification.
+
+// osErrNotEnabled is the panic message for one-sided calls without
+// Config.OneSided.
+const osErrNotEnabled = "dcgn: one-sided operation without Config.OneSided (enable the lane in the job config)"
+
+// One-sided frame kinds.
+const (
+	osPut    = 1 // apply payload into the target window
+	osGetReq = 2 // read aux bytes from the target window, reply with osGetRep
+	osGetRep = 3 // get reply: payload for the requester's pending token
+	osAck    = 4 // one-sided-lane ack (reliability); src is the acking NODE
+)
+
+// osFlagTrunc marks a get reply whose payload was clipped to the window.
+const osFlagTrunc = 1
+
+// osHeaderLen is the fixed one-sided frame header:
+//
+//	0  u32 kind      8  i64 src rank   24 u32 win      32 u64 offset
+//	4  u32 flags     16 i64 dst rank   28 u32 token    40 u64 payload len
+//	48 u64 seq       56 i64 posted-at (origin clock, ns)   64 u64 aux
+//
+// aux carries the requested byte count of a get (whose request frame has
+// no payload). posted-at feeds the remote-completion histogram: virtual
+// clocks are global on the simulated backend, so target-minus-origin is
+// exact there and best-effort on the live backend.
+const osHeaderLen = 72
+
+// osFrame is one parsed one-sided frame; payload aliases backing, which
+// the consumer returns to the pool after the frame is applied.
+type osFrame struct {
+	kind     int
+	flags    uint32
+	src, dst int
+	win      int
+	token    uint32
+	offset   int
+	seq      uint64
+	postedNs int64
+	aux      uint64
+	payload  []byte
+	backing  []byte
+}
+
+// packOSFrame builds a one-sided frame in a pooled buffer.
+func (ns *nodeState) packOSFrame(f *osFrame) []byte {
+	msg := ns.job.pool.Get(osHeaderLen + len(f.payload))
+	le := binary.LittleEndian
+	le.PutUint32(msg[0:], uint32(f.kind))
+	le.PutUint32(msg[4:], f.flags)
+	le.PutUint64(msg[8:], uint64(int64(f.src)))
+	le.PutUint64(msg[16:], uint64(int64(f.dst)))
+	le.PutUint32(msg[24:], uint32(f.win))
+	le.PutUint32(msg[28:], f.token)
+	le.PutUint64(msg[32:], uint64(int64(f.offset)))
+	le.PutUint64(msg[40:], uint64(len(f.payload)))
+	le.PutUint64(msg[48:], f.seq)
+	le.PutUint64(msg[56:], uint64(f.postedNs))
+	le.PutUint64(msg[64:], f.aux)
+	copy(msg[osHeaderLen:], f.payload)
+	return msg
+}
+
+// unpackOSFrame parses a one-sided frame; the payload aliases msg.
+func unpackOSFrame(msg []byte) (*osFrame, error) {
+	if len(msg) < osHeaderLen {
+		return nil, fmt.Errorf("core: short one-sided frame (%d bytes)", len(msg))
+	}
+	le := binary.LittleEndian
+	f := &osFrame{
+		kind:     int(le.Uint32(msg[0:])),
+		flags:    le.Uint32(msg[4:]),
+		src:      int(int64(le.Uint64(msg[8:]))),
+		dst:      int(int64(le.Uint64(msg[16:]))),
+		win:      int(le.Uint32(msg[24:])),
+		token:    le.Uint32(msg[28:]),
+		offset:   int(int64(le.Uint64(msg[32:]))),
+		seq:      le.Uint64(msg[48:]),
+		postedNs: int64(le.Uint64(msg[56:])),
+		aux:      le.Uint64(msg[64:]),
+		backing:  msg,
+	}
+	n := int(le.Uint64(msg[40:]))
+	if f.kind < osPut || f.kind > osAck {
+		return nil, fmt.Errorf("core: unknown one-sided frame kind %d", f.kind)
+	}
+	if osHeaderLen+n > len(msg) {
+		return nil, fmt.Errorf("core: one-sided frame truncated: header says %d, have %d", n, len(msg)-osHeaderLen)
+	}
+	f.payload = msg[osHeaderLen : osHeaderLen+n]
+	return f, nil
+}
+
+// osWinKey identifies a registered window: the owning rank and the
+// application-chosen window id.
+type osWinKey struct {
+	rank int
+	id   int
+}
+
+// osWaiter is one WinWait blocked on an arrival threshold.
+type osWaiter struct {
+	target int64
+	ev     completion
+}
+
+// osWindow is one registered one-sided window: host memory for CPU ranks,
+// device memory (applied over the PCIe payload path) for GPU slots.
+type osWindow struct {
+	key  osWinKey
+	host []byte     // non-nil for host windows
+	gt   *gpuThread // non-nil for device windows
+	ptr  device.Ptr
+	size int
+
+	// mu guards arrivals, truncs and waiters; never held across a
+	// blocking operation (waiters are woken after unlock).
+	mu       sync.Mutex
+	arrivals int64
+	truncs   int64
+	waiters  []*osWaiter
+}
+
+// WinStats is a snapshot of one window's completion accounting.
+type WinStats struct {
+	// Arrivals counts puts applied into the window (remote completions).
+	Arrivals int64
+	// Truncated counts applied puts that were clipped to the window end.
+	Truncated int64
+}
+
+// osGet is an origin-side pending get awaiting its reply frame.
+type osGet struct {
+	dst    []byte
+	status CommStatus
+	err    error
+	done   completion
+}
+
+// osState is one node's one-sided engine: the window registry, the
+// origin-side get correlation table, and — under Config.Reliability — the
+// lane's own seq/ack bookkeeping (reliable.go), kept separate from the
+// two-sided relState so the two frame streams cannot collide on
+// (node, seq) keys.
+type osState struct {
+	ns *nodeState
+	tr transport.OneSided
+
+	// mu guards the window registry (registration is rare; lookups copy
+	// the pointer out).
+	mu      sync.Mutex
+	windows map[osWinKey]*osWindow
+
+	// getMu guards the origin-side pending-get table.
+	getMu     sync.Mutex
+	nextToken uint32
+	gets      map[uint32]*osGet
+
+	// Reliability lane. txMu guards nextTx (seq assignment happens on
+	// whatever proc posts the put — CPU kernel or NIC daemon — unlike the
+	// two-sided lane where the comm thread serializes it); waitMu guards
+	// waiters. nextRx and held are confined to the sink daemon.
+	txMu    sync.Mutex
+	nextTx  []uint64
+	waitMu  sync.Mutex
+	waiters map[relKey]*relWaiter
+	nextRx  []uint64
+	held    []map[uint64]*osFrame
+
+	// Atomic counters surfaced in Report/NodeStats.
+	putsSent  int64
+	getsSent  int64
+	trigFired int64
+	applied   int64
+	truncated int64
+}
+
+func newOSState(ns *nodeState, tr transport.OneSided, nodes int) *osState {
+	held := make([]map[uint64]*osFrame, nodes)
+	for i := range held {
+		held[i] = make(map[uint64]*osFrame)
+	}
+	return &osState{
+		ns:      ns,
+		tr:      tr,
+		windows: make(map[osWinKey]*osWindow),
+		gets:    make(map[uint32]*osGet),
+		nextTx:  make([]uint64, nodes),
+		waiters: make(map[relKey]*relWaiter),
+		nextRx:  make([]uint64, nodes),
+		held:    held,
+	}
+}
+
+// initOneSided discovers the transport's one-sided lane and builds the
+// node's one-sided state. Called from the node builders when
+// Config.OneSided is set, before ns.start() spawns the sink daemon.
+func (ns *nodeState) initOneSided() {
+	osT, ok := ns.tr.(transport.OneSided)
+	if !ok {
+		panic(fmt.Sprintf("dcgn: Config.OneSided requires a transport with a one-sided lane, got %T (WrapTransport hooks must forward transport.OneSided)", ns.tr))
+	}
+	ns.osw = newOSState(ns, osT, ns.job.rmap.Nodes())
+}
+
+// osRequire returns the node's one-sided state or panics with guidance.
+func (ns *nodeState) osRequire() *osState {
+	if ns.osw == nil {
+		panic(osErrNotEnabled)
+	}
+	return ns.osw
+}
+
+// registerWindow adds one window to the node's registry. Double
+// registration of a (rank, id) key is an application bug.
+func (ns *nodeState) registerWindow(w *osWindow) {
+	osw := ns.osRequire()
+	osw.mu.Lock()
+	defer osw.mu.Unlock()
+	if _, dup := osw.windows[w.key]; dup {
+		panic(fmt.Sprintf("dcgn: window %d already registered by rank %d", w.key.id, w.key.rank))
+	}
+	osw.windows[w.key] = w
+}
+
+// window resolves a registered window; a miss is an application ordering
+// bug (puts raced registration — barrier after registering).
+func (osw *osState) window(rank, id int) *osWindow {
+	osw.mu.Lock()
+	w := osw.windows[osWinKey{rank, id}]
+	osw.mu.Unlock()
+	if w == nil {
+		panic(fmt.Sprintf("dcgn: one-sided target window (rank %d, id %d) not registered on node %d (register windows before any rank targets them)", rank, id, osw.ns.node))
+	}
+	return w
+}
+
+// winStats snapshots a locally-owned window's completion accounting.
+func (osw *osState) winStats(rank, id int) WinStats {
+	w := osw.window(rank, id)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WinStats{Arrivals: w.arrivals, Truncated: w.truncs}
+}
+
+// arrive counts one applied put and wakes every WinWait whose threshold
+// the new count reaches.
+func (w *osWindow) arrive(clipped bool) {
+	w.mu.Lock()
+	w.arrivals++
+	if clipped {
+		w.truncs++
+	}
+	var fire []completion
+	keep := w.waiters[:0]
+	for _, ow := range w.waiters {
+		if w.arrivals >= ow.target {
+			fire = append(fire, ow.ev)
+		} else {
+			keep = append(keep, ow)
+		}
+	}
+	for i := len(keep); i < len(w.waiters); i++ {
+		w.waiters[i] = nil
+	}
+	w.waiters = keep
+	w.mu.Unlock()
+	for _, ev := range fire {
+		ev.Fire()
+	}
+}
+
+// waitWindow blocks until the locally-owned window (rank, id) has
+// accumulated at least target arrivals.
+func (ns *nodeState) waitWindow(p transport.Proc, rank, id int, target int) {
+	w := ns.osRequire().window(rank, id)
+	w.mu.Lock()
+	if w.arrivals >= int64(target) {
+		w.mu.Unlock()
+		return
+	}
+	ow := &osWaiter{target: int64(target), ev: ns.rt.NewEventID("os-win", rank)}
+	w.waiters = append(w.waiters, ow)
+	w.mu.Unlock()
+	ow.ev.Wait(p)
+}
+
+// writeWindow applies payload at offset, clipping to the window, and
+// charges the apply cost on p: a host memcpy for host windows, a PCIe
+// payload transfer for device windows. Reports delivered bytes and
+// whether the write was clipped.
+func (ns *nodeState) writeWindow(p transport.Proc, w *osWindow, offset int, payload []byte) (int, bool) {
+	n := len(payload)
+	clipped := false
+	if offset >= w.size {
+		return 0, true
+	}
+	if offset+n > w.size {
+		n = w.size - offset
+		clipped = true
+	}
+	if w.host != nil {
+		copy(w.host[offset:offset+n], payload[:n])
+		ns.chargeMemcpy(p, n)
+	} else {
+		w.gt.dev.CopyIn(p.(*sim.Proc), w.gt.payloadBus(), w.ptr+device.Ptr(offset), payload[:n])
+	}
+	return n, clipped
+}
+
+// readWindow copies up to want bytes at offset out of the window into a
+// pooled buffer, clipping to the window bounds.
+func (ns *nodeState) readWindow(p transport.Proc, w *osWindow, offset, want int) ([]byte, bool) {
+	n := want
+	clipped := false
+	if offset >= w.size {
+		n = 0
+		clipped = true
+	} else if offset+n > w.size {
+		n = w.size - offset
+		clipped = true
+	}
+	buf := ns.job.pool.Get(n)
+	if n > 0 {
+		if w.host != nil {
+			copy(buf, w.host[offset:offset+n])
+			ns.chargeMemcpy(p, n)
+		} else {
+			w.gt.dev.CopyOut(p.(*sim.Proc), w.gt.payloadBus(), w.ptr+device.Ptr(offset), buf)
+		}
+	}
+	return buf, clipped
+}
+
+// osPutFrom is the origin side of a put on behalf of srcRank: doorbell
+// charge, then local apply or a frame on the transport's one-sided lane
+// (sequenced and acknowledged under Config.Reliability).
+func (ns *nodeState) osPutFrom(p transport.Proc, srcRank, dstRank, winID, offset int, data []byte) error {
+	osw := ns.osRequire()
+	p.SleepJit(ns.job.cfg.Params.DoorbellCost)
+	atomic.AddInt64(&osw.putsSent, 1)
+	if ns.met != nil {
+		ns.met.osPuts.Add(1)
+	}
+	dstNode := ns.job.rmap.Node(dstRank)
+	if dstNode == ns.node {
+		w := osw.window(dstRank, winID)
+		p.SleepJit(ns.job.cfg.Params.OneSidedApplyCost)
+		_, clipped := ns.writeWindow(p, w, offset, data)
+		atomic.AddInt64(&osw.applied, 1)
+		if clipped {
+			atomic.AddInt64(&osw.truncated, 1)
+		}
+		w.arrive(clipped)
+		return nil
+	}
+	f := &osFrame{kind: osPut, src: srcRank, dst: dstRank, win: winID, offset: offset, postedNs: int64(p.Now()), payload: data}
+	return ns.osSendFrame(p, dstNode, f)
+}
+
+// osGetFrom is the origin side of a get on behalf of srcRank: it reads
+// len(dst) bytes at offset from the window (dstRank, winID) into dst,
+// returning ErrTruncate (with the delivered prefix) when the request
+// over-runs the window.
+func (ns *nodeState) osGetFrom(p transport.Proc, srcRank, dstRank, winID, offset int, dst []byte) (CommStatus, error) {
+	osw := ns.osRequire()
+	p.SleepJit(ns.job.cfg.Params.DoorbellCost)
+	atomic.AddInt64(&osw.getsSent, 1)
+	if ns.met != nil {
+		ns.met.osGets.Add(1)
+	}
+	dstNode := ns.job.rmap.Node(dstRank)
+	if dstNode == ns.node {
+		w := osw.window(dstRank, winID)
+		p.SleepJit(ns.job.cfg.Params.OneSidedApplyCost)
+		buf, clipped := ns.readWindow(p, w, offset, len(dst))
+		n := copy(dst, buf)
+		ns.job.pool.Put(buf)
+		st := CommStatus{Source: dstRank, Bytes: n}
+		if clipped {
+			return st, ErrTruncate
+		}
+		return st, nil
+	}
+	g := &osGet{dst: dst, done: ns.rt.NewEventID("os-get", srcRank)}
+	osw.getMu.Lock()
+	osw.nextToken++
+	token := osw.nextToken
+	osw.gets[token] = g
+	osw.getMu.Unlock()
+	f := &osFrame{kind: osGetReq, src: srcRank, dst: dstRank, win: winID, token: token, offset: offset, postedNs: int64(p.Now()), aux: uint64(len(dst))}
+	if err := ns.osSendFrame(p, dstNode, f); err != nil {
+		osw.getMu.Lock()
+		delete(osw.gets, token)
+		osw.getMu.Unlock()
+		return CommStatus{}, err
+	}
+	g.done.Wait(p)
+	return g.status, g.err
+}
+
+// osSendFrame packs and transmits one data-class frame (put, get request
+// or get reply) to dstNode on the one-sided lane, inline on the calling
+// proc. Under Config.Reliability it assigns the lane's next sequence
+// number for the node pair and blocks until acknowledged.
+func (ns *nodeState) osSendFrame(p transport.Proc, dstNode int, f *osFrame) error {
+	osw := ns.osw
+	if ns.rel == nil {
+		frame := ns.packOSFrame(f)
+		err := osw.tr.SendOneSided(p, dstNode, frame)
+		ns.job.pool.Put(frame)
+		return err
+	}
+	osw.txMu.Lock()
+	f.seq = osw.nextTx[dstNode]
+	osw.nextTx[dstNode]++
+	osw.txMu.Unlock()
+	frame := ns.packOSFrame(f)
+	return ns.osSendReliable(p, dstNode, f.seq, frame)
+}
+
+// runOneSidedReceiver is the node's one-sided sink daemon: it drains the
+// transport's one-sided lane and applies frames straight into windows —
+// the progress engine's intake/matcher layers never see this traffic.
+func (ns *nodeState) runOneSidedReceiver(p transport.Proc) {
+	osw := ns.osw
+	for {
+		raw, err := osw.tr.RecvOneSided(p)
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				osw.releaseHeld(ns.job)
+				return // transport shut down (live backend teardown)
+			}
+			panic(fmt.Sprintf("dcgn: one-sided receiver on node %d: %v", ns.node, err))
+		}
+		f, err := unpackOSFrame(raw)
+		if err != nil {
+			panic(fmt.Sprintf("dcgn: one-sided receiver on node %d: %v", ns.node, err))
+		}
+		if ns.rel != nil {
+			ns.osRecvReliable(p, f)
+			continue
+		}
+		ns.osDispatch(p, f)
+	}
+}
+
+// osDispatch applies one in-order data-class frame and releases its
+// backing buffer.
+func (ns *nodeState) osDispatch(p transport.Proc, f *osFrame) {
+	switch f.kind {
+	case osPut:
+		ns.osApplyPut(p, f)
+	case osGetReq:
+		ns.osApplyGetReq(p, f)
+	case osGetRep:
+		ns.osApplyGetRep(p, f)
+	default:
+		panic(fmt.Sprintf("dcgn: one-sided sink on node %d: unexpected frame kind %d", ns.node, f.kind))
+	}
+	ns.job.pool.Put(f.backing)
+}
+
+// osApplyPut lands one put in its target window and counts the remote
+// completion.
+func (ns *nodeState) osApplyPut(p transport.Proc, f *osFrame) {
+	osw := ns.osw
+	w := osw.window(f.dst, f.win)
+	p.SleepJit(ns.job.cfg.Params.OneSidedApplyCost)
+	_, clipped := ns.writeWindow(p, w, f.offset, f.payload)
+	atomic.AddInt64(&osw.applied, 1)
+	if clipped {
+		atomic.AddInt64(&osw.truncated, 1)
+	}
+	if ns.met != nil {
+		if lat := int64(p.Now()) - f.postedNs; lat >= 0 {
+			ns.met.osRemoteComplete.Observe(lat)
+		}
+	}
+	w.arrive(clipped)
+}
+
+// osApplyGetReq serves one get request: read the window, then reply from
+// a spawned helper so the sink daemon never blocks in a transport send.
+func (ns *nodeState) osApplyGetReq(p transport.Proc, f *osFrame) {
+	osw := ns.osw
+	w := osw.window(f.dst, f.win)
+	p.SleepJit(ns.job.cfg.Params.OneSidedApplyCost)
+	buf, clipped := ns.readWindow(p, w, f.offset, int(f.aux))
+	atomic.AddInt64(&osw.applied, 1)
+	rep := &osFrame{kind: osGetRep, src: f.dst, dst: f.src, win: f.win, token: f.token, postedNs: f.postedNs, payload: buf}
+	if clipped {
+		rep.flags = osFlagTrunc
+	}
+	srcNode := ns.job.rmap.Node(f.src)
+	ns.rt.SpawnID("os-getrep", ns.node, func(h transport.Proc) {
+		// Best-effort on a closing transport, exactly like ack helpers:
+		// under reliability the requester retransmits the request.
+		_ = ns.osSendFrame(h, srcNode, rep)
+		ns.job.pool.Put(buf)
+	})
+}
+
+// osApplyGetRep resolves one pending get with its reply payload.
+func (ns *nodeState) osApplyGetRep(p transport.Proc, f *osFrame) {
+	osw := ns.osw
+	osw.getMu.Lock()
+	g := osw.gets[f.token]
+	delete(osw.gets, f.token)
+	osw.getMu.Unlock()
+	if g == nil {
+		// Duplicate reply (reliability dedups, but a pre-reliability
+		// duplicate or a late reply after teardown is tolerable to drop).
+		return
+	}
+	n := copy(g.dst, f.payload)
+	g.status = CommStatus{Source: f.src, Bytes: n}
+	if f.flags&osFlagTrunc != 0 {
+		g.err = ErrTruncate
+	}
+	if ns.met != nil {
+		if lat := int64(p.Now()) - f.postedNs; lat >= 0 {
+			ns.met.osRemoteComplete.Observe(lat)
+		}
+	}
+	g.done.Fire()
+}
+
+// releaseHeld returns parked out-of-order one-sided frames to the pool on
+// teardown.
+func (osw *osState) releaseHeld(j *Job) {
+	for _, m := range osw.held {
+		for seq, f := range m {
+			j.pool.Put(f.backing)
+			delete(m, seq)
+		}
+	}
+}
+
+// --- CPU-kernel one-sided API -------------------------------------------
+
+// RegisterWindow exposes buf as this rank's one-sided window id: peers
+// may Put into and Get from it without this rank posting receives. As
+// with MPI window creation, register before any peer targets the window
+// (a Barrier after registration is the canonical pattern).
+func (c *CPUCtx) RegisterWindow(id int, buf []byte) {
+	c.ns.registerWindow(&osWindow{key: osWinKey{c.rank, id}, host: buf, size: len(buf)})
+}
+
+// Put writes data into window winID of rank dst at offset, bypassing the
+// comm thread entirely. It returns once the frame is on the wire
+// (acknowledged, under Config.Reliability); the target observes delivery
+// via WinWait. Writes overflowing the window are clipped target-side,
+// like receive truncation.
+func (c *CPUCtx) Put(dst, winID, offset int, data []byte) error {
+	return c.ns.osPutFrom(c.tp, c.rank, dst, winID, offset, data)
+}
+
+// Get reads len(dst) bytes at offset from window winID of rank src into
+// dst, blocking until the reply arrives. Requests over-running the window
+// deliver the clipped prefix and ErrTruncate.
+func (c *CPUCtx) Get(src, winID, offset int, dst []byte) (CommStatus, error) {
+	return c.ns.osGetFrom(c.tp, c.rank, src, winID, offset, dst)
+}
+
+// WinWait blocks until this rank's window winID has accumulated at least
+// arrivals applied puts — the remote-completion notification of the
+// one-sided model.
+func (c *CPUCtx) WinWait(winID, arrivals int) {
+	c.ns.waitWindow(c.tp, c.rank, winID, arrivals)
+}
+
+// WinStats snapshots the completion accounting of this rank's window
+// winID.
+func (c *CPUCtx) WinStats(winID int) WinStats {
+	return c.ns.osRequire().winStats(c.rank, winID)
+}
+
+// PersistentPut is a registered ("register once, fire many times")
+// one-sided put: the frame is packed at creation and every Start only
+// refreshes the payload bytes, sequence number and timestamp in place —
+// no per-fire descriptor building or pool churn, the CPU-side analogue of
+// a persistent MPI request. One Start at a time per handle.
+type PersistentPut struct {
+	c       *CPUCtx
+	dstNode int
+	frame   []byte
+	data    []byte
+}
+
+// NewPersistentPut registers a persistent put of data into window winID
+// of rank dst at offset. The data slice is re-read at every Start, so the
+// kernel can update it in place between fires.
+func (c *CPUCtx) NewPersistentPut(dst, winID, offset int, data []byte) *PersistentPut {
+	osw := c.ns.osRequire()
+	_ = osw
+	f := &osFrame{kind: osPut, src: c.rank, dst: dst, win: winID, offset: offset, payload: data}
+	return &PersistentPut{
+		c:       c,
+		dstNode: c.ns.job.rmap.Node(dst),
+		frame:   c.ns.packOSFrame(f),
+		data:    data,
+	}
+}
+
+// Start fires the persistent put once, blocking like Put (acknowledged
+// under Config.Reliability).
+func (pp *PersistentPut) Start() error {
+	c := pp.c
+	ns := c.ns
+	osw := ns.osw
+	p := c.tp
+	p.SleepJit(ns.job.cfg.Params.DoorbellCost)
+	atomic.AddInt64(&osw.putsSent, 1)
+	if ns.met != nil {
+		ns.met.osPuts.Add(1)
+	}
+	le := binary.LittleEndian
+	if pp.dstNode == ns.node {
+		f, err := unpackOSFrame(pp.frame)
+		if err != nil {
+			panic(fmt.Sprintf("dcgn: persistent put frame corrupt: %v", err))
+		}
+		w := osw.window(f.dst, f.win)
+		p.SleepJit(ns.job.cfg.Params.OneSidedApplyCost)
+		_, clipped := ns.writeWindow(p, w, f.offset, pp.data)
+		atomic.AddInt64(&osw.applied, 1)
+		if clipped {
+			atomic.AddInt64(&osw.truncated, 1)
+		}
+		w.arrive(clipped)
+		return nil
+	}
+	copy(pp.frame[osHeaderLen:], pp.data)
+	le.PutUint64(pp.frame[56:], uint64(int64(p.Now())))
+	if ns.rel == nil {
+		return osw.tr.SendOneSided(p, pp.dstNode, pp.frame)
+	}
+	osw.txMu.Lock()
+	seq := osw.nextTx[pp.dstNode]
+	osw.nextTx[pp.dstNode]++
+	osw.txMu.Unlock()
+	le.PutUint64(pp.frame[48:], seq)
+	return ns.osSendReliablePersistent(p, pp.dstNode, seq, pp.frame)
+}
+
+// Free releases the handle's pre-packed frame back to the pool.
+func (pp *PersistentPut) Free() {
+	pp.c.ns.job.pool.Put(pp.frame)
+	pp.frame = nil
+}

@@ -82,6 +82,15 @@ type Params struct {
 	// MaxMsg is the largest DCGN message payload; sized for staging
 	// buffers.
 	MaxMsg int
+	// DoorbellCost is charged per one-sided descriptor post: the doorbell
+	// write that hands a put/get to the NIC model, whether rung by a CPU
+	// kernel or by a GPU-triggered descriptor (default 1µs). Only charged
+	// on the one-sided lane, so classic-path timing is untouched.
+	DoorbellCost time.Duration
+	// OneSidedApplyCost is charged at the target per applied one-sided
+	// frame: window lookup, bounds clipping and completion accounting in
+	// the sink daemon (default 2µs). Only charged on the one-sided lane.
+	OneSidedApplyCost time.Duration
 }
 
 // FutureHW models the vendor additions the paper asks for (§5.2 "Looking
@@ -102,12 +111,14 @@ type FutureHW struct {
 // DefaultParams returns the calibrated overhead model.
 func DefaultParams() Params {
 	return Params{
-		EnqueueCost:     5 * time.Microsecond,
-		DispatchCost:    10 * time.Microsecond,
-		NotifyCost:      7 * time.Microsecond,
-		RemoteRelayCost: 18 * time.Microsecond,
-		LocalMemcpyBW:   4e9,
-		MaxMsg:          64 << 20,
+		EnqueueCost:       5 * time.Microsecond,
+		DispatchCost:      10 * time.Microsecond,
+		NotifyCost:        7 * time.Microsecond,
+		RemoteRelayCost:   18 * time.Microsecond,
+		LocalMemcpyBW:     4e9,
+		MaxMsg:            64 << 20,
+		DoorbellCost:      1 * time.Microsecond,
+		OneSidedApplyCost: 2 * time.Microsecond,
 	}
 }
 
@@ -160,6 +171,16 @@ type Config struct {
 	// Reliability configures the wire-level ack/retransmit layer; see the
 	// Reliability type. Zero value = off (legacy wire format).
 	Reliability Reliability
+
+	// OneSided enables the one-sided communication lane: window
+	// registration (CPUCtx.RegisterWindow / GPUSetup.RegisterWindow),
+	// Put/Get with remote-completion notification (WinWait), persistent
+	// puts, and GPU-triggered operations (GPUCtx.TriggerPut /
+	// TriggerStart) that a per-device NIC daemon fires without any
+	// comm-thread relay or monitor poll tick. Off by default: enabling it
+	// spawns one sink daemon per node (and one NIC daemon per device), so
+	// the classic configurations the golden suite pins stay untouched.
+	OneSided bool
 
 	// Shards splits the simulated cluster into that many per-node-group
 	// event loops that advance in parallel OS threads, synchronized by
@@ -260,6 +281,12 @@ func (c *Config) validate() {
 	}
 	if c.Params.MaxMsg == 0 {
 		c.Params = DefaultParams()
+	}
+	if c.Params.DoorbellCost <= 0 {
+		c.Params.DoorbellCost = 1 * time.Microsecond
+	}
+	if c.Params.OneSidedApplyCost <= 0 {
+		c.Params.OneSidedApplyCost = 2 * time.Microsecond
 	}
 	if c.MaxVirtualTime == 0 {
 		c.MaxVirtualTime = time.Hour

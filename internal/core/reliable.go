@@ -311,3 +311,147 @@ func (r *relState) releaseHeld(pool *bufpool.Pool) {
 		}
 	}
 }
+
+// --- One-sided lane ------------------------------------------------------
+//
+// One-sided frames get seq/ack exactly like sends, but in a sequence space
+// of their own (osState.nextTx/nextRx/waiters): the lane is a separate
+// wire stream, so numbering it jointly with two-sided traffic would couple
+// the two FIFOs and reintroduce the comm-thread serialization the lane
+// exists to avoid. Unlike handleSend, sequence assignment has no single
+// owning thread — CPU kernels, persistent puts and the per-device NIC
+// daemons all post frames — so nextTx is mutex-guarded (osState.txMu).
+// Retransmit/ack/dup accounting feeds the shared relState counters: a
+// retransmitted put is a retransmission, whichever lane carried it.
+
+// osAckArrived resolves the one-sided waiter for (peerNode, seq).
+func (osw *osState) osAckArrived(peerNode int, seq uint64) {
+	osw.waitMu.Lock()
+	if w, ok := osw.waiters[relKey{peerNode, seq}]; ok && !w.acked {
+		w.acked = true
+		w.ev.Fire()
+	}
+	osw.waitMu.Unlock()
+}
+
+// osSendReliable transmits one pooled one-sided frame and blocks on the
+// calling proc until it is acknowledged (or the retry budget is spent),
+// then releases the frame. Unlike sendReliable this runs inline on the
+// producing proc — the lane has no comm-thread relay to hand off to.
+func (ns *nodeState) osSendReliable(h transport.Proc, dstNode int, seq uint64, frame []byte) error {
+	err := ns.osSendLoop(h, dstNode, seq, frame)
+	ns.job.pool.Put(frame)
+	return err
+}
+
+// osSendReliablePersistent is osSendReliable for a persistent request's
+// pre-packed frame, which stays with its handle across fires.
+func (ns *nodeState) osSendReliablePersistent(h transport.Proc, dstNode int, seq uint64, frame []byte) error {
+	return ns.osSendLoop(h, dstNode, seq, frame)
+}
+
+// osSendLoop is the one-sided retransmit loop: send, await ack with capped
+// exponential backoff, retransmit on timeout. Same shape and Reliability
+// knobs as sendReliable, against the one-sided waiter table.
+func (ns *nodeState) osSendLoop(h transport.Proc, dstNode int, seq uint64, frame []byte) error {
+	osw := ns.osw
+	rel := ns.rel
+	cfg := ns.job.cfg.Reliability
+	key := relKey{dstNode, seq}
+	w := &relWaiter{ev: ns.rt.NewEventID("os-wait", int(seq))}
+	osw.waitMu.Lock()
+	osw.waiters[key] = w
+	osw.waitMu.Unlock()
+
+	var err error
+	for attempt := 0; ; attempt++ {
+		if sendErr := osw.tr.SendOneSided(h, dstNode, frame); sendErr != nil {
+			err = sendErr
+			break
+		}
+		osw.waitMu.Lock()
+		if w.acked {
+			osw.waitMu.Unlock()
+			break
+		}
+		ev := w.ev
+		osw.waitMu.Unlock()
+		cancel := ns.rt.After(relBackoff(cfg, attempt), ev.Fire)
+		ev.Wait(h)
+		cancel()
+		osw.waitMu.Lock()
+		if w.acked {
+			osw.waitMu.Unlock()
+			break
+		}
+		if attempt >= cfg.MaxRetries {
+			osw.waitMu.Unlock()
+			err = fmt.Errorf("dcgn: node %d one-sided seq %d to node %d: %w", ns.node, seq, dstNode, ErrUnacked)
+			break
+		}
+		w.ev = ns.rt.NewEventID("os-wait", int(seq))
+		osw.waitMu.Unlock()
+		atomic.AddInt64(&rel.retransmits, 1)
+		if ns.met != nil {
+			ns.met.backoff.Observe(int64(relBackoff(cfg, attempt)))
+		}
+	}
+	osw.waitMu.Lock()
+	delete(osw.waiters, key)
+	osw.waitMu.Unlock()
+	return err
+}
+
+// osSendAck acknowledges one-sided seq to peerNode from a spawned worker,
+// mirroring sendAck's never-block-the-sink rule.
+func (ns *nodeState) osSendAck(peerNode int, seq uint64) {
+	osw := ns.osw
+	ack := ns.packOSFrame(&osFrame{kind: osAck, src: ns.node, seq: seq})
+	atomic.AddInt64(&ns.rel.acksSent, 1)
+	ns.rt.SpawnID("os-ack", ns.node, func(h transport.Proc) {
+		// Best-effort, like sendAck: the sender retransmits and we re-ack.
+		_ = osw.tr.SendOneSided(h, peerNode, ack)
+		ns.job.pool.Put(ack)
+	})
+}
+
+// osRecvReliable dispatches one sequenced one-sided frame inside the sink
+// daemon: ack-always, dedup, resequence per source node, then apply in
+// order — so puts from one origin land in post order no matter what the
+// faulted wire did, and chaos runs stay bit-identical to clean ones.
+func (ns *nodeState) osRecvReliable(p transport.Proc, f *osFrame) {
+	osw := ns.osw
+	rel := ns.rel
+	if f.kind == osAck {
+		atomic.AddInt64(&rel.acksReceived, 1)
+		osw.osAckArrived(f.src, f.seq)
+		ns.job.pool.Put(f.backing)
+		return
+	}
+	srcNode := ns.job.rmap.Node(f.src)
+	ns.osSendAck(srcNode, f.seq)
+	switch {
+	case f.seq < osw.nextRx[srcNode]:
+		atomic.AddInt64(&rel.dupFrames, 1)
+		ns.job.pool.Put(f.backing)
+	case f.seq == osw.nextRx[srcNode]:
+		ns.osDispatch(p, f)
+		osw.nextRx[srcNode]++
+		for {
+			next, ok := osw.held[srcNode][osw.nextRx[srcNode]]
+			if !ok {
+				break
+			}
+			delete(osw.held[srcNode], osw.nextRx[srcNode])
+			ns.osDispatch(p, next)
+			osw.nextRx[srcNode]++
+		}
+	default:
+		if _, dup := osw.held[srcNode][f.seq]; dup {
+			atomic.AddInt64(&rel.dupFrames, 1)
+			ns.job.pool.Put(f.backing)
+		} else {
+			osw.held[srcNode][f.seq] = f
+		}
+	}
+}

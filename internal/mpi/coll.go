@@ -114,14 +114,22 @@ func (c *Comm) Barrier(p *sim.Proc, r *Rank) {
 	}
 }
 
+// bcastLargeMin is the payload size above which Config.TreeCollectives
+// switches Bcast to the scatter–allgather algorithm (largeBcast).
+const bcastLargeMin = 8 << 10
+
 // Bcast broadcasts the root member's buf to every member (binomial tree);
-// root is a comm rank.
+// root is a comm rank. With Config.TreeCollectives, payloads larger than
+// bcastLargeMin run as binomial scatter + ring allgather (largeBcast).
 func (c *Comm) Bcast(p *sim.Proc, r *Rank, buf []byte, root int) error {
 	n := c.Size()
 	me := c.RankOf(r)
 	p.SleepJit(r.w.cfg.CallOverhead)
 	if n == 1 {
 		return nil
+	}
+	if r.w.cfg.TreeCollectives && len(buf) > bcastLargeMin {
+		return c.largeBcast(p, r, buf, root)
 	}
 	vr := (me - root + n) % n
 	mask := 1
@@ -146,6 +154,56 @@ func (c *Comm) Bcast(p *sim.Proc, r *Rank, buf []byte, root int) error {
 			}
 		}
 		mask >>= 1
+	}
+	return nil
+}
+
+// largeBcast is the large-payload broadcast: a binomial-tree scatter of
+// 1/n-size chunks followed by a ring allgather (van de Geijn's
+// scatter–allgather). The plain binomial tree makes the root inject
+// log2(n) FULL copies of the payload, so its NIC serialization is the
+// floor on broadcast time no matter how the levels overlap; here the root
+// injects about one payload's worth of bytes total (the scatter), and the
+// ring moves 1/n-size chunks in parallel on every link, cutting the
+// bandwidth term from ~log2(n)·B to ~2·B spread across all members.
+//
+// The allgather steps reuse the opBcast tag space with the step index in
+// the tag's 6-bit round field (mod 64): each ring neighbor pair exchanges
+// exactly one message per step, in step order, so per-sender
+// non-overtaking delivery makes the wrap safe.
+func (c *Comm) largeBcast(p *sim.Proc, r *Rank, buf []byte, root int) error {
+	n := c.Size()
+	me := c.RankOf(r)
+	counts := make([]int, n)
+	base, extra := len(buf)/n, len(buf)%n
+	for i := range counts {
+		counts[i] = base
+		if i < extra {
+			counts[i]++
+		}
+	}
+	displs := displacements(counts)
+	// Phase 1: scatter the chunks in place (binomial treeScatterv when
+	// n > 2, which TreeCollectives guarantees is enabled).
+	var send []byte
+	if me == root {
+		send = buf
+	}
+	if err := c.Scatterv(p, r, send, counts, buf[displs[me]:displs[me]+counts[me]], root); err != nil {
+		return err
+	}
+	// Phase 2: ring allgather of the (ragged) chunks.
+	right := c.Translate((me + 1) % n)
+	left := c.Translate((me - 1 + n) % n)
+	for step := 0; step < n-1; step++ {
+		si := (me - step + n) % n
+		ri := (me - step - 1 + n) % n
+		r.collHop(p, max(counts[si], counts[ri]))
+		if _, err := r.Sendrecv(p,
+			buf[displs[si]:displs[si]+counts[si]], right, c.collTag(opBcast, step&63),
+			buf[displs[ri]:displs[ri]+counts[ri]], left, c.collTag(opBcast, step&63)); err != nil {
+			return err
+		}
 	}
 	return nil
 }

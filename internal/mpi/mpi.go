@@ -64,7 +64,10 @@ type Config struct {
 	// TreeCollectives switches Gatherv/Scatterv (and the fixed-size
 	// Gather/Scatter built on them) from the flat fan-in/fan-out — the
 	// root posting n-1 receives or sends — to binomial trees, bounding
-	// the root's incast to log2(n) messages at scale.
+	// the root's incast to log2(n) messages at scale. It also switches
+	// Bcast payloads larger than bcastLargeMin to binomial scatter + ring
+	// allgather (see largeBcast), which spares the root from injecting
+	// log2(n) full payload copies.
 	TreeCollectives bool
 }
 

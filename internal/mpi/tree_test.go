@@ -95,6 +95,75 @@ func TestTreeScatterv(t *testing.T) {
 	}
 }
 
+// TestLargeBcast checks the scatter–allgather broadcast delivers the
+// root's exact payload everywhere, across ragged payload sizes
+// (threshold-boundary, off-by-one, chunk sizes that don't divide evenly),
+// member counts and a non-zero root.
+func TestLargeBcast(t *testing.T) {
+	sizes := []int{bcastLargeMin + 1, 3*bcastLargeMin + 17, 65 * bcastLargeMin}
+	for _, n := range []int{2, 3, 5, 8} {
+		for _, size := range sizes {
+			root := n - 1
+			s := sim.New()
+			w := treeWorld(s, n, n)
+			want := fill(size, 0)
+			for i := range want {
+				want[i] = byte(i * 131)
+			}
+			results := make([][]byte, n)
+			runRanks(t, w, func(p *sim.Proc, r *Rank) {
+				buf := make([]byte, size)
+				if r.ID() == root {
+					copy(buf, want)
+				}
+				if err := r.Bcast(p, buf, root); err != nil {
+					t.Errorf("n=%d size=%d rank=%d: %v", n, size, r.ID(), err)
+				}
+				results[r.ID()] = buf
+			})
+			for i := 0; i < n; i++ {
+				if !bytes.Equal(results[i], want) {
+					t.Fatalf("n=%d size=%d: rank %d payload wrong", n, size, i)
+				}
+			}
+		}
+	}
+}
+
+// TestLargeBcastFaster pins the algorithm's point: for a bandwidth-bound
+// payload, scatter–allgather finishes ahead of the plain binomial tree,
+// whose root must inject log2(n) full payload copies.
+func TestLargeBcastFaster(t *testing.T) {
+	const n, size = 8, 512 << 10
+	run := func(tree bool) time.Duration {
+		s := sim.New()
+		net := fabric.New(s, n, fabric.DefaultConfig())
+		nodeOf := make([]int, n)
+		for i := range nodeOf {
+			nodeOf[i] = i
+		}
+		cfg := DefaultConfig()
+		cfg.TreeCollectives = tree
+		w := NewWorld(s, net, nodeOf, cfg)
+		var last time.Duration
+		runRanks(t, w, func(p *sim.Proc, r *Rank) {
+			buf := make([]byte, size)
+			if err := r.Bcast(p, buf, 0); err != nil {
+				t.Errorf("rank %d: %v", r.ID(), err)
+			}
+			if done := p.Now(); done > last {
+				last = done
+			}
+		})
+		return last
+	}
+	plain := run(false)
+	sag := run(true)
+	if sag >= plain {
+		t.Fatalf("scatter-allgather bcast (%v) not faster than binomial tree (%v)", sag, plain)
+	}
+}
+
 // TestTreeGatherRendezvous pushes block sizes past the eager limit so the
 // tree hops exercise the RTS/CTS path.
 func TestTreeGatherRendezvous(t *testing.T) {

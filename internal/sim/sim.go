@@ -376,9 +376,12 @@ func (s *Sim) Run() error {
 		if s.failure != nil {
 			return s.failure
 		}
-		if s.live == 0 {
-			return nil
-		}
+		// Drain ready Procs before testing live: the last non-daemon Proc's
+		// exit may leave daemons woken by final deliveries — a sink holding
+		// a just-handed staging buffer mid-transfer. Running them to their
+		// next block point (same virtual instant; timers below still never
+		// fire once nothing is live) lets those handoffs finish so
+		// end-of-run resource accounting balances.
 		if len(s.ready) > 0 {
 			p := s.ready[0]
 			s.ready = s.ready[1:]
@@ -387,6 +390,9 @@ func (s *Sim) Run() error {
 			}
 			s.runProc(p)
 			continue
+		}
+		if s.live == 0 {
+			return nil
 		}
 		if s.timers.len() > 0 {
 			t := s.timers.pop()

@@ -79,17 +79,22 @@ func (c Config) maxDelay() time.Duration {
 // transport.Transport and transport.FaultReporter.
 type Endpoint struct {
 	inner transport.Transport
-	cfg   Config
-	node  int
+	// innerOS is the inner transport's one-sided lane, nil when the
+	// wrapped backend does not implement it.
+	innerOS transport.OneSided
+	cfg     Config
+	node    int
 
-	// mu guards the RNG, stats and held-message slot. It is never held
+	// mu guards the RNG, stats and held-message slots. It is never held
 	// across a (potentially blocking) inner transport call: on the
 	// simulated backend a proc parking while holding a sync.Mutex would
 	// wedge the whole scheduler.
 	mu        sync.Mutex
 	rng       *rand.Rand
-	held      []byte // one reordered message awaiting flush
+	held      []byte // one reordered wire message awaiting flush
 	heldDst   int
+	heldOS    []byte // one reordered one-sided frame awaiting flush
+	heldOSDst int
 	collCalls uint64
 	stats     transport.FaultStats
 }
@@ -98,12 +103,14 @@ type Endpoint struct {
 // of a cluster must share the same Config (in particular Seed), or the
 // cluster-consistent collective failure decisions diverge.
 func New(inner transport.Transport, cfg Config, node int) *Endpoint {
-	return &Endpoint{
+	e := &Endpoint{
 		inner: inner,
 		cfg:   cfg,
 		node:  node,
 		rng:   rand.New(rand.NewSource(cfg.Seed ^ int64(node)<<17 ^ 0x5bd1e995)),
 	}
+	e.innerOS, _ = inner.(transport.OneSided)
+	return e
 }
 
 // FaultStats returns a snapshot of the faults injected so far.
@@ -116,11 +123,12 @@ func (e *Endpoint) FaultStats() transport.FaultStats {
 // roll draws one Bernoulli decision; callers hold e.mu.
 func (e *Endpoint) roll(p float64) bool { return p > 0 && e.rng.Float64() < p }
 
-// Send applies drop/dup/reorder to msg, then forwards the survivors to
-// the inner transport. Fault decisions apply to the primary message only;
-// a flushed (previously held) message and the duplicate copy are sent
-// as-is, so at most one message is ever parked in the endpoint.
-func (e *Endpoint) Send(p transport.Proc, dstNode int, msg []byte) error {
+// sendFaulty applies drop/dup/reorder to msg, then forwards the survivors
+// through send. Fault decisions apply to the primary message only; a
+// flushed (previously held) message and the duplicate copy are sent as-is,
+// so at most one message is ever parked per lane (held/heldDst point at
+// the lane's slot in the endpoint, guarded by mu).
+func (e *Endpoint) sendFaulty(p transport.Proc, dstNode int, msg []byte, held *[]byte, heldDst *int, send func(transport.Proc, int, []byte) error) error {
 	e.mu.Lock()
 	if e.roll(e.cfg.Drop) {
 		e.stats.Drops++
@@ -131,45 +139,60 @@ func (e *Endpoint) Send(p transport.Proc, dstNode int, msg []byte) error {
 	if dup {
 		e.stats.Dups++
 	}
-	if e.held == nil && e.roll(e.cfg.Reorder) {
+	if *held == nil && e.roll(e.cfg.Reorder) {
 		// Park a private copy (Send's buffered semantics return msg to the
 		// caller); it rides out with the endpoint's next send. The copy is
 		// a plain allocation, deliberately outside the job's buffer pool:
 		// held messages are fabric state, not engine staging.
 		e.stats.Reorders++
-		e.held = append([]byte(nil), msg...)
-		e.heldDst = dstNode
+		*held = append([]byte(nil), msg...)
+		*heldDst = dstNode
 		e.mu.Unlock()
 		return nil
 	}
 	var flush []byte
 	var flushDst int
-	if e.held != nil {
-		flush, flushDst = e.held, e.heldDst
-		e.held = nil
+	if *held != nil {
+		flush, flushDst = *held, *heldDst
+		*held = nil
 	}
 	e.mu.Unlock()
 
-	if err := e.inner.Send(p, dstNode, msg); err != nil {
+	if err := send(p, dstNode, msg); err != nil {
 		return err
 	}
 	if dup {
-		if err := e.inner.Send(p, dstNode, msg); err != nil {
+		if err := send(p, dstNode, msg); err != nil {
 			return err
 		}
 	}
 	if flush != nil {
-		if err := e.inner.Send(p, flushDst, flush); err != nil {
+		if err := send(p, flushDst, flush); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// RecvMsg forwards the inner receive, injecting latency on delivery with
+// Send applies drop/dup/reorder to msg, then forwards the survivors to
+// the inner transport.
+func (e *Endpoint) Send(p transport.Proc, dstNode int, msg []byte) error {
+	return e.sendFaulty(p, dstNode, msg, &e.held, &e.heldDst, e.inner.Send)
+}
+
+// SendOneSided applies the same drop/dup/reorder machinery to one-sided
+// frames, with a held-message slot of its own so the two lanes reorder
+// independently (a parked put can never block a wire send's flush).
+func (e *Endpoint) SendOneSided(p transport.Proc, dstNode int, frame []byte) error {
+	if e.innerOS == nil {
+		return transport.ErrNoOneSided
+	}
+	return e.sendFaulty(p, dstNode, frame, &e.heldOS, &e.heldOSDst, e.innerOS.SendOneSided)
+}
+
+// recvFaulty injects latency on a successfully received message with
 // probability Config.Delay.
-func (e *Endpoint) RecvMsg(p transport.Proc) ([]byte, error) {
-	msg, err := e.inner.RecvMsg(p)
+func (e *Endpoint) recvFaulty(p transport.Proc, msg []byte, err error) ([]byte, error) {
 	if err != nil {
 		return msg, err
 	}
@@ -184,6 +207,23 @@ func (e *Endpoint) RecvMsg(p transport.Proc) ([]byte, error) {
 		sleepFor(p, d)
 	}
 	return msg, nil
+}
+
+// RecvMsg forwards the inner receive, injecting latency on delivery with
+// probability Config.Delay.
+func (e *Endpoint) RecvMsg(p transport.Proc) ([]byte, error) {
+	msg, err := e.inner.RecvMsg(p)
+	return e.recvFaulty(p, msg, err)
+}
+
+// RecvOneSided forwards the inner one-sided receive, injecting latency on
+// delivery with probability Config.Delay.
+func (e *Endpoint) RecvOneSided(p transport.Proc) ([]byte, error) {
+	if e.innerOS == nil {
+		return nil, transport.ErrNoOneSided
+	}
+	frame, err := e.innerOS.RecvOneSided(p)
+	return e.recvFaulty(p, frame, err)
 }
 
 // sleepFor charges an injected delay on whatever clock the backend runs:
@@ -271,10 +311,11 @@ func (e *Endpoint) Alltoallv(p transport.Proc, sendBuf []byte, sendCounts []int,
 	return e.inner.Alltoallv(p, sendBuf, sendCounts, recvBuf, recvCounts)
 }
 
-// Close drops any held message and closes the inner transport.
+// Close drops any held messages and closes the inner transport.
 func (e *Endpoint) Close() error {
 	e.mu.Lock()
 	e.held = nil
+	e.heldOS = nil
 	e.mu.Unlock()
 	return e.inner.Close()
 }

@@ -62,7 +62,12 @@ func New(nodes int, pool *bufpool.Pool) *Cluster {
 	c := &Cluster{pool: pool, closed: make(chan struct{})}
 	c.coll.init(c, nodes)
 	for n := 0; n < nodes; n++ {
-		c.eps = append(c.eps, &Endpoint{c: c, node: n, in: make(chan []byte, wireDepth)})
+		c.eps = append(c.eps, &Endpoint{
+			c:    c,
+			node: n,
+			in:   make(chan []byte, wireDepth),
+			osIn: make(chan []byte, wireDepth),
+		})
 	}
 	return c
 }
@@ -91,14 +96,16 @@ func (c *Cluster) Close() error {
 		c.mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 		c.senders.Wait()
 		for _, ep := range c.eps {
-			for {
-				select {
-				case m := <-ep.in:
-					c.pool.Put(m)
-					continue
-				default:
+			for _, ch := range []chan []byte{ep.in, ep.osIn} {
+				for {
+					select {
+					case m := <-ch:
+						c.pool.Put(m)
+						continue
+					default:
+					}
+					break
 				}
-				break
 			}
 		}
 	})
@@ -119,12 +126,15 @@ type Endpoint struct {
 	c    *Cluster
 	node int
 	in   chan []byte
+	// osIn is the one-sided lane: a dedicated channel so put/get frames
+	// never interleave with (or stall behind) the two-sided wire stream.
+	osIn chan []byte
 }
 
-// Send copies msg into a pooled buffer and delivers it to dstNode's
-// inbound channel; the copy gives Send the same buffered semantics as the
-// simulated MPI backend (msg is the caller's again on return).
-func (e *Endpoint) Send(_ transport.Proc, dstNode int, msg []byte) error {
+// sendOn copies msg into a pooled buffer and delivers it to dstNode's
+// given inbound channel, with the Close-safe registration discipline
+// shared by both lanes.
+func (e *Endpoint) sendOn(dstNode int, msg []byte, lane func(*Endpoint) chan []byte) error {
 	if dstNode < 0 || dstNode >= len(e.c.eps) {
 		return fmt.Errorf("live: send to bad node %d (cluster of %d)", dstNode, len(e.c.eps))
 	}
@@ -143,7 +153,7 @@ func (e *Endpoint) Send(_ transport.Proc, dstNode int, msg []byte) error {
 	cp := e.c.pool.Get(len(msg))
 	copy(cp, msg)
 	select {
-	case e.c.eps[dstNode].in <- cp:
+	case lane(e.c.eps[dstNode]) <- cp:
 		e.c.packets.Add(1)
 		e.c.bytes.Add(int64(len(msg)))
 		return nil
@@ -153,22 +163,47 @@ func (e *Endpoint) Send(_ transport.Proc, dstNode int, msg []byte) error {
 	}
 }
 
-// RecvMsg blocks for the next inbound wire message; the returned buffer
+// recvOn blocks for the next inbound message on ch; the returned buffer
 // is the caller's to release. After Close it returns transport.ErrClosed.
-func (e *Endpoint) RecvMsg(_ transport.Proc) ([]byte, error) {
+func (e *Endpoint) recvOn(ch chan []byte) ([]byte, error) {
 	select {
-	case m := <-e.in:
+	case m := <-ch:
 		return m, nil
 	case <-e.c.closed:
 		// Closed: prefer draining any message that raced the close so
 		// shutdown doesn't strand deliverable traffic.
 		select {
-		case m := <-e.in:
+		case m := <-ch:
 			return m, nil
 		default:
 			return nil, transport.ErrClosed
 		}
 	}
+}
+
+// Send copies msg into a pooled buffer and delivers it to dstNode's
+// inbound channel; the copy gives Send the same buffered semantics as the
+// simulated MPI backend (msg is the caller's again on return).
+func (e *Endpoint) Send(_ transport.Proc, dstNode int, msg []byte) error {
+	return e.sendOn(dstNode, msg, func(ep *Endpoint) chan []byte { return ep.in })
+}
+
+// RecvMsg blocks for the next inbound wire message; the returned buffer
+// is the caller's to release. After Close it returns transport.ErrClosed.
+func (e *Endpoint) RecvMsg(_ transport.Proc) ([]byte, error) {
+	return e.recvOn(e.in)
+}
+
+// SendOneSided delivers one framed one-sided message to dstNode's
+// one-sided channel with the same buffered semantics as Send.
+func (e *Endpoint) SendOneSided(_ transport.Proc, dstNode int, frame []byte) error {
+	return e.sendOn(dstNode, frame, func(ep *Endpoint) chan []byte { return ep.osIn })
+}
+
+// RecvOneSided blocks for the next inbound one-sided frame; the returned
+// buffer is the caller's to release.
+func (e *Endpoint) RecvOneSided(_ transport.Proc) ([]byte, error) {
+	return e.recvOn(e.osIn)
 }
 
 // Barrier blocks until every node has entered the barrier.

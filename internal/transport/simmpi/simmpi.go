@@ -22,6 +22,12 @@ import (
 // messages are demultiplexed by the DCGN header, not by MPI matching.
 const dcgnTag = 770001
 
+// osTag is the MPI tag carrying the one-sided lane: put/get/ack frames
+// demultiplexed by the one-sided header. A distinct tag keeps the lane
+// out of the two-sided RecvMsg stream, so one-sided traffic can never
+// perturb comm-thread matching order (FIFO independence).
+const osTag = 770002
+
 // Transport is one node's simulated-MPI endpoint.
 type Transport struct {
 	rank *mpi.Rank
@@ -50,6 +56,21 @@ func (t *Transport) Send(p transport.Proc, dstNode int, msg []byte) error {
 func (t *Transport) RecvMsg(p transport.Proc) ([]byte, error) {
 	_, msg, err := t.rank.RecvMsg(proc(p), mpi.AnySource, dcgnTag)
 	return msg, err
+}
+
+// SendOneSided transmits one framed one-sided message to dstNode on the
+// dedicated one-sided tag, with the same buffered semantics as Send.
+func (t *Transport) SendOneSided(p transport.Proc, dstNode int, frame []byte) error {
+	return t.rank.Send(proc(p), frame, dstNode, osTag)
+}
+
+// RecvOneSided blocks for the next inbound one-sided frame, taking
+// ownership of the underlying MPI's pooled staging buffer. It runs
+// concurrently with RecvMsg on the same rank: the two posted receives
+// are disjoint by tag.
+func (t *Transport) RecvOneSided(p transport.Proc) ([]byte, error) {
+	_, frame, err := t.rank.RecvMsg(proc(p), mpi.AnySource, osTag)
+	return frame, err
 }
 
 // Barrier runs the node-level MPI barrier.

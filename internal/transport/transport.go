@@ -44,6 +44,13 @@ var ErrClosed = errors.New("transport: closed")
 // errors.Is(err, ErrTransient) and surface everything else.
 var ErrTransient = errors.New("transport: transient injected fault")
 
+// ErrNoOneSided is returned by a middleware's OneSided methods when the
+// transport it wraps does not implement the one-sided lane, so a stack
+// that type-asserts successfully at the outermost layer still fails
+// loudly (rather than silently dropping frames) if an inner layer cannot
+// carry them.
+var ErrNoOneSided = errors.New("transport: wrapped backend has no one-sided lane")
+
 // Config selects the progress-engine substrate for a job.
 type Config struct {
 	// Backend names the transport backend: BackendSim (default when
@@ -113,6 +120,32 @@ type Transport interface {
 	// Close shuts the endpoint down, waking blocked receivers and
 	// collective participants with ErrClosed. It is idempotent.
 	Close() error
+}
+
+// OneSided is the optional second lane of a Transport: framed one-sided
+// messages (put/get/ack descriptors built by internal/core's one-sided
+// engine) that travel outside the two-sided RecvMsg stream. It models an
+// RDMA-capable NIC: frames sent here never enter the comm thread's
+// intake→matcher path at either end — the origin posts directly from the
+// producing thread (CPU kernel or GPU-triggered NIC daemon) and the
+// target's one-sided sink daemon applies them straight into registered
+// windows.
+//
+// Both built-in backends implement it (simmpi demuxes the lane on a
+// dedicated tag; live uses a dedicated channel per endpoint), and the
+// faults middleware forwards it with the same drop/dup/reorder/delay
+// machinery as the two-sided lane, so chaos coverage holds. The engine
+// discovers the lane by type-asserting the node's outermost transport.
+//
+// SendOneSided has buffered semantics (frame is reusable on return);
+// RecvOneSided has take-ownership semantics and returns ErrClosed after
+// Close, exactly mirroring Send/RecvMsg.
+type OneSided interface {
+	// SendOneSided transmits one framed one-sided message to dstNode.
+	SendOneSided(p Proc, dstNode int, frame []byte) error
+	// RecvOneSided blocks until the next inbound one-sided frame arrives
+	// and transfers ownership of its buffer to the caller.
+	RecvOneSided(p Proc) ([]byte, error)
 }
 
 // FaultStats counts the faults a fault-injection middleware has inflicted
