@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt lintdoc test race race-live bench bench-json bench-onesided benchguard chaos onesided trace-export scale ci
+.PHONY: build vet fmt lintdoc test race race-live bench bench-json bench-onesided benchguard chaos onesided multitenant trace-export scale ci
 
 build:
 	$(GO) build ./...
@@ -62,7 +62,7 @@ onesided:
 # Allocation tripwire: fails if allocs/op on the matching benchmarks
 # regresses >20% against the committed baseline.
 benchguard:
-	$(GO) test -run='^$$' -bench='BenchmarkMatchIndex|BenchmarkHighFanoutMatching|BenchmarkEnginePingPong/sim|BenchmarkShardedHighFanout' \
+	$(GO) test -run='^$$' -bench='BenchmarkMatchIndex|BenchmarkHighFanoutMatching|BenchmarkEnginePingPong/(sim|live-multitenant)|BenchmarkShardedHighFanout' \
 		-benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchguard -baseline testdata/bench_baseline.json
 
 # Scale smoke mirroring the CI scale/determinism matrix: a 1024-node sharded
@@ -80,6 +80,15 @@ chaos:
 	$(GO) test ./internal/apps/ -run 'SurvivesLossyWire'
 	$(GO) run -race ./cmd/dcgn-bench -chaos -backend live -chaos-collfail 0.2 -chaos-seed 11
 
+# Multi-tenant runtime gate: the Runtime suite (admission, fair-share,
+# isolation, cancel, control API) under the race detector — including the
+# 8-concurrent-live-jobs test — plus the per-job-overhead benches and the
+# fairness/overhead JSON report.
+multitenant:
+	$(GO) test -race ./internal/core/ -run 'Runtime'
+	$(GO) test -run='^$$' -bench='BenchmarkEnginePingPong/(sim-multitenant|live-multitenant)' -benchtime=1x -benchmem .
+	$(GO) run ./cmd/dcgn-bench -jobs 8 -tenants "light:1,heavy:3" -multitenant-out BENCH_8.json
+
 # Exporter validation: the typed-struct schema tests plus a 4-node fixture
 # run through every dcgn-trace output format.
 trace-export:
@@ -88,4 +97,4 @@ trace-export:
 	$(GO) run ./cmd/dcgn-trace -nodes 4 -format csv -o /tmp/dcgn-trace.csv
 	$(GO) run ./cmd/dcgn-trace -nodes 4 -metrics > /dev/null
 
-ci: build vet fmt lintdoc test race race-live bench benchguard chaos onesided trace-export scale
+ci: build vet fmt lintdoc test race race-live bench benchguard chaos onesided multitenant trace-export scale

@@ -484,6 +484,78 @@ func BenchmarkEnginePingPong(b *testing.B) {
 			b.ReportMetric(float64(rep.Elapsed.Nanoseconds())/iters, "oneway-ns")
 		}
 	})
+	// sim-multitenant / live-multitenant drive four of the same ping-pong
+	// jobs concurrently through one multi-tenant Runtime on an unsaturated
+	// cluster. Their allocs/op baselines sit within 10% of 4x the
+	// corresponding single-job row — the benchguard pin that hosting a job
+	// under the Runtime costs no more than running it alone, per job.
+	mt := func(b *testing.B, backend string) {
+		const jobs = 4
+		for i := 0; i < b.N; i++ {
+			r, err := dcgn.NewRuntime(dcgn.RuntimeConfig{
+				Nodes:          2 * jobs,
+				Transport:      dcgn.TransportConfig{Backend: backend},
+				MaxVirtualTime: 30 * time.Second,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var handles []*dcgn.JobHandle
+			for j := 0; j < jobs; j++ {
+				cfg := dcgn.DefaultConfig()
+				cfg.Nodes, cfg.CPUKernels, cfg.GPUs = 2, 1, 0
+				cfg.Transport.Backend = backend
+				if backend == dcgn.BackendLive {
+					cfg.MaxVirtualTime = 30 * time.Second
+				}
+				job := dcgn.NewJob(cfg)
+				job.SetCPUKernel(func(c *dcgn.CPUCtx) {
+					buf := make([]byte, payload)
+					for k := 0; k < iters; k++ {
+						var err error
+						switch c.Rank() {
+						case 0:
+							if err = c.Send(1, buf); err == nil {
+								_, err = c.Recv(1, buf)
+							}
+						case 1:
+							if _, err = c.Recv(0, buf); err == nil {
+								err = c.Send(0, buf)
+							}
+						}
+						if err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+				h, err := r.Submit(job, dcgn.SubmitOpts{Tenant: fmt.Sprintf("t%d", j%2), Weight: 1 + j%2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				handles = append(handles, h)
+			}
+			if backend == dcgn.BackendSim {
+				if err := r.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var total time.Duration
+			for _, h := range handles {
+				rep, err := h.Wait()
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += rep.Elapsed
+			}
+			if err := r.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(total.Nanoseconds())/jobs/(2*iters), "perjob-oneway-ns")
+		}
+	}
+	b.Run("sim-multitenant", func(b *testing.B) { mt(b, dcgn.BackendSim) })
+	b.Run("live-multitenant", func(b *testing.B) { mt(b, dcgn.BackendLive) })
 }
 
 // BenchmarkShardedHighFanout drives the cluster-scale neighbor-exchange

@@ -1,0 +1,242 @@
+package main
+
+// Multi-tenant runtime report (-jobs N -tenants "a:1,b:3"): measures the
+// per-job cost of sharing one Runtime against the exclusive single-job
+// path, and the weighted fair-share admission split on a saturated
+// runtime. `make multitenant` materializes BENCH_8.json from this.
+//
+// Two phases, both ping-pong jobs (64 round trips of 1 KiB):
+//
+//  1. Overhead — N jobs submitted to a runtime with room for all of
+//     them; every job runs concurrently, and its Elapsed is compared to
+//     the same job run exclusively through Job.Run. The delta is the
+//     multi-tenancy tax the benchguard rows pin.
+//  2. Fairness — N jobs per tenant on a single-slot runtime, so every
+//     admission is a scheduling decision. The early-admission share per
+//     tenant is reported against its weight share.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dcgn/internal/core"
+	"dcgn/internal/transport"
+)
+
+var (
+	jobsFlag = flag.Int("jobs", 0,
+		"multi-tenant mode: concurrent jobs for the overhead run and jobs per tenant for the fairness run")
+	tenantsFlag = flag.String("tenants", "a:1,b:1",
+		"multi-tenant mode: comma-separated tenant:weight pairs")
+	mtOut = flag.String("multitenant-out", "BENCH_8.json",
+		"multi-tenant mode: output JSON path")
+)
+
+type mtTenant struct {
+	name   string
+	weight int
+}
+
+// parseTenants parses "light:1,heavy:3" into named weights.
+func parseTenants(spec string) ([]mtTenant, error) {
+	var out []mtTenant
+	for _, part := range strings.Split(spec, ",") {
+		name, ws, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenant spec %q: want name:weight", part)
+		}
+		w, err := strconv.Atoi(ws)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("tenant spec %q: weight must be a positive integer", part)
+		}
+		out = append(out, mtTenant{name: name, weight: w})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tenant spec %q: no tenants", spec)
+	}
+	return out, nil
+}
+
+// mtPingPong builds the 2-node ping-pong job both phases submit.
+func mtPingPong(backend string, iters, payload int) *core.Job {
+	cfg := core.DefaultConfig()
+	cfg.Nodes, cfg.CPUKernels, cfg.GPUs = 2, 1, 0
+	cfg.Transport.Backend = backend
+	job := core.NewJob(cfg)
+	job.SetCPUKernel(func(c *core.CPUCtx) {
+		buf := make([]byte, payload)
+		for i := 0; i < iters; i++ {
+			switch c.Rank() {
+			case 0:
+				check(c.Send(1, buf))
+				_, err := c.Recv(1, buf)
+				check(err)
+			case 1:
+				_, err := c.Recv(0, buf)
+				check(err)
+				check(c.Send(0, buf))
+			}
+		}
+	})
+	return job
+}
+
+type mtTenantJSON struct {
+	Name            string  `json:"name"`
+	Weight          int     `json:"weight"`
+	Jobs            int     `json:"jobs"`
+	EarlyAdmissions int     `json:"early_admissions"`
+	Share           float64 `json:"share"`
+	ExpectedShare   float64 `json:"expected_share"`
+}
+
+type mtReportJSON struct {
+	Backend           string         `json:"backend"`
+	Jobs              int            `json:"jobs"`
+	SoloElapsedNs     int64          `json:"solo_elapsed_ns"`
+	SoloWallNs        int64          `json:"solo_wall_ns"`
+	PerJobElapsedNs   int64          `json:"perjob_elapsed_ns"`
+	PerJobOverheadPct float64        `json:"perjob_overhead_pct"`
+	BatchWallNs       int64          `json:"batch_wall_ns"`
+	WallNsPerJob      int64          `json:"wall_ns_per_job"`
+	Fairness          []mtTenantJSON `json:"fairness"`
+}
+
+// runMultiTenant drives both phases and writes the JSON report.
+func runMultiTenant() {
+	tenants, err := parseTenants(*tenantsFlag)
+	check(err)
+	be := *backend
+	n := *jobsFlag
+	const iters, payload = 64, 1024
+
+	// Exclusive baseline: the same job through the single-job path.
+	soloStart := time.Now()
+	soloRep, err := mtPingPong(be, iters, payload).Run()
+	check(err)
+	soloWall := time.Since(soloStart)
+
+	// Phase 1: overhead with every job concurrent.
+	r, err := core.NewRuntime(core.RuntimeConfig{
+		Nodes:     2 * n,
+		Transport: transport.Config{Backend: be},
+	})
+	check(err)
+	var handles []*core.JobHandle
+	batchStart := time.Now()
+	for j := 0; j < n; j++ {
+		t := tenants[j%len(tenants)]
+		h, err := r.Submit(mtPingPong(be, iters, payload),
+			core.SubmitOpts{Tenant: t.name, Weight: t.weight})
+		check(err)
+		handles = append(handles, h)
+	}
+	if be == transport.BackendSim {
+		check(r.Run())
+	}
+	var sumElapsed time.Duration
+	for _, h := range handles {
+		rep, err := h.Wait()
+		check(err)
+		sumElapsed += rep.Elapsed
+	}
+	batchWall := time.Since(batchStart)
+	check(r.Close())
+	perJob := sumElapsed / time.Duration(n)
+	// Sim jobs overlap in virtual time, so per-job Elapsed vs solo Elapsed
+	// is the clean multi-tenancy tax. Live jobs share real cores, which
+	// inflates each job's wall Elapsed with ordinary CPU contention; there
+	// the honest per-job figure is batch throughput (wall per job) against
+	// the solo wall time.
+	var overheadPct float64
+	if be == transport.BackendSim {
+		overheadPct = 100 * (float64(perJob)/float64(soloRep.Elapsed) - 1)
+	} else {
+		overheadPct = 100 * (float64(batchWall)/float64(n)/float64(soloWall) - 1)
+	}
+
+	// Phase 2: fairness on a single-slot runtime, n jobs per tenant.
+	fr, err := core.NewRuntime(core.RuntimeConfig{
+		Nodes:     2,
+		Transport: transport.Config{Backend: be},
+		MaxQueue:  n*len(tenants) + 1,
+	})
+	check(err)
+	var fh []*core.JobHandle
+	for j := 0; j < n; j++ {
+		for _, t := range tenants {
+			h, err := fr.Submit(mtPingPong(be, iters, payload),
+				core.SubmitOpts{Tenant: t.name, Weight: t.weight})
+			check(err)
+			fh = append(fh, h)
+		}
+	}
+	if be == transport.BackendSim {
+		check(fr.Run())
+	}
+	statuses := make([]core.JobStatus, 0, len(fh))
+	for _, h := range fh {
+		_, err := h.Wait()
+		check(err)
+		statuses = append(statuses, h.Status())
+	}
+	check(fr.Close())
+	sort.Slice(statuses, func(i, j int) bool {
+		if statuses[i].StartedAt != statuses[j].StartedAt {
+			return statuses[i].StartedAt < statuses[j].StartedAt
+		}
+		return statuses[i].ID < statuses[j].ID
+	})
+	// The early window is where contention lives: once a tenant's queue
+	// empties the remaining admissions are forced and say nothing about
+	// the scheduler.
+	window := len(statuses) / 2
+	early := make(map[string]int)
+	for _, st := range statuses[:window] {
+		early[st.Tenant]++
+	}
+	var sumW int
+	for _, t := range tenants {
+		sumW += t.weight
+	}
+	var fairness []mtTenantJSON
+	for _, t := range tenants {
+		fairness = append(fairness, mtTenantJSON{
+			Name:            t.name,
+			Weight:          t.weight,
+			Jobs:            n,
+			EarlyAdmissions: early[t.name],
+			Share:           float64(early[t.name]) / float64(window),
+			ExpectedShare:   float64(t.weight) / float64(sumW),
+		})
+	}
+
+	report := mtReportJSON{
+		Backend:           be,
+		Jobs:              n,
+		SoloElapsedNs:     soloRep.Elapsed.Nanoseconds(),
+		SoloWallNs:        soloWall.Nanoseconds(),
+		PerJobElapsedNs:   perJob.Nanoseconds(),
+		PerJobOverheadPct: overheadPct,
+		BatchWallNs:       batchWall.Nanoseconds(),
+		WallNsPerJob:      batchWall.Nanoseconds() / int64(n),
+		Fairness:          fairness,
+	}
+	out, err := json.MarshalIndent(report, "", "\t")
+	check(err)
+	out = append(out, '\n')
+	check(os.WriteFile(*mtOut, out, 0o644))
+	fmt.Printf("multi-tenant: %d jobs, per-job elapsed %v vs solo %v (%+.1f%%)\n",
+		n, perJob, soloRep.Elapsed, overheadPct)
+	for _, f := range fairness {
+		fmt.Printf("  tenant %-8s weight %d: %2d/%d early admissions (share %.2f, expected %.2f)\n",
+			f.Name, f.Weight, f.EarlyAdmissions, window, f.Share, f.ExpectedShare)
+	}
+	fmt.Printf("wrote multi-tenant report to %s\n", *mtOut)
+}

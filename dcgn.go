@@ -105,6 +105,68 @@ type (
 	// PersistentPut is a registered one-sided put handle: register once
 	// with CPUCtx.NewPersistentPut, fire many times with Start.
 	PersistentPut = core.PersistentPut
+	// AtomicOp selects the combining function of the one-sided atomics
+	// (CPUCtx.Accumulate, CPUCtx.FetchAndOp).
+	AtomicOp = core.AtomicOp
+)
+
+// Multi-tenant runtime types: a long-lived Runtime hosts many concurrent
+// Jobs over one shared backend with admission control and weighted fair
+// scheduling; Job.Run remains the exclusive single-job path (a runtime
+// of one).
+type (
+	// Runtime hosts many concurrent jobs over one shared backend.
+	Runtime = core.Runtime
+	// RuntimeConfig describes the shared substrate a Runtime serves on.
+	RuntimeConfig = core.RuntimeConfig
+	// SubmitOpts labels a submission (name, tenant, weight, priority).
+	SubmitOpts = core.SubmitOpts
+	// JobHandle tracks one submission (Wait, Status, Cancel).
+	JobHandle = core.JobHandle
+	// JobStatus is a point-in-time snapshot of one submission.
+	JobStatus = core.JobStatus
+	// JobState is the lifecycle state of a submitted job.
+	JobState = core.JobState
+)
+
+// Job lifecycle states (JobStatus.State).
+const (
+	// JobQueued means the job awaits free nodes in the admission queue.
+	JobQueued = core.JobQueued
+	// JobRunning means the job's kernels are executing.
+	JobRunning = core.JobRunning
+	// JobDone means the job completed and its Report is final.
+	JobDone = core.JobDone
+	// JobFailed means the job ended with an error.
+	JobFailed = core.JobFailed
+	// JobCanceled means the job was canceled before or during execution.
+	JobCanceled = core.JobCanceled
+)
+
+// ErrJobCanceled is reported by a handle whose job was canceled.
+var ErrJobCanceled = core.ErrJobCanceled
+
+// ErrQueueFull is reported by Submit past the bounded admission queue.
+var ErrQueueFull = core.ErrQueueFull
+
+// ErrRuntimeClosed is reported by Submit on a draining or closed runtime.
+var ErrRuntimeClosed = core.ErrRuntimeClosed
+
+// NewRuntime builds a multi-tenant runtime over a shared backend. Live
+// runtimes serve submissions immediately and concurrently; simulated
+// runtimes collect a batch and execute it deterministically in Run.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return core.NewRuntime(cfg) }
+
+// Combining functions for the one-sided atomics (AtomicOp).
+const (
+	// AtomicSum adds the operand to the window element (MPI_SUM).
+	AtomicSum = core.AtomicSum
+	// AtomicMin keeps the smaller of element and operand (MPI_MIN).
+	AtomicMin = core.AtomicMin
+	// AtomicMax keeps the larger of element and operand (MPI_MAX).
+	AtomicMax = core.AtomicMax
+	// AtomicReplace overwrites the element with the operand (MPI_REPLACE).
+	AtomicReplace = core.AtomicReplace
 )
 
 // Substrate types reachable from the public API (device buffers in GPU

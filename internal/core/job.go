@@ -39,6 +39,13 @@ type Job struct {
 	// is host-side only and never observable in virtual time.
 	pool *bufpool.Pool
 
+	// trFactory, when set, supplies each node's raw transport endpoint in
+	// place of the default world-wide simulated-MPI endpoint. A multi-tenant
+	// Runtime installs it to hand every node a tenant-scoped endpoint
+	// (private tag band, group collectives) over the shared world; nil — the
+	// single-job path — keeps the legacy endpoint, bit-identically.
+	trFactory func(node int) transport.Transport
+
 	cpuKernel func(*CPUCtx)
 
 	// trace collects lifecycle spans (Config.Trace); metrics is the
@@ -287,20 +294,7 @@ func (j *Job) Run() (Report, error) {
 		return Report{}, err
 	}
 	defer j.stopDebugServer()
-	switch j.cfg.Transport.Name() {
-	case transport.BackendSim:
-		if j.cfg.Shards > 0 {
-			return j.runShardedSim()
-		}
-		return j.runSim()
-	case transport.BackendLive:
-		if j.cfg.Shards > 0 {
-			return Report{}, fmt.Errorf("dcgn: sharded runs need the simulated backend (the live backend has no virtual clock to window)")
-		}
-		return j.runLive()
-	default:
-		return Report{}, fmt.Errorf("dcgn: unknown transport backend %q", j.cfg.Transport.Backend)
-	}
+	return runExclusive(j)
 }
 
 // runSim executes the job on the simulated backend and reports
@@ -348,12 +342,18 @@ func (j *Job) runSim() (Report, error) {
 // given simulator (the job-wide one, or the owning shard's in a sharded
 // run). The world must already exist.
 func (j *Job) buildSimNode(n int, s *sim.Sim, rtv rt) *nodeState {
+	raw := func() transport.Transport {
+		if j.trFactory != nil {
+			return j.trFactory(n)
+		}
+		return simmpi.New(j.world.Rank(n))
+	}()
 	ns := &nodeState{
 		job:    j,
 		node:   n,
 		rt:     rtv,
 		sim:    s,
-		tr:     j.wrapTransport(n, simmpi.New(j.world.Rank(n))),
+		tr:     j.wrapTransport(n, raw),
 		bus:    pcie.New(s, fmt.Sprintf("n%d", n), j.cfg.Bus),
 		intake: newIntake(rtv.NewQueue(fmt.Sprintf("commq:%d", n))),
 		index:  newMatchIndex(),
@@ -399,7 +399,11 @@ func (j *Job) spawnGPUKernels() error {
 		for g := 0; g < j.rmap.Spec(n).GPUs; g++ {
 			ns := j.nodes[n]
 			gt := ns.gpus[g]
-			ns.sim.Spawn(fmt.Sprintf("gpu-kern:%d.%d", n, g), func(p *sim.Proc) {
+			// Spawn through the node's rt (a 1:1 veneer over the simulator
+			// for a single job) so a multi-tenant runtime's per-job proc
+			// accounting sees GPU kernels too.
+			ns.rt.Spawn(fmt.Sprintf("gpu-kern:%d.%d", n, g), func(tp transport.Proc) {
+				p := tp.(*sim.Proc)
 				setup := &GPUSetup{Job: j, Node: ns.node, GPU: gt.index, Dev: gt.dev, Bus: ns.bus, Proc: p, Args: map[string]any{}}
 				if j.gpuSetup != nil {
 					j.gpuSetup(setup)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dcgn/internal/bufpool"
+	"dcgn/internal/transport"
 	"dcgn/internal/transport/live"
 )
 
@@ -26,10 +27,39 @@ func (j *Job) runLive() (Report, error) {
 		return Report{}, fmt.Errorf("dcgn: live backend has no virtual-time jitter model")
 	}
 
-	rt := newLiveRT()
-	j.rt = rt
 	j.pool = bufpool.New()
 	cluster := live.New(j.cfg.Nodes, j.pool)
+	return j.runLiveEnv(&liveEnv{
+		endpoint: func(n int) transport.Transport { return cluster.Node(n) },
+		closeTr:  func() { _ = cluster.Close() },
+		packets:  cluster.Packets,
+		bytes:    cluster.Bytes,
+	})
+}
+
+// liveEnv abstracts what a live engine run needs from its transport
+// substrate: an endpoint per node, a teardown hook, wire totals, and an
+// optional external cancellation signal. The single-job path backs it
+// with a whole private cluster; a multi-tenant Runtime backs it with one
+// tenant group of a shared cluster.
+type liveEnv struct {
+	endpoint func(n int) transport.Transport
+	closeTr  func()
+	packets  func() int64
+	bytes    func() int64
+	// cancel, when non-nil, aborts the run when closed — the Runtime's
+	// Cancel control. Teardown is the watchdog path: close the transport
+	// and intakes and report what is safely readable.
+	cancel <-chan struct{}
+}
+
+// runLiveEnv executes the job's progress engine over the given live
+// substrate. It owns everything job-scoped — the liveRT, node states,
+// kernels, teardown, report — while the substrate (cluster or tenant
+// group) is the caller's.
+func (j *Job) runLiveEnv(env *liveEnv) (Report, error) {
+	rt := newLiveRT()
+	j.rt = rt
 
 	j.nodes = nil
 	for n := 0; n < j.cfg.Nodes; n++ {
@@ -37,7 +67,7 @@ func (j *Job) runLive() (Report, error) {
 			job:    j,
 			node:   n,
 			rt:     rt,
-			tr:     j.wrapTransport(n, cluster.Node(n)),
+			tr:     j.wrapTransport(n, env.endpoint(n)),
 			intake: newIntake(rt.NewQueue(fmt.Sprintf("commq:%d", n))),
 			index:  newMatchIndex(),
 		}
@@ -58,7 +88,7 @@ func (j *Job) runLive() (Report, error) {
 
 	if err := j.spawnCPUKernels(); err != nil {
 		// Engine daemons are already running; unwind them before returning.
-		cluster.Close()
+		env.closeTr()
 		for _, ns := range j.nodes {
 			ns.intake.close()
 		}
@@ -84,18 +114,20 @@ func (j *Job) runLive() (Report, error) {
 	case <-watchdog.C:
 		runErr = fmt.Errorf("dcgn: live run exceeded %v (deadlocked kernels?)%s",
 			j.cfg.MaxVirtualTime, liveStallDiagnosis(j.nodes))
+	case <-env.cancel:
+		runErr = ErrJobCanceled
 	}
 
 	// Teardown: closing the transport unwinds blocked receivers and
 	// collective participants; closing the intakes unwinds the comm
 	// threads. Quiesce the daemons before reading any engine state.
-	cluster.Close()
+	env.closeTr()
 	for _, ns := range j.nodes {
 		ns.intake.close()
 	}
 	if runErr != nil {
-		// Timed out: kernels (and the daemons completing their requests)
-		// may be blocked for good; report what is safely readable.
+		// Timed out or canceled: kernels (and the daemons completing their
+		// requests) may be blocked for good; report what is safely readable.
 		return Report{Elapsed: rt.Now()}, runErr
 	}
 	rt.daemons.Wait()
@@ -108,8 +140,8 @@ func (j *Job) runLive() (Report, error) {
 
 	rep := Report{
 		Elapsed:    rt.Now(),
-		NetPackets: int(cluster.Packets()),
-		NetBytes:   cluster.Bytes(),
+		NetPackets: int(env.packets()),
+		NetBytes:   env.bytes(),
 	}
 	j.fillReport(&rep)
 	return rep, nil

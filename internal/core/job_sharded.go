@@ -20,14 +20,16 @@ func (j *Job) runShardedSim() (Report, error) {
 	sc := sim.NewSharded(shards)
 	sc.SetMaxTime(j.cfg.MaxVirtualTime)
 
-	// Contiguous node -> shard blocks: neighbors stay on one shard, which
-	// on hierarchical topologies (fat-tree pods, dragonfly groups) keeps
-	// the cross-shard latency — and therefore the lookahead window — at
-	// the multi-hop tier instead of the cheapest link.
-	shardOf := make([]int, j.cfg.Nodes)
-	for n := range shardOf {
-		shardOf[n] = n * shards / j.cfg.Nodes
-	}
+	// Topology-aware node -> shard partition: whole locality groups
+	// (fat-tree pods, dragonfly groups) go to one shard, so intra-group
+	// traffic — the short-hop majority — stays on the shard's same-shard
+	// fast path, and the cross-shard latency (and therefore the lookahead
+	// window) is set by the multi-hop inter-group tier instead of the
+	// cheapest link. On flat/ungrouped fabrics this degenerates to the
+	// legacy contiguous block partition. The partition only changes which
+	// event loop owns a node, never event ordering, so Reports stay
+	// bit-identical across shard counts either way.
+	shardOf := fabric.ShardPartition(j.cfg.Net.Topology, j.cfg.Nodes, shards)
 	j.net = fabric.NewSharded(sc, j.cfg.Nodes, j.cfg.Net, shardOf)
 	sc.SetLookahead(j.net.Lookahead())
 	j.pool = bufpool.New()

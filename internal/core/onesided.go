@@ -51,10 +51,13 @@ const osErrNotEnabled = "dcgn: one-sided operation without Config.OneSided (enab
 
 // One-sided frame kinds.
 const (
-	osPut    = 1 // apply payload into the target window
-	osGetReq = 2 // read aux bytes from the target window, reply with osGetRep
-	osGetRep = 3 // get reply: payload for the requester's pending token
-	osAck    = 4 // one-sided-lane ack (reliability); src is the acking NODE
+	osPut      = 1 // apply payload into the target window
+	osGetReq   = 2 // read aux bytes from the target window, reply with osGetRep
+	osGetRep   = 3 // get reply: payload for the requester's pending token
+	osAck      = 4 // one-sided-lane ack (reliability); src is the acking NODE
+	osAccum    = 5 // element-wise atomic update into the target window (aux = op)
+	osFetchReq = 6 // atomic fetch-and-op on one int64 (aux = op, payload = operand)
+	osFetchRep = 7 // fetch-and-op reply: prior value for the pending token
 )
 
 // osFlagTrunc marks a get reply whose payload was clipped to the window.
@@ -127,7 +130,7 @@ func unpackOSFrame(msg []byte) (*osFrame, error) {
 		backing:  msg,
 	}
 	n := int(le.Uint64(msg[40:]))
-	if f.kind < osPut || f.kind > osAck {
+	if f.kind < osPut || f.kind > osFetchRep {
 		return nil, fmt.Errorf("core: unknown one-sided frame kind %d", f.kind)
 	}
 	if osHeaderLen+n > len(msg) {
@@ -499,8 +502,15 @@ func (ns *nodeState) osDispatch(p transport.Proc, f *osFrame) {
 		ns.osApplyPut(p, f)
 	case osGetReq:
 		ns.osApplyGetReq(p, f)
-	case osGetRep:
+	case osGetRep, osFetchRep:
+		// A fetch reply resolves its pending token exactly like a get
+		// reply: the payload (the prior value) lands in the waiter's
+		// 8-byte destination buffer.
 		ns.osApplyGetRep(p, f)
+	case osAccum:
+		ns.osApplyAccum(p, f)
+	case osFetchReq:
+		ns.osApplyFetchReq(p, f)
 	default:
 		panic(fmt.Sprintf("dcgn: one-sided sink on node %d: unexpected frame kind %d", ns.node, f.kind))
 	}

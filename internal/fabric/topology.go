@@ -25,6 +25,57 @@ type Topology interface {
 	Latency(src, dst int) time.Duration
 }
 
+// Grouped is implemented by topologies with a natural locality unit — the
+// pod of a fat-tree, the group of a dragonfly. Hosts in the same group are
+// closer to each other than to any host outside it, which makes groups the
+// right indivisible unit for shard partitioning (ShardPartition).
+type Grouped interface {
+	// GroupOf returns the locality group of a host. Groups are contiguous
+	// host ranges numbered from 0.
+	GroupOf(host int) int
+	// Groups returns the number of locality groups.
+	Groups() int
+}
+
+// ShardPartition maps the first hosts hosts onto shards shards, keeping
+// each topology locality group (Grouped) whole: intra-group traffic —
+// the short-hop, low-latency majority under a locality-aware placement —
+// never crosses a shard boundary, so it stays on the shard's fast
+// same-shard path and the conservative lookahead window is set by the
+// longer cross-group latencies. Groups are assigned to shards in index
+// order, balanced by host count. When the topology is nil, ungrouped, or
+// has fewer (occupied) groups than shards, it falls back to the legacy
+// contiguous block partition.
+func ShardPartition(t Topology, hosts, shards int) []int {
+	if hosts <= 0 || shards <= 0 {
+		panic("fabric: ShardPartition needs positive hosts and shards")
+	}
+	shardOf := make([]int, hosts)
+	g, ok := t.(Grouped)
+	if t == nil || !ok || hosts > t.Hosts() {
+		return contiguousPartition(shardOf, hosts, shards)
+	}
+	// Groups are contiguous host ranges, so the occupied group count is
+	// the last occupied host's group + 1.
+	used := g.GroupOf(hosts-1) + 1
+	if used < shards {
+		return contiguousPartition(shardOf, hosts, shards)
+	}
+	for h := 0; h < hosts; h++ {
+		shardOf[h] = g.GroupOf(h) * shards / used
+	}
+	return shardOf
+}
+
+// contiguousPartition fills shardOf with the legacy block partition
+// (host h → h*shards/hosts).
+func contiguousPartition(shardOf []int, hosts, shards int) []int {
+	for h := range shardOf {
+		shardOf[h] = h * shards / hosts
+	}
+	return shardOf
+}
+
 // flatTopology is the single-crossbar model as a Topology: one logical hop
 // at a fixed latency between any pair of distinct hosts.
 type flatTopology struct {
@@ -78,10 +129,26 @@ type switchTopology struct {
 	hostSw []int     // attachment switch per host
 	dist   [][]int32 // all-pairs switch distances (BFS)
 	hopLat time.Duration
+	// swGroup maps a switch to its locality group (fat-tree pod, dragonfly
+	// group); groups is the group count. Both constructors populate them,
+	// making switchTopology Grouped.
+	swGroup []int
+	groups  int
 }
 
 func (t *switchTopology) Name() string { return t.name }
 func (t *switchTopology) Hosts() int   { return t.hosts }
+
+// GroupOf returns the locality group (pod / dragonfly group) of a host.
+func (t *switchTopology) GroupOf(host int) int {
+	if host < 0 || host >= t.hosts {
+		panic(fmt.Sprintf("fabric: host %d outside topology of %d hosts", host, t.hosts))
+	}
+	return t.swGroup[t.hostSw[host]]
+}
+
+// Groups returns the number of locality groups.
+func (t *switchTopology) Groups() int { return t.groups }
 
 func (t *switchTopology) Hops(src, dst int) int {
 	if src < 0 || src >= t.hosts || dst < 0 || dst >= t.hosts {
@@ -135,12 +202,24 @@ func NewFatTree(k int, hopLat time.Duration) Topology {
 	for h := range hostSw {
 		hostSw[h] = h / half
 	}
+	// Locality groups are pods. Only edge switches bear hosts; aggregation
+	// and core switches get -1 (never consulted by GroupOf).
+	swGroup := make([]int, nEdge+nAgg+nCore)
+	for sw := range swGroup {
+		if sw < nEdge {
+			swGroup[sw] = sw / half
+		} else {
+			swGroup[sw] = -1
+		}
+	}
 	return &switchTopology{
-		name:   "fattree",
-		hosts:  hosts,
-		hostSw: hostSw,
-		dist:   allPairsDist(adj, "fattree"),
-		hopLat: hopLat,
+		name:    "fattree",
+		hosts:   hosts,
+		hostSw:  hostSw,
+		dist:    allPairsDist(adj, "fattree"),
+		hopLat:  hopLat,
+		swGroup: swGroup,
+		groups:  k,
 	}
 }
 
@@ -185,12 +264,20 @@ func NewDragonfly(a, p, h int, hopLat time.Duration) Topology {
 	for hst := range hostSw {
 		hostSw[hst] = hst / p
 	}
+	// Locality groups are the dragonfly groups themselves: router r sits in
+	// group r/a.
+	swGroup := make([]int, routers)
+	for r := range swGroup {
+		swGroup[r] = r / a
+	}
 	return &switchTopology{
-		name:   "dragonfly",
-		hosts:  hosts,
-		hostSw: hostSw,
-		dist:   allPairsDist(adj, "dragonfly"),
-		hopLat: hopLat,
+		name:    "dragonfly",
+		hosts:   hosts,
+		hostSw:  hostSw,
+		dist:    allPairsDist(adj, "dragonfly"),
+		hopLat:  hopLat,
+		swGroup: swGroup,
+		groups:  groups,
 	}
 }
 

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -173,5 +174,69 @@ func TestShardedNetworkTopology(t *testing.T) {
 	want := cfg.SendOverhead + 100*time.Nanosecond + 6*hop + cfg.RecvOverhead
 	if at != want {
 		t.Errorf("delivered at %v, want %v", at, want)
+	}
+}
+
+// TestShardPartitionKeepsGroupsWhole is the property test behind
+// topology-aware sharding: over a sweep of dragonfly and fat-tree shapes,
+// host counts and shard counts, ShardPartition must (a) emit valid,
+// monotone shard ids, and (b) whenever it uses the topology's locality
+// groups, never split a group across shards — so intra-group traffic
+// (the short-hop majority under locality-aware placement) stays
+// intra-shard and only the longer cross-group latencies bound the
+// conservative lookahead.
+func TestShardPartitionKeepsGroupsWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var topologies []Topology
+	for _, k := range []int{2, 4, 6} {
+		topologies = append(topologies, NewFatTree(k, hop))
+	}
+	for i := 0; i < 6; i++ {
+		a, p, h := 1+rng.Intn(4), 1+rng.Intn(3), 1+rng.Intn(3)
+		topologies = append(topologies, NewDragonfly(a, p, h, hop))
+	}
+	for _, top := range topologies {
+		g := top.(Grouped)
+		for trial := 0; trial < 40; trial++ {
+			hosts := 1 + rng.Intn(top.Hosts())
+			shards := 1 + rng.Intn(hosts)
+			shardOf := ShardPartition(top, hosts, shards)
+			if len(shardOf) != hosts {
+				t.Fatalf("%s hosts=%d shards=%d: partition length %d",
+					top.Name(), hosts, shards, len(shardOf))
+			}
+			for h := 0; h < hosts; h++ {
+				if shardOf[h] < 0 || shardOf[h] >= shards {
+					t.Fatalf("%s hosts=%d shards=%d: host %d on shard %d",
+						top.Name(), hosts, shards, h, shardOf[h])
+				}
+				if h > 0 && shardOf[h] < shardOf[h-1] {
+					t.Fatalf("%s hosts=%d shards=%d: shard ids not monotone at host %d",
+						top.Name(), hosts, shards, h)
+				}
+			}
+			// Group mode applies when enough occupied groups exist; then no
+			// locality group may straddle a shard boundary.
+			used := g.GroupOf(hosts-1) + 1
+			if used < shards {
+				continue // documented fallback to the contiguous partition
+			}
+			for h := 1; h < hosts; h++ {
+				if g.GroupOf(h) == g.GroupOf(h-1) && shardOf[h] != shardOf[h-1] {
+					t.Fatalf("%s hosts=%d shards=%d: group %d split across shards %d/%d (hosts %d,%d)",
+						top.Name(), hosts, shards, g.GroupOf(h), shardOf[h-1], shardOf[h], h-1, h)
+				}
+			}
+			// Every shard id must actually be occupied: admitting fewer
+			// shards than requested would silently serialize the run.
+			seen := make(map[int]bool)
+			for _, s := range shardOf {
+				seen[s] = true
+			}
+			if len(seen) != shards {
+				t.Fatalf("%s hosts=%d shards=%d: only %d shards occupied",
+					top.Name(), hosts, shards, len(seen))
+			}
+		}
 	}
 }

@@ -333,8 +333,8 @@ func (c *Comm) treeGatherv(p *sim.Proc, r *Rank, sendBuf, recvBuf []byte, counts
 	me := c.RankOf(r)
 	vr := (me - root + n) % n
 	vd := vrankBytes(counts, root)
-	scratch := r.w.cfg.Pool.Get(vd[subtreeEnd(vr, n)] - vd[vr])
-	defer r.w.cfg.Pool.Put(scratch)
+	scratch := r.stagingPool().Get(vd[subtreeEnd(vr, n)] - vd[vr])
+	defer r.stagingPool().Put(scratch)
 	copy(scratch[:counts[me]], sendBuf)
 	for mask := 1; mask < n; mask <<= 1 {
 		round := bits.Len(uint(mask)) - 1
@@ -374,8 +374,8 @@ func (c *Comm) treeScatterv(p *sim.Proc, r *Rank, sendBuf []byte, counts []int, 
 	vr := (me - root + n) % n
 	vd := vrankBytes(counts, root)
 	myBytes := vd[subtreeEnd(vr, n)] - vd[vr]
-	scratch := r.w.cfg.Pool.Get(myBytes)
-	defer r.w.cfg.Pool.Put(scratch)
+	scratch := r.stagingPool().Get(myBytes)
+	defer r.stagingPool().Put(scratch)
 	// mask ends at the bit linking vr to its parent (its lowest set bit),
 	// or at the top of the tree for the root.
 	mask := 1
@@ -509,11 +509,11 @@ func (c *Comm) Reduce(p *sim.Proc, r *Rank, sendBuf, recvBuf []byte, dt Datatype
 	n := c.Size()
 	me := c.RankOf(r)
 	p.SleepJit(r.w.cfg.CallOverhead)
-	acc := r.w.cfg.Pool.Get(len(sendBuf))
+	acc := r.stagingPool().Get(len(sendBuf))
 	copy(acc, sendBuf)
-	tmp := r.w.cfg.Pool.Get(len(sendBuf))
-	defer r.w.cfg.Pool.Put(acc)
-	defer r.w.cfg.Pool.Put(tmp)
+	tmp := r.stagingPool().Get(len(sendBuf))
+	defer r.stagingPool().Put(acc)
+	defer r.stagingPool().Put(tmp)
 	vr := (me - root + n) % n
 	for mask, round := 1, 0; mask < n; mask, round = mask<<1, round+1 {
 		if vr&mask != 0 {

@@ -59,6 +59,54 @@ func (w *World) newComm(id int, members []int) *Comm {
 	return c
 }
 
+// NewGroupComm builds a communicator over an explicit, strictly ascending
+// set of world ranks without any collective exchange — the host-side
+// constructor a multi-tenant runtime uses to give each admitted job an
+// isolated tag context over the nodes it was placed on. Unlike Split it
+// involves no traffic, so it can be called before (or between) the
+// members' procs running; every caller passing the same member set gets a
+// communicator with the same context id.
+func (w *World) NewGroupComm(members []int) *Comm {
+	if len(members) == 0 {
+		panic("mpi: NewGroupComm needs at least one member")
+	}
+	for i, m := range members {
+		if m < 0 || m >= len(w.ranks) {
+			panic(fmt.Sprintf("mpi: NewGroupComm member %d outside world of %d ranks", m, len(w.ranks)))
+		}
+		if i > 0 && members[i-1] >= m {
+			panic("mpi: NewGroupComm members must be strictly ascending")
+		}
+	}
+	// Key the id on the member set via the first member and length plus a
+	// parent of -1 (never used by Split, whose parents are real comm ids);
+	// distinct groups sharing (first, len) are disambiguated by a full-set
+	// lookup under the same lock.
+	w.commMu.Lock()
+	defer w.commMu.Unlock()
+	key := groupKey(members)
+	if id, ok := w.groupIDs[key]; ok {
+		return w.newComm(id, append([]int(nil), members...))
+	}
+	w.nextCommID++
+	if w.groupIDs == nil {
+		w.groupIDs = make(map[string]int)
+	}
+	w.groupIDs[key] = w.nextCommID
+	return w.newComm(w.nextCommID, append([]int(nil), members...))
+}
+
+// groupKey serializes a member set for NewGroupComm's id map.
+func groupKey(members []int) string {
+	b := make([]byte, 0, 4*len(members))
+	for _, m := range members {
+		var e [4]byte
+		binary.LittleEndian.PutUint32(e[:], uint32(m))
+		b = append(b, e[:]...)
+	}
+	return string(b)
+}
+
 // commID returns the stable id for a communicator derived from (parent,
 // split sequence, color): every member computing the same key receives the
 // same id.

@@ -106,6 +106,7 @@ type World struct {
 	commMu     sync.Mutex
 	world      *Comm
 	commIDs    map[[3]int]int
+	groupIDs   map[string]int // NewGroupComm member-set -> comm id
 	nextCommID int
 }
 
@@ -189,6 +190,14 @@ func (w *World) Pool() *bufpool.Pool { return w.cfg.Pool }
 // rank's operations.
 func (w *World) Rank(id int) *Rank { return w.ranks[id] }
 
+// SetRankPool points rank id's staging acquires at pool (nil restores the
+// world pool). A multi-tenant runtime calls this at job admission so every
+// buffer a tenant's traffic stages is acquired from — and released to —
+// that tenant's own pool. Callers must only retarget a quiesced rank (no
+// operation of the previous owner still in flight), which the runtime's
+// completion tracking guarantees.
+func (w *World) SetRankPool(id int, pool *bufpool.Pool) { w.ranks[id].pool = pool }
+
 // NodeOf returns the fabric node hosting rank id.
 func (w *World) NodeOf(id int) int { return w.nodeOf[id] }
 
@@ -197,6 +206,14 @@ type Rank struct {
 	w    *World
 	id   int
 	node int
+
+	// pool, when non-nil, overrides the world pool for this rank's staging
+	// acquires (eager copies, rendezvous snapshots, scratch). A multi-tenant
+	// runtime points every rank a job occupies at that job's pool, so pool
+	// accounting stays per-tenant even though the world is shared; see
+	// SetRankPool. nil (the default) keeps the world pool — the single-job
+	// behavior the golden suite pins.
+	pool *bufpool.Pool
 
 	posted     []*recvReq
 	unexpected []*envelope
@@ -226,6 +243,17 @@ func (r *Rank) World() *World { return r.w }
 
 // sim returns the simulation owning this rank's node.
 func (r *Rank) sim() *sim.Sim { return r.w.simFor(r.node) }
+
+// stagingPool returns the pool this rank's staging buffers come from: the
+// per-rank override when set (multi-tenant worlds), else the world pool.
+// Traffic never crosses tenants, so a buffer acquired here is always
+// released by a rank with the same stagingPool.
+func (r *Rank) stagingPool() *bufpool.Pool {
+	if r.pool != nil {
+		return r.pool
+	}
+	return r.w.cfg.Pool
+}
 
 type msgKind int
 
@@ -329,11 +357,13 @@ func (r *Rank) takeUnexpected(rr *recvReq) *envelope {
 	return nil
 }
 
-// deliver completes a matched receive from an eager or data envelope.
-// Copy path: the payload is copied into the posted buffer and the staging
-// slice goes back to the pool. Take path (RecvMsg): ownership of the
-// staging slice transfers to the receiver — the zero-copy wire relay.
-func (w *World) deliver(rr *recvReq, env *envelope) {
+// deliver completes a matched receive from an eager or data envelope on
+// the receiving rank. Copy path: the payload is copied into the posted
+// buffer and the staging slice goes back to the receiver's staging pool
+// (the acquiring sender's pool too — traffic never crosses tenants). Take
+// path (RecvMsg): ownership of the staging slice transfers to the
+// receiver — the zero-copy wire relay.
+func (r *Rank) deliver(rr *recvReq, env *envelope) {
 	if rr.take {
 		rr.data = env.data
 		rr.stat = Status{Source: env.src, Tag: env.tag, Count: len(env.data)}
@@ -347,7 +377,7 @@ func (w *World) deliver(rr *recvReq, env *envelope) {
 		rr.err = ErrTruncate
 	}
 	copy(rr.buf[:n], env.data[:n])
-	w.cfg.Pool.Put(env.data)
+	r.stagingPool().Put(env.data)
 	env.data = nil
 	rr.stat = Status{Source: env.src, Tag: env.tag, Count: n}
 	rr.done.Fire()
@@ -376,7 +406,7 @@ func (w *World) handle(p *sim.Proc, nd *fabric.Node, env *envelope) {
 	switch env.kind {
 	case kindEager:
 		if rr := r.takePosted(env); rr != nil {
-			w.deliver(rr, env)
+			r.deliver(rr, env)
 		} else {
 			r.unexpected = append(r.unexpected, env)
 		}
@@ -399,7 +429,7 @@ func (w *World) handle(p *sim.Proc, nd *fabric.Node, env *envelope) {
 			// Snapshot the payload: once the DMA is in flight the sender may
 			// reuse its buffer (its request completes on injection), so the
 			// wire must carry a copy, not a reference.
-			payload := w.cfg.Pool.Get(len(sr.data))
+			payload := r.stagingPool().Get(len(sr.data))
 			copy(payload, sr.data)
 			data := &envelope{kind: kindData, src: r.id, dst: sr.dst, tag: sr.tag, seq: sr.seq, size: len(payload), data: payload}
 			nd.Send(h, w.nodeOf[sr.dst], headerBytes+len(payload), data)
@@ -411,7 +441,7 @@ func (w *World) handle(p *sim.Proc, nd *fabric.Node, env *envelope) {
 			panic(fmt.Sprintf("mpi: data for unbound recv seq %d at rank %d", env.seq, r.id))
 		}
 		delete(r.bound, env.seq)
-		w.deliver(rr, env)
+		r.deliver(rr, env)
 	}
 }
 

@@ -29,7 +29,7 @@ func (r *Rank) Isend(p *sim.Proc, buf []byte, dst, tag int) *Request {
 	dstNode := r.w.nodeOf[dst]
 
 	if len(buf) <= r.w.cfg.EagerLimit {
-		data := r.w.cfg.Pool.Get(len(buf)) // buffered semantics
+		data := r.stagingPool().Get(len(buf)) // buffered semantics
 		copy(data, buf)
 		env := &envelope{kind: kindEager, src: r.id, dst: dst, tag: tag, seq: seq, size: len(data), data: data}
 		r.sim().Spawn("mpi-eager", func(h *sim.Proc) {
@@ -65,7 +65,7 @@ func (r *Rank) post(p *sim.Proc, rr *recvReq, req *Request) *Request {
 	if env := r.takeUnexpected(rr); env != nil {
 		switch env.kind {
 		case kindEager:
-			r.w.deliver(rr, env)
+			r.deliver(rr, env)
 		case kindRTS:
 			r.bound[env.seq] = rr
 			r.w.sendCTS(p, r.w.net.Node(r.node), env)
@@ -121,8 +121,8 @@ func (r *Rank) Sendrecv(p *sim.Proc, sendBuf []byte, dst, sendTag int, recvBuf [
 // SendrecvReplace exchanges buf with a partner in place, the primitive
 // Cannon's algorithm rotates matrix chunks with (paper §4).
 func (r *Rank) SendrecvReplace(p *sim.Proc, buf []byte, dst, sendTag, src, recvTag int) (Status, error) {
-	tmp := r.w.cfg.Pool.Get(len(buf))
-	defer r.w.cfg.Pool.Put(tmp)
+	tmp := r.stagingPool().Get(len(buf))
+	defer r.stagingPool().Put(tmp)
 	st, err := r.Sendrecv(p, buf, dst, sendTag, tmp, src, recvTag)
 	if err != nil {
 		return st, err

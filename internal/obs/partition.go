@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Partitioned is a registry of registries keyed by tenant: each tenant
+// (one admitted job of a multi-tenant runtime) gets its own isolated
+// Registry — same instrument names, zero cross-talk — and the runtime
+// merges them on demand into one namespaced view for the debug endpoint.
+// Partition creation is idempotent and cheap; the per-tenant registries
+// themselves stay lock-free on the hot paths.
+type Partitioned struct {
+	mu    sync.Mutex
+	parts map[string]*Registry
+}
+
+// NewPartitioned creates an empty partitioned registry.
+func NewPartitioned() *Partitioned {
+	return &Partitioned{parts: make(map[string]*Registry)}
+}
+
+// Partition returns the tenant's registry, creating it on first use.
+func (p *Partitioned) Partition(tenant string) *Registry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := p.parts[tenant]
+	if r == nil {
+		r = NewRegistry()
+		p.parts[tenant] = r
+	}
+	return r
+}
+
+// Drop removes a tenant's partition (after its final Report snapshot), so
+// a long-lived runtime's merged view doesn't grow without bound.
+func (p *Partitioned) Drop(tenant string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.parts, tenant)
+}
+
+// Tenants returns the current partition keys, sorted.
+func (p *Partitioned) Tenants() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.parts))
+	for t := range p.parts {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot merges every partition into one Snapshot, prefixing each
+// instrument name with "tenant=<key>/" so same-named instruments from
+// different tenants stay distinguishable.
+func (p *Partitioned) Snapshot() Snapshot {
+	p.mu.Lock()
+	keys := make([]string, 0, len(p.parts))
+	regs := make([]*Registry, 0, len(p.parts))
+	for t, r := range p.parts {
+		keys = append(keys, t)
+		regs = append(regs, r)
+	}
+	p.mu.Unlock()
+
+	merged := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for i, r := range regs {
+		prefix := "tenant=" + keys[i] + "/"
+		s := r.Snapshot()
+		for name, v := range s.Counters {
+			merged.Counters[prefix+name] = v
+		}
+		for name, v := range s.Gauges {
+			merged.Gauges[prefix+name] = v
+		}
+		for name, v := range s.Histograms {
+			merged.Histograms[prefix+name] = v
+		}
+	}
+	return merged
+}
+
+// PartitionedDebugHandler serves the merged snapshot of every partition as
+// indented JSON — the multi-tenant analogue of DebugHandler.
+func PartitionedDebugHandler(p *Partitioned) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "\t")
+		_ = enc.Encode(DebugSnapshot(p.Snapshot()))
+	})
+}

@@ -9,6 +9,13 @@
 // a completely different substrate) and to exercise DCGN's engine under
 // the race detector, where the deterministic simulator — which runs one
 // goroutine at a time — cannot surface data races by construction.
+//
+// A Cluster is multi-tenant: every channel, collective rendezvous, pool
+// and counter lives in a per-tenant Group (Join), so co-resident jobs of
+// a multi-tenant runtime can never see each other's frames, block each
+// other's collectives, or pollute each other's pool accounting. New
+// creates a default whole-cluster group (tenant 0), which is the
+// single-job view the pre-tenancy API exposed.
 package live
 
 import (
@@ -26,10 +33,126 @@ import (
 // long.
 const wireDepth = 128
 
-// Cluster is a set of live node endpoints wired to each other.
+// Cluster is a set of live node endpoints wired to each other, shared by
+// one or more tenant groups.
 type Cluster struct {
-	pool *bufpool.Pool
-	eps  []*Endpoint
+	pool  *bufpool.Pool
+	nodes int
+
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	// packets/bytes aggregate delivered wire traffic across every tenant;
+	// per-tenant totals live on the Groups.
+	packets atomic.Int64
+	bytes   atomic.Int64
+
+	groupsMu sync.Mutex
+	groups   map[int]*Group
+	def      *Group
+}
+
+// New creates a cluster of nodes endpoints sharing pool for wire-message
+// staging (nil allocates a private pool), with a default whole-cluster
+// tenant group (tenant 0) serving the single-job API: Node(n) is the
+// default group's endpoint for node n.
+func New(nodes int, pool *bufpool.Pool) *Cluster {
+	if nodes <= 0 {
+		panic("live: need at least one node")
+	}
+	if pool == nil {
+		pool = bufpool.New()
+	}
+	c := &Cluster{pool: pool, nodes: nodes, closed: make(chan struct{}), groups: make(map[int]*Group)}
+	g, err := c.Join(0, nodes, pool)
+	if err != nil {
+		panic(err) // unreachable: the cluster cannot be closed yet
+	}
+	c.def = g
+	return c
+}
+
+// Join creates tenant's group of size endpoints drawing staging buffers
+// from pool (nil uses the cluster pool). Endpoint node numbering is
+// tenant-local (0..size-1); the runtime's admission layer decides which
+// physical nodes back them. Tenant ids must be unique among live groups.
+func (c *Cluster) Join(tenant, size int, pool *bufpool.Pool) (*Group, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("live: tenant group needs at least one node")
+	}
+	if c.isClosed() {
+		return nil, transport.ErrClosed
+	}
+	if pool == nil {
+		pool = c.pool
+	}
+	g := &Group{c: c, tenant: tenant, pool: pool, closed: make(chan struct{})}
+	g.coll.init(g, size)
+	for n := 0; n < size; n++ {
+		g.eps = append(g.eps, &Endpoint{
+			g:    g,
+			node: n,
+			in:   make(chan []byte, wireDepth),
+			osIn: make(chan []byte, wireDepth),
+		})
+	}
+	c.groupsMu.Lock()
+	defer c.groupsMu.Unlock()
+	if _, dup := c.groups[tenant]; dup {
+		return nil, fmt.Errorf("live: tenant %d already joined", tenant)
+	}
+	c.groups[tenant] = g
+	return g, nil
+}
+
+// Node returns the default group's endpoint serving node n.
+func (c *Cluster) Node(n int) *Endpoint { return c.def.eps[n] }
+
+// Packets returns the number of wire messages delivered so far, summed
+// over every tenant.
+func (c *Cluster) Packets() int64 { return c.packets.Load() }
+
+// Bytes returns the total wire bytes delivered so far, summed over every
+// tenant.
+func (c *Cluster) Bytes() int64 { return c.bytes.Load() }
+
+// Close shuts the whole cluster down: every tenant group closes (blocked
+// receivers and collective participants unwind with transport.ErrClosed,
+// undelivered wire buffers drain back to their group's pool) and further
+// Joins are rejected. It is idempotent.
+func (c *Cluster) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.groupsMu.Lock()
+		groups := make([]*Group, 0, len(c.groups))
+		for _, g := range c.groups {
+			groups = append(groups, g)
+		}
+		c.groupsMu.Unlock()
+		for _, g := range groups {
+			g.Close()
+		}
+	})
+	return nil
+}
+
+func (c *Cluster) isClosed() bool {
+	select {
+	case <-c.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Group is one tenant's private slice of the cluster: its own endpoints,
+// inbound channels, collective rendezvous, staging pool and wire
+// counters. Closing a group cancels exactly that tenant's traffic.
+type Group struct {
+	c      *Cluster
+	tenant int
+	pool   *bufpool.Pool
+	eps    []*Endpoint
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -50,57 +173,42 @@ type Cluster struct {
 	coll collRound
 }
 
-// New creates a cluster of nodes endpoints sharing pool for wire-message
-// staging (nil allocates a private pool).
-func New(nodes int, pool *bufpool.Pool) *Cluster {
-	if nodes <= 0 {
-		panic("live: need at least one node")
-	}
-	if pool == nil {
-		pool = bufpool.New()
-	}
-	c := &Cluster{pool: pool, closed: make(chan struct{})}
-	c.coll.init(c, nodes)
-	for n := 0; n < nodes; n++ {
-		c.eps = append(c.eps, &Endpoint{
-			c:    c,
-			node: n,
-			in:   make(chan []byte, wireDepth),
-			osIn: make(chan []byte, wireDepth),
-		})
-	}
-	return c
-}
+// Tenant returns the group's tenant id.
+func (g *Group) Tenant() int { return g.tenant }
 
-// Node returns the endpoint serving node n.
-func (c *Cluster) Node(n int) *Endpoint { return c.eps[n] }
+// Size returns the number of endpoints in the group.
+func (g *Group) Size() int { return len(g.eps) }
 
-// Packets returns the number of wire messages delivered so far.
-func (c *Cluster) Packets() int64 { return c.packets.Load() }
+// Endpoint returns the group's endpoint for tenant-local node n.
+func (g *Group) Endpoint(n int) *Endpoint { return g.eps[n] }
 
-// Bytes returns the total wire bytes delivered so far.
-func (c *Cluster) Bytes() int64 { return c.bytes.Load() }
+// Packets returns the number of wire messages this group delivered.
+func (g *Group) Packets() int64 { return g.packets.Load() }
 
-// Close shuts the whole cluster down: blocked receivers and collective
-// participants unwind with transport.ErrClosed, and undelivered wire
-// buffers drain back to the pool. It is idempotent.
-func (c *Cluster) Close() error {
-	c.closeOnce.Do(func() {
-		close(c.closed)
-		c.coll.wakeAll()
+// Bytes returns the total wire bytes this group delivered.
+func (g *Group) Bytes() int64 { return g.bytes.Load() }
+
+// Close shuts this tenant's group down: its blocked receivers and
+// collective participants unwind with transport.ErrClosed and its
+// undelivered wire buffers drain back to its pool. Other tenants are
+// untouched. It is idempotent.
+func (g *Group) Close() error {
+	g.closeOnce.Do(func() {
+		close(g.closed)
+		g.coll.wakeAll()
 		// Barrier: after this Lock/Unlock no Send can still be between its
 		// closed-check and its senders registration, so senders.Wait sees
 		// every in-flight Send, and the drain below sees every buffer they
 		// committed.
-		c.mu.Lock()
-		c.mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
-		c.senders.Wait()
-		for _, ep := range c.eps {
+		g.mu.Lock()
+		g.mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+		g.senders.Wait()
+		for _, ep := range g.eps {
 			for _, ch := range []chan []byte{ep.in, ep.osIn} {
 				for {
 					select {
 					case m := <-ch:
-						c.pool.Put(m)
+						g.pool.Put(m)
 						continue
 					default:
 					}
@@ -112,18 +220,18 @@ func (c *Cluster) Close() error {
 	return nil
 }
 
-func (c *Cluster) isClosed() bool {
+func (g *Group) isClosed() bool {
 	select {
-	case <-c.closed:
+	case <-g.closed:
 		return true
 	default:
 		return false
 	}
 }
 
-// Endpoint is one node's live transport.
+// Endpoint is one node's live transport within a tenant group.
 type Endpoint struct {
-	c    *Cluster
+	g    *Group
 	node int
 	in   chan []byte
 	// osIn is the one-sided lane: a dedicated channel so put/get frames
@@ -135,30 +243,33 @@ type Endpoint struct {
 // given inbound channel, with the Close-safe registration discipline
 // shared by both lanes.
 func (e *Endpoint) sendOn(dstNode int, msg []byte, lane func(*Endpoint) chan []byte) error {
-	if dstNode < 0 || dstNode >= len(e.c.eps) {
-		return fmt.Errorf("live: send to bad node %d (cluster of %d)", dstNode, len(e.c.eps))
+	g := e.g
+	if dstNode < 0 || dstNode >= len(g.eps) {
+		return fmt.Errorf("live: send to bad node %d (group of %d)", dstNode, len(g.eps))
 	}
 	// Register with the closed-check under the read lock so Close (write
 	// lock + senders.Wait) cannot drain the channels while this send is
 	// still about to commit a buffer into one. A send already blocked in
 	// the select when Close runs unwinds via the closed channel.
-	e.c.mu.RLock()
-	if e.c.isClosed() {
-		e.c.mu.RUnlock()
+	g.mu.RLock()
+	if g.isClosed() {
+		g.mu.RUnlock()
 		return transport.ErrClosed
 	}
-	e.c.senders.Add(1)
-	e.c.mu.RUnlock()
-	defer e.c.senders.Done()
-	cp := e.c.pool.Get(len(msg))
+	g.senders.Add(1)
+	g.mu.RUnlock()
+	defer g.senders.Done()
+	cp := g.pool.Get(len(msg))
 	copy(cp, msg)
 	select {
-	case lane(e.c.eps[dstNode]) <- cp:
-		e.c.packets.Add(1)
-		e.c.bytes.Add(int64(len(msg)))
+	case lane(g.eps[dstNode]) <- cp:
+		g.packets.Add(1)
+		g.bytes.Add(int64(len(msg)))
+		g.c.packets.Add(1)
+		g.c.bytes.Add(int64(len(msg)))
 		return nil
-	case <-e.c.closed:
-		e.c.pool.Put(cp)
+	case <-g.closed:
+		g.pool.Put(cp)
 		return transport.ErrClosed
 	}
 }
@@ -169,7 +280,7 @@ func (e *Endpoint) recvOn(ch chan []byte) ([]byte, error) {
 	select {
 	case m := <-ch:
 		return m, nil
-	case <-e.c.closed:
+	case <-e.g.closed:
 		// Closed: prefer draining any message that raced the close so
 		// shutdown doesn't strand deliverable traffic.
 		select {
@@ -206,14 +317,15 @@ func (e *Endpoint) RecvOneSided(_ transport.Proc) ([]byte, error) {
 	return e.recvOn(e.osIn)
 }
 
-// Barrier blocks until every node has entered the barrier.
+// Barrier blocks until every node in the group has entered the barrier.
 func (e *Endpoint) Barrier(_ transport.Proc) error {
-	return e.c.coll.run(e.node, &collArgs{op: "barrier"}, func([]*collArgs) error { return nil })
+	return e.g.coll.run(e.node, &collArgs{op: "barrier"}, func([]*collArgs) error { return nil })
 }
 
-// Bcast broadcasts buf from rootNode to every node's equal-length buffer.
+// Bcast broadcasts buf from rootNode to every group node's equal-length
+// buffer.
 func (e *Endpoint) Bcast(_ transport.Proc, buf []byte, rootNode int) error {
-	return e.c.coll.run(e.node, &collArgs{op: "bcast", root: rootNode, buf: buf}, func(args []*collArgs) error {
+	return e.g.coll.run(e.node, &collArgs{op: "bcast", root: rootNode, buf: buf}, func(args []*collArgs) error {
 		if rootNode < 0 || rootNode >= len(args) {
 			return fmt.Errorf("live: bcast root %d out of range", rootNode)
 		}
@@ -230,10 +342,10 @@ func (e *Endpoint) Bcast(_ transport.Proc, buf []byte, rootNode int) error {
 	})
 }
 
-// Gatherv concatenates each node's sendBuf into rootNode's recvBuf in
-// node order.
+// Gatherv concatenates each group node's sendBuf into rootNode's recvBuf
+// in node order.
 func (e *Endpoint) Gatherv(_ transport.Proc, sendBuf, recvBuf []byte, counts []int, rootNode int) error {
-	return e.c.coll.run(e.node, &collArgs{op: "gatherv", root: rootNode, buf: sendBuf, buf2: recvBuf, counts: counts}, func(args []*collArgs) error {
+	return e.g.coll.run(e.node, &collArgs{op: "gatherv", root: rootNode, buf: sendBuf, buf2: recvBuf, counts: counts}, func(args []*collArgs) error {
 		counts := args[rootNode].counts
 		if len(counts) != len(args) {
 			return fmt.Errorf("live: gatherv counts length %d != %d nodes", len(counts), len(args))
@@ -254,10 +366,10 @@ func (e *Endpoint) Gatherv(_ transport.Proc, sendBuf, recvBuf []byte, counts []i
 	})
 }
 
-// Scatterv splits rootNode's sendBuf by counts and delivers each node its
-// chunk.
+// Scatterv splits rootNode's sendBuf by counts and delivers each group
+// node its chunk.
 func (e *Endpoint) Scatterv(_ transport.Proc, sendBuf []byte, counts []int, recvBuf []byte, rootNode int) error {
-	return e.c.coll.run(e.node, &collArgs{op: "scatterv", root: rootNode, buf: recvBuf, buf2: sendBuf, counts: counts}, func(args []*collArgs) error {
+	return e.g.coll.run(e.node, &collArgs{op: "scatterv", root: rootNode, buf: recvBuf, buf2: sendBuf, counts: counts}, func(args []*collArgs) error {
 		counts := args[rootNode].counts
 		if len(counts) != len(args) {
 			return fmt.Errorf("live: scatterv counts length %d != %d nodes", len(counts), len(args))
@@ -278,10 +390,10 @@ func (e *Endpoint) Scatterv(_ transport.Proc, sendBuf []byte, counts []int, recv
 	})
 }
 
-// Alltoallv exchanges variable-size segments: node i's segment j lands in
-// node j's receive segment i.
+// Alltoallv exchanges variable-size segments: group node i's segment j
+// lands in node j's receive segment i.
 func (e *Endpoint) Alltoallv(_ transport.Proc, sendBuf []byte, sendCounts []int, recvBuf []byte, recvCounts []int) error {
-	return e.c.coll.run(e.node, &collArgs{op: "alltoallv", buf: sendBuf, buf2: recvBuf, counts: sendCounts, counts2: recvCounts}, func(args []*collArgs) error {
+	return e.g.coll.run(e.node, &collArgs{op: "alltoallv", buf: sendBuf, buf2: recvBuf, counts: sendCounts, counts2: recvCounts}, func(args []*collArgs) error {
 		n := len(args)
 		for i, a := range args {
 			if len(a.counts) != n || len(a.counts2) != n {
@@ -307,8 +419,8 @@ func (e *Endpoint) Alltoallv(_ transport.Proc, sendBuf []byte, sendCounts []int,
 	})
 }
 
-// Close shuts down the whole cluster this endpoint belongs to.
-func (e *Endpoint) Close() error { return e.c.Close() }
+// Close shuts down the tenant group this endpoint belongs to.
+func (e *Endpoint) Close() error { return e.g.Close() }
 
 // collArgs is one node's contribution to a collective round.
 type collArgs struct {
@@ -320,7 +432,7 @@ type collArgs struct {
 	counts2 []int
 }
 
-// collRound is the cluster-wide collective rendezvous: each node arrives
+// collRound is the group-wide collective rendezvous: each node arrives
 // with its arguments, the last arrival performs the data movement for the
 // whole round under the lock, and everyone leaves with the round's error.
 // Generation counting makes the rendezvous reusable: a fast node may
@@ -328,7 +440,7 @@ type collArgs struct {
 // round k+1 cannot complete (and so cannot overwrite the shared error)
 // until every round-k participant has left.
 type collRound struct {
-	c    *Cluster
+	g    *Group
 	mu   sync.Mutex
 	cond *sync.Cond
 
@@ -339,8 +451,8 @@ type collRound struct {
 	err     error
 }
 
-func (cr *collRound) init(c *Cluster, n int) {
-	cr.c = c
+func (cr *collRound) init(g *Group, n int) {
+	cr.g = g
 	cr.n = n
 	cr.args = make([]*collArgs, n)
 	cr.cond = sync.NewCond(&cr.mu)
@@ -358,7 +470,7 @@ func (cr *collRound) wakeAll() {
 func (cr *collRound) run(node int, a *collArgs, combine func(args []*collArgs) error) error {
 	cr.mu.Lock()
 	defer cr.mu.Unlock()
-	if cr.c.isClosed() {
+	if cr.g.isClosed() {
 		return transport.ErrClosed
 	}
 	myGen := cr.gen
@@ -378,7 +490,7 @@ func (cr *collRound) run(node int, a *collArgs, combine func(args []*collArgs) e
 		cr.cond.Broadcast()
 		return err
 	}
-	for cr.gen == myGen && !cr.c.isClosed() {
+	for cr.gen == myGen && !cr.g.isClosed() {
 		cr.cond.Wait()
 	}
 	if cr.gen == myGen {
