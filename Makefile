@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt lintdoc test race race-live bench bench-json bench-onesided benchguard chaos onesided multitenant trace-export scale ci
+.PHONY: build vet fmt lintdoc test race race-live bench bench-json bench-onesided benchguard chaos onesided multitenant loadgen trace-export scale ci
 
 build:
 	$(GO) build ./...
@@ -62,7 +62,7 @@ onesided:
 # Allocation tripwire: fails if allocs/op on the matching benchmarks
 # regresses >20% against the committed baseline.
 benchguard:
-	$(GO) test -run='^$$' -bench='BenchmarkMatchIndex|BenchmarkHighFanoutMatching|BenchmarkEnginePingPong/(sim|live-multitenant)|BenchmarkShardedHighFanout' \
+	$(GO) test -run='^$$' -bench='BenchmarkMatchIndex|BenchmarkHighFanoutMatching|BenchmarkEnginePingPong/(sim|live-multitenant)|BenchmarkShardedHighFanout|BenchmarkLoadgenArrivals' \
 		-benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchguard -baseline testdata/bench_baseline.json
 
 # Scale smoke mirroring the CI scale/determinism matrix: a 1024-node sharded
@@ -89,6 +89,17 @@ multitenant:
 	$(GO) test -run='^$$' -bench='BenchmarkEnginePingPong/(sim-multitenant|live-multitenant)' -benchtime=1x -benchmem .
 	$(GO) run ./cmd/dcgn-bench -jobs 8 -tenants "light:1,heavy:3" -multitenant-out BENCH_8.json
 
+# Loadgen gate mirroring the CI loadgen-smoke job: the workload-layer
+# suite under the race detector, a seeded Poisson run on the sim backend
+# diffed for byte-identical SLO reports, and the same preset on the live
+# backend.
+loadgen:
+	$(GO) test -race ./internal/loadgen/
+	$(GO) run ./cmd/dcgn-loadgen -preset mixed -rate 300 -duration 1s -seed 7 -o /tmp/dcgn-slo-a.json
+	$(GO) run ./cmd/dcgn-loadgen -preset mixed -rate 300 -duration 1s -seed 7 -o /tmp/dcgn-slo-b.json
+	diff /tmp/dcgn-slo-a.json /tmp/dcgn-slo-b.json
+	$(GO) run ./cmd/dcgn-loadgen -preset chat -rate 100 -duration 1s -backend live -nodes 8 -seed 7 -o /tmp/dcgn-slo-live.json
+
 # Exporter validation: the typed-struct schema tests plus a 4-node fixture
 # run through every dcgn-trace output format.
 trace-export:
@@ -97,4 +108,4 @@ trace-export:
 	$(GO) run ./cmd/dcgn-trace -nodes 4 -format csv -o /tmp/dcgn-trace.csv
 	$(GO) run ./cmd/dcgn-trace -nodes 4 -metrics > /dev/null
 
-ci: build vet fmt lintdoc test race race-live bench benchguard chaos onesided multitenant trace-export scale
+ci: build vet fmt lintdoc test race race-live bench benchguard chaos onesided multitenant loadgen trace-export scale

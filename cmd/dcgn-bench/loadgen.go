@@ -1,0 +1,46 @@
+package main
+
+// Loadgen mode (-loadgen OUT.json): a short seeded mixed-preset traffic
+// run through internal/loadgen on the bench's -backend flag, so the SLO
+// report rides the same CLI the other evidence modes use. The full knob
+// set (arrival processes, presets, trace record/replay, knee search)
+// lives in cmd/dcgn-loadgen; this is its bench-report sibling.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dcgn/internal/loadgen"
+)
+
+var (
+	loadgenOut = flag.String("loadgen", "",
+		"loadgen mode: write a short seeded mixed-preset SLO report as JSON to this file and exit")
+	loadgenRate = flag.Float64("loadgen-rate", 300,
+		"loadgen mode: mean Poisson arrival rate (jobs/sec)")
+	loadgenDur = flag.Duration("loadgen-duration", time.Second,
+		"loadgen mode: offered-traffic window")
+	loadgenSeed = flag.Int64("loadgen-seed", 1,
+		"loadgen mode: workload seed")
+)
+
+// runLoadgenBench drives the canned loadgen run and writes its report.
+func runLoadgenBench() {
+	rep, err := loadgen.Run(loadgen.Spec{
+		Backend:  *backend,
+		Seed:     *loadgenSeed,
+		Rate:     *loadgenRate,
+		Duration: *loadgenDur,
+		Preset:   "mixed",
+	})
+	check(err)
+	doc, err := rep.JSON()
+	check(err)
+	check(os.WriteFile(*loadgenOut, doc, 0o644))
+	fmt.Printf("loadgen: %s backend, %d offered / %d completed / %d shed; e2e p50 %.2fms p99 %.2fms p999 %.2fms\n",
+		rep.Backend, rep.Offered, rep.Completed, rep.Rejected,
+		rep.Aggregate.E2E.P50Ns/1e6, rep.Aggregate.E2E.P99Ns/1e6, rep.Aggregate.E2E.P999Ns/1e6)
+	fmt.Printf("wrote loadgen SLO report to %s\n", *loadgenOut)
+}

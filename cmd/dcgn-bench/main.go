@@ -48,6 +48,10 @@ func main() {
 		runChaos()
 		return
 	}
+	if *loadgenOut != "" {
+		runLoadgenBench()
+		return
+	}
 	if *jobsFlag > 0 {
 		runMultiTenant()
 		return

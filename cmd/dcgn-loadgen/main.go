@@ -1,0 +1,113 @@
+// Command dcgn-loadgen offers seeded traffic against a multi-tenant
+// Runtime and reports SLO tail latencies from the engine's obs
+// histograms.
+//
+// Examples:
+//
+//	dcgn-loadgen -preset mixed -rate 500 -duration 5s -backend sim
+//	dcgn-loadgen -preset chat -arrival bursty -backend live -o SLO.json
+//	dcgn-loadgen -arrival closed -concurrency 32 -duration 2s
+//	dcgn-loadgen -record trace.json -rate 200 -duration 1s
+//	dcgn-loadgen -replay trace.json -backend live
+//	dcgn-loadgen -find-max-rate -slo 2ms -preset chat -nodes 8
+//
+// The simulated backend replays the offered trace in virtual time, so a
+// fixed seed reproduces the SLO report byte for byte; the live backend
+// paces the same trace on the wall clock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dcgn/internal/loadgen"
+)
+
+var (
+	backendFlag = flag.String("backend", "sim", "transport backend: sim or live")
+	seedFlag    = flag.Int64("seed", 1, "seed for every sampled quantity")
+	rateFlag    = flag.Float64("rate", loadgen.DefaultRate, "mean open-loop arrival rate (jobs/sec)")
+	durFlag     = flag.Duration("duration", loadgen.DefaultDuration, "offered-traffic window")
+	arrivalFlag = flag.String("arrival", "poisson", "arrival process: poisson, bursty, diurnal or closed")
+	concFlag    = flag.Int("concurrency", loadgen.DefaultConcurrency, "closed-loop worker count")
+	presetFlag  = flag.String("preset", "mixed", "job-class mix: chat, batch or mixed")
+	nodesFlag   = flag.Int("nodes", loadgen.DefaultNodes, "shared cluster size")
+	queueFlag   = flag.Int("maxqueue", 0, "admission queue bound (0 = runtime default)")
+	outFlag     = flag.String("o", "", "report output path (default stdout)")
+	recordFlag  = flag.String("record", "", "write the offered trace to this path, then run it")
+	replayFlag  = flag.String("replay", "", "replay a recorded trace instead of generating arrivals")
+	findFlag    = flag.Bool("find-max-rate", false, "binary-search the max rate meeting the p99 SLO")
+	sloFlag     = flag.Duration("slo", 2*time.Millisecond, "p99 end-to-end SLO target for -find-max-rate")
+)
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcgn-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// emit writes the JSON document to -o (stdout when unset).
+func emit(doc []byte) {
+	if *outFlag == "" {
+		_, err := os.Stdout.Write(doc)
+		check(err)
+		return
+	}
+	check(os.WriteFile(*outFlag, doc, 0o644))
+	fmt.Fprintf(os.Stderr, "dcgn-loadgen: wrote %s\n", *outFlag)
+}
+
+func main() {
+	flag.Parse()
+	spec := loadgen.Spec{
+		Backend:     *backendFlag,
+		Seed:        *seedFlag,
+		Rate:        *rateFlag,
+		Duration:    *durFlag,
+		Arrival:     *arrivalFlag,
+		Concurrency: *concFlag,
+		Preset:      *presetFlag,
+		Nodes:       *nodesFlag,
+		MaxQueue:    *queueFlag,
+	}
+
+	switch {
+	case *replayFlag != "":
+		tr, err := loadgen.LoadTrace(*replayFlag)
+		check(err)
+		rep, err := loadgen.RunTrace(tr, *backendFlag)
+		check(err)
+		doc, err := rep.JSON()
+		check(err)
+		emit(doc)
+	case *findFlag:
+		res, err := loadgen.FindMaxRate(spec, *sloFlag)
+		check(err)
+		doc, err := res.JSON()
+		check(err)
+		emit(doc)
+		fmt.Fprintf(os.Stderr, "dcgn-loadgen: max sustainable rate %.1f jobs/s (p99 %.2fms ≤ SLO %v); knee at %.1f jobs/s (p99 %.2fms)\n",
+			res.MaxRatePerSec, res.P99AtMaxNs/1e6, *sloFlag, res.KneeRatePerSec, res.P99AtKneeNs/1e6)
+	default:
+		if *recordFlag != "" {
+			tr, err := loadgen.RecordTrace(spec)
+			check(err)
+			check(tr.WriteFile(*recordFlag))
+			fmt.Fprintf(os.Stderr, "dcgn-loadgen: recorded %d arrivals to %s\n", len(tr.Arrivals), *recordFlag)
+			rep, err := loadgen.RunTrace(tr, "")
+			check(err)
+			doc, err := rep.JSON()
+			check(err)
+			emit(doc)
+			return
+		}
+		rep, err := loadgen.Run(spec)
+		check(err)
+		doc, err := rep.JSON()
+		check(err)
+		emit(doc)
+	}
+}

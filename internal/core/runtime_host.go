@@ -79,6 +79,28 @@ type Runtime struct {
 	world   *mpi.World
 	simPool *bufpool.Pool
 	ran     bool
+	// simActive is true while Run is driving the simulator; it gates the
+	// sim-context-only paths (mid-batch Submit from an OnJobDone callback,
+	// Cancel of a running simulated job).
+	simActive bool
+	// scheduled holds SubmitAt submissions awaiting their virtual arrival
+	// time; Run turns each into an arrival proc.
+	scheduled []*rtJob
+
+	// sched is the runtime-wide scheduling registry (queue-wait and
+	// end-to-end latency histograms, admission counters), aggregate and
+	// per tenant. It lives in the "runtime" partition of obsParts so the
+	// debug endpoint serves it alongside per-job metrics, and it is never
+	// dropped.
+	sched *obs.Registry
+
+	// onJobDone, when set (before Run / the first Submit), is invoked
+	// without locks held each time a job reaches a terminal state on the
+	// execution path — sim completions and cancellations run it in sim
+	// context, live completions on the job's goroutine. Closed-loop load
+	// generators use it to submit follow-up work; on the simulated backend
+	// that is the only way to submit mid-batch.
+	onJobDone func(JobStatus)
 }
 
 // RuntimeConfig describes the shared substrate a Runtime serves jobs on.
@@ -223,6 +245,8 @@ var (
 	ErrQueueFull = errors.New("dcgn: runtime admission queue is full")
 	// ErrRuntimeClosed reports a Submit to a draining or closed runtime.
 	ErrRuntimeClosed = errors.New("dcgn: runtime is draining or closed")
+	// ErrNoSuchJob reports a Cancel (or status lookup) for an unknown id.
+	ErrNoSuchJob = errors.New("dcgn: no such job")
 )
 
 // rtJob is the runtime's bookkeeping for one submission.
@@ -239,10 +263,20 @@ type rtJob struct {
 	startedAt   time.Duration
 	finishedAt  time.Duration
 
+	// notBefore is the job's virtual arrival time when it was scheduled
+	// with SubmitAt; it enters the admission queue only once the clock
+	// reaches it.
+	notBefore time.Duration
+
 	// placement / simGroup are the simulated backend's node assignment and
 	// tenant transport group.
 	placement []int
 	simGroup  *simmpi.Group
+	// simProcs holds every worker proc the job spawned on the shared
+	// simulator, so a running job can be torn down by Cancel. Appended in
+	// sim context, drained by the cancel injection; dead procs are
+	// harmless leftovers (Kill skips them).
+	simProcs []*sim.Proc
 	// procs counts live engine procs (kernels and the helpers their
 	// requests spawn) on the simulated backend; the zero-crossing after
 	// kernels spawn is the job's completion point. finished latches the
@@ -321,6 +355,7 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 	for i := range r.free {
 		r.free[i] = true
 	}
+	r.sched = r.obsParts.Partition("runtime")
 	if cfg.Transport.Name() == transport.BackendLive {
 		r.pool = bufpool.New()
 		r.cluster = live.New(cfg.Nodes, r.pool)
@@ -333,6 +368,65 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 
 // backend names the runtime's transport backend.
 func (r *Runtime) backend() string { return r.cfg.Transport.Name() }
+
+// SetOnJobDone installs a callback invoked, without runtime locks held,
+// each time a job reaches a terminal state on the execution path (done,
+// failed, canceled, or shed at its virtual arrival time). It must be set
+// before Run (simulated) or before the first Submit (live). On the
+// simulated backend the callback runs in sim context and may Submit
+// follow-up jobs mid-batch — the closed-loop arrival hook; spawn-failure
+// and post-Run sweep terminations do not fire it.
+func (r *Runtime) SetOnJobDone(fn func(JobStatus)) { r.onJobDone = fn }
+
+// SchedSnapshot copies the runtime-wide scheduling registry: queue_wait_ns
+// and e2e_ns histograms (aggregate and per "tenant=<name>" suffix) plus
+// jobs_{submitted,done,failed,canceled,rejected} counters. Unlike per-job
+// metrics partitions it is never dropped, so it is readable after Run.
+func (r *Runtime) SchedSnapshot() obs.Snapshot { return r.sched.Snapshot() }
+
+// notifyJobDone runs the terminal-state callback for c. Never called with
+// r.mu held.
+func (r *Runtime) notifyJobDone(c *rtJob) {
+	if r.onJobDone == nil {
+		return
+	}
+	r.mu.Lock()
+	st := r.statusLocked(c)
+	r.mu.Unlock()
+	r.onJobDone(st)
+}
+
+// schedEnqueuedLocked records a submission entering the admission queue.
+func (r *Runtime) schedEnqueuedLocked(c *rtJob) {
+	r.sched.Counter("jobs_submitted").Add(1)
+	r.sched.Gauge("queue_depth_peak").SetMax(int64(len(r.queue)))
+}
+
+// schedAdmittedLocked records a job's admission queue wait.
+func (r *Runtime) schedAdmittedLocked(c *rtJob) {
+	w := int64(c.startedAt - c.submittedAt)
+	r.sched.Histogram("queue_wait_ns").Observe(w)
+	r.sched.Histogram("queue_wait_ns/tenant=" + c.tenant).Observe(w)
+}
+
+// schedFinishedLocked records a job's terminal state: the per-outcome
+// counter, and for completed jobs the end-to-end (submit → finish)
+// latency.
+func (r *Runtime) schedFinishedLocked(c *rtJob) {
+	switch {
+	case c.state == JobDone:
+		r.sched.Counter("jobs_done").Add(1)
+		e := int64(c.finishedAt - c.submittedAt)
+		r.sched.Histogram("e2e_ns").Observe(e)
+		r.sched.Histogram("e2e_ns/tenant=" + c.tenant).Observe(e)
+	case c.state == JobCanceled:
+		r.sched.Counter("jobs_canceled").Add(1)
+	case errors.Is(c.err, ErrQueueFull):
+		r.sched.Counter("jobs_rejected").Add(1)
+	default:
+		r.sched.Counter("jobs_failed").Add(1)
+	}
+}
 
 // now returns the runtime clock: virtual time on the simulated backend
 // (zero before Run), wall time since creation on the live backend.
@@ -370,10 +464,14 @@ func (r *Runtime) Submit(job *Job, opts SubmitOpts) (*JobHandle, error) {
 	if r.closed || r.draining {
 		return nil, ErrRuntimeClosed
 	}
-	if r.backend() == transport.BackendSim && r.ran {
+	if r.backend() == transport.BackendSim && r.ran && !r.simActive {
+		// Mid-batch submission is allowed only while the simulator is live
+		// (sim context: an OnJobDone callback); after the batch, nothing
+		// could ever execute the job.
 		return nil, fmt.Errorf("dcgn: simulated runtime is batch-mode: submit before Run")
 	}
 	if len(r.queue) >= r.cfg.MaxQueue {
+		r.sched.Counter("jobs_rejected").Add(1)
 		return nil, ErrQueueFull
 	}
 	r.nextID++ // ids start at 1: tenant 0 is the single-job compatibility band
@@ -401,10 +499,100 @@ func (r *Runtime) Submit(job *Job, opts SubmitOpts) (*JobHandle, error) {
 	r.ensureTenantLocked(c.tenant, c.weight)
 	r.jobs = append(r.jobs, c)
 	r.queue = append(r.queue, c)
-	if r.backend() == transport.BackendLive {
+	r.schedEnqueuedLocked(c)
+	switch {
+	case r.backend() == transport.BackendLive:
 		r.admitLiveLocked()
+	case r.simActive:
+		r.admitSimLocked()
 	}
 	return &JobHandle{r: r, j: c}, nil
+}
+
+// SubmitAt schedules a job to arrive at virtual time `at` (simulated
+// backend, before Run): the job joins the admission queue only once the
+// batch clock reaches the arrival time, where the usual MaxQueue bound
+// applies — an arrival into a full queue is shed and its handle resolves
+// with ErrQueueFull. This is the open-loop traffic entry point: a load
+// generator pre-computes a seeded arrival schedule, and the batch then
+// replays it deterministically. Arrivals keep the simulation alive until
+// they fire, so gaps in the schedule cannot end the batch early.
+func (r *Runtime) SubmitAt(job *Job, opts SubmitOpts, at time.Duration) (*JobHandle, error) {
+	if job == nil {
+		return nil, fmt.Errorf("dcgn: SubmitAt needs a job")
+	}
+	if r.backend() != transport.BackendSim {
+		return nil, fmt.Errorf("dcgn: SubmitAt is virtual-time scheduling; the live backend paces submissions on the wall clock")
+	}
+	if at < 0 {
+		at = 0
+	}
+	if err := r.checkSubmittable(job); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.draining {
+		return nil, ErrRuntimeClosed
+	}
+	if r.ran {
+		return nil, fmt.Errorf("dcgn: simulated runtime is batch-mode: schedule arrivals before Run")
+	}
+	r.nextID++
+	c := &rtJob{
+		id:        r.nextID,
+		name:      opts.Name,
+		tenant:    opts.Tenant,
+		weight:    opts.Weight,
+		priority:  opts.Priority,
+		job:       job,
+		state:     JobQueued,
+		notBefore: at,
+		done:      make(chan struct{}),
+		cancelCh:  make(chan struct{}),
+	}
+	if c.name == "" {
+		c.name = fmt.Sprintf("job-%d", c.id)
+	}
+	if c.tenant == "" {
+		c.tenant = c.name
+	}
+	if c.weight <= 0 {
+		c.weight = 1
+	}
+	c.submittedAt = at
+	r.ensureTenantLocked(c.tenant, c.weight)
+	r.jobs = append(r.jobs, c)
+	r.scheduled = append(r.scheduled, c)
+	return &JobHandle{r: r, j: c}, nil
+}
+
+// arriveSimJob moves a scheduled job into the admission queue at its
+// virtual arrival time (sim context, from its arrival proc). A full queue
+// sheds the arrival with ErrQueueFull.
+func (r *Runtime) arriveSimJob(c *rtJob, now time.Duration) {
+	r.mu.Lock()
+	if c.state != JobQueued {
+		// Canceled (or otherwise resolved) before it arrived.
+		r.mu.Unlock()
+		return
+	}
+	c.submittedAt = now
+	r.ensureTenantLocked(c.tenant, c.weight)
+	if len(r.queue) >= r.cfg.MaxQueue {
+		c.state = JobFailed
+		c.err = ErrQueueFull
+		c.finishedAt = now
+		r.schedFinishedLocked(c)
+		r.mu.Unlock()
+		close(c.done)
+		r.notifyJobDone(c)
+		return
+	}
+	r.queue = append(r.queue, c)
+	r.schedEnqueuedLocked(c)
+	r.admitSimLocked()
+	r.mu.Unlock()
 }
 
 // checkSubmittable validates a job against the runtime's substrate.
@@ -592,8 +780,12 @@ func (r *Runtime) List() []JobStatus {
 // Cancel cancels a job. A queued job is removed from the admission queue
 // immediately; a running live job has its transport group closed, which
 // unwinds its engine (its handle resolves with ErrJobCanceled and a
-// partial Report). A running simulated job cannot be canceled — the
-// batch is deterministic by construction.
+// partial Report). A running simulated job is torn down at the next
+// virtual-time event boundary: the cancel is injected into the scheduler,
+// which kills the job's procs, frees its nodes and resolves the handle
+// with ErrJobCanceled and a partial Report — co-tenant determinism is
+// preserved because the teardown happens between events on the shared
+// clock. Canceling an unknown id fails with ErrNoSuchJob.
 func (r *Runtime) Cancel(id int) error {
 	r.mu.Lock()
 	var c *rtJob
@@ -605,7 +797,7 @@ func (r *Runtime) Cancel(id int) error {
 	}
 	if c == nil {
 		r.mu.Unlock()
-		return fmt.Errorf("dcgn: no job %d", id)
+		return fmt.Errorf("dcgn: job %d: %w", id, ErrNoSuchJob)
 	}
 	switch c.state {
 	case JobQueued:
@@ -613,17 +805,23 @@ func (r *Runtime) Cancel(id int) error {
 		c.state = JobCanceled
 		c.err = ErrJobCanceled
 		c.finishedAt = r.now()
+		r.schedFinishedLocked(c)
 		if r.backend() == transport.BackendLive {
 			// The canceled job may have been the blocked head of line.
 			r.admitLiveLocked()
 		}
 		r.mu.Unlock()
 		close(c.done)
+		r.notifyJobDone(c)
 		return nil
 	case JobRunning:
 		if r.backend() == transport.BackendSim {
+			s := r.sim
 			r.mu.Unlock()
-			return fmt.Errorf("dcgn: job %d is running inside the deterministic batch and cannot be canceled", id)
+			if s == nil || !s.Inject(func() { r.cancelSimJobNow(c) }) {
+				return fmt.Errorf("dcgn: job %d is running but the batch has ended", id)
+			}
+			return nil
 		}
 		r.mu.Unlock()
 		c.cancelOnce.Do(func() { close(c.cancelCh) })
@@ -632,6 +830,58 @@ func (r *Runtime) Cancel(id int) error {
 		r.mu.Unlock()
 		return fmt.Errorf("dcgn: job %d already %s", id, c.state)
 	}
+}
+
+// cancelSimJobNow tears down a running simulated job. It executes in
+// scheduler context (via sim.Inject) at an event boundary, where no proc
+// is mid-step: every worker proc the job spawned is killed (their defers
+// release staging state; pending timers for dead procs become no-ops),
+// the partial Report is assembled exactly like a completion, and the
+// freed nodes admit successors at the current virtual time. The job's
+// engine daemons stay parked in their tag band, which is the same
+// harmless leftover failAdmittedSimLocked documents.
+func (r *Runtime) cancelSimJobNow(c *rtJob) {
+	r.mu.Lock()
+	if c.state != JobRunning || c.finished {
+		// Completed (or already canceled) before the injection ran.
+		r.mu.Unlock()
+		return
+	}
+	// Latch finished first: killed procs still run their deferred exit(),
+	// and the zero-crossing there must not double-finish the job.
+	c.finished = true
+	procs := c.simProcs
+	c.simProcs = nil
+	r.mu.Unlock()
+
+	for _, p := range procs {
+		r.sim.Kill(p)
+	}
+
+	rep := Report{
+		Elapsed:    r.sim.Now() - c.startedAt,
+		NetPackets: int(c.simGroup.Packets()),
+		NetBytes:   c.simGroup.Bytes(),
+	}
+	c.job.fillReport(&rep)
+
+	r.mu.Lock()
+	c.report = rep
+	c.state = JobCanceled
+	c.err = ErrJobCanceled
+	c.finishedAt = r.sim.Now()
+	r.schedFinishedLocked(c)
+	if c.partKey != "" {
+		r.obsParts.Drop(c.partKey)
+	}
+	for _, n := range c.placement {
+		r.free[n] = true
+	}
+	r.freeNodes += len(c.placement)
+	r.admitSimLocked()
+	r.mu.Unlock()
+	close(c.done)
+	r.notifyJobDone(c)
 }
 
 // Drain stops admitting new submissions and blocks until every accepted
@@ -679,6 +929,7 @@ func (r *Runtime) admitLiveLocked() {
 		r.freeNodes -= n
 		c.state = JobRunning
 		c.startedAt = r.now()
+		r.schedAdmittedLocked(c)
 		c.job.pool = bufpool.New()
 		g, err := r.cluster.Join(c.id, n, c.job.pool)
 		if err != nil {
@@ -718,6 +969,7 @@ func (r *Runtime) runLiveJob(c *rtJob, g *live.Group) {
 		c.state = JobFailed
 	}
 	c.finishedAt = r.now()
+	r.schedFinishedLocked(c)
 	if c.partKey != "" {
 		r.obsParts.Drop(c.partKey)
 	}
@@ -727,6 +979,7 @@ func (r *Runtime) runLiveJob(c *rtJob, g *live.Group) {
 	}
 	r.mu.Unlock()
 	close(c.done)
+	r.notifyJobDone(c)
 }
 
 // --- Simulated batch execution -------------------------------------------
@@ -760,10 +1013,26 @@ func (r *Runtime) Run() error {
 	mpiCfg := r.cfg.MPI
 	mpiCfg.Pool = r.simPool
 	r.world = mpi.NewWorld(s, r.net, nodeOf, mpiCfg)
+	// Turn every SubmitAt schedule into an arrival proc. Arrivals are
+	// non-daemon so the batch stays alive through gaps in the schedule;
+	// spawn order (schedule order) plus the timer heap's (time, seq)
+	// ordering keeps simultaneous arrivals deterministic.
+	for _, c := range r.scheduled {
+		c := c
+		s.SpawnID("arrival", c.id, func(p *sim.Proc) {
+			p.Sleep(c.notBefore)
+			r.arriveSimJob(c, p.Now())
+		})
+	}
+	r.simActive = true
 	r.admitSimLocked()
 	r.mu.Unlock()
 
 	err := s.Run()
+
+	r.mu.Lock()
+	r.simActive = false
+	r.mu.Unlock()
 
 	// Anything not terminal after the simulator drained hit the virtual
 	// time cap (or could never be admitted); resolve its handle so Wait
@@ -778,6 +1047,7 @@ func (r *Runtime) Run() error {
 				c.err = fmt.Errorf("dcgn: batch ended before job %d finished", c.id)
 			}
 			c.finishedAt = r.now()
+			r.schedFinishedLocked(c)
 			close(c.done)
 		}
 	}
@@ -818,6 +1088,7 @@ func (r *Runtime) admitSimJobLocked(c *rtJob, placement []int) {
 	c.placement = placement
 	c.state = JobRunning
 	c.startedAt = r.sim.Now()
+	r.schedAdmittedLocked(c)
 
 	j.sim = r.sim
 	crt := &countingRT{simRT: simRT{s: r.sim}, c: c, r: r}
@@ -857,6 +1128,7 @@ func (r *Runtime) failAdmittedSimLocked(c *rtJob, err error) {
 	c.state = JobFailed
 	c.err = err
 	c.finishedAt = r.sim.Now()
+	r.schedFinishedLocked(c)
 	for _, n := range c.placement {
 		r.free[n] = true
 	}
@@ -879,22 +1151,25 @@ type countingRT struct {
 	r *Runtime
 }
 
-// Spawn counts and starts a worker proc.
+// Spawn counts and starts a worker proc, retaining the proc handle so
+// Cancel can tear the job down mid-run.
 func (k *countingRT) Spawn(name string, fn func(transport.Proc)) {
 	k.c.procs.Add(1)
-	k.simRT.Spawn(name, func(p transport.Proc) {
+	p := k.s.Spawn(name, func(p *sim.Proc) {
 		defer k.exit()
 		fn(p)
 	})
+	k.c.simProcs = append(k.c.simProcs, p)
 }
 
 // SpawnID counts and starts a worker proc with a formatted name.
 func (k *countingRT) SpawnID(prefix string, id int, fn func(transport.Proc)) {
 	k.c.procs.Add(1)
-	k.simRT.SpawnID(prefix, id, func(p transport.Proc) {
+	p := k.s.SpawnID(prefix, id, func(p *sim.Proc) {
 		defer k.exit()
 		fn(p)
 	})
+	k.c.simProcs = append(k.c.simProcs, p)
 }
 
 // exit retires one worker proc; the first zero-crossing completes the
@@ -922,6 +1197,7 @@ func (r *Runtime) finishSimJob(c *rtJob) {
 	c.report = rep
 	c.state = JobDone
 	c.finishedAt = r.sim.Now()
+	r.schedFinishedLocked(c)
 	if c.partKey != "" {
 		r.obsParts.Drop(c.partKey)
 	}
@@ -932,6 +1208,7 @@ func (r *Runtime) finishSimJob(c *rtJob) {
 	r.admitSimLocked()
 	r.mu.Unlock()
 	close(c.done)
+	r.notifyJobDone(c)
 }
 
 // --- Exclusive (single-job) execution ------------------------------------

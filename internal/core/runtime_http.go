@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -165,7 +166,17 @@ func (r *Runtime) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	}
 	h, err := r.Submit(factory(), opts)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
+		// Admission-control rejections are the client's backpressure signal
+		// (retry later); lifecycle conflicts mean the runtime cannot take
+		// work at all; anything else is a bad submission.
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		case errors.Is(err, ErrRuntimeClosed):
+			http.Error(w, err.Error(), http.StatusConflict)
+		default:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
 		return
 	}
 	writeJSON(w, statusJSON(h.Status()))
@@ -182,6 +193,10 @@ func (r *Runtime) handleCancel(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if err := r.Cancel(id); err != nil {
+		if errors.Is(err, ErrNoSuchJob) {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}

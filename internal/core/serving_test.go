@@ -1,0 +1,276 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"dcgn/internal/transport"
+)
+
+// Serving-path regression suite: cancel of a running simulated job, the
+// control API's status-code contract, and admission-queue behavior under
+// open-loop overload.
+
+// computeJob builds a 2-node job whose ranks compute for d (virtual time
+// on sim) — a job that stays running long enough to be canceled.
+func computeJob(backend string, d time.Duration) *Job {
+	job := NewJob(backendConfig(backend, 2, 1))
+	job.SetCPUKernel(func(c *CPUCtx) {
+		c.Compute(d)
+	})
+	return job
+}
+
+// TestRuntimeSimCancelRunning is the regression test for canceling a
+// RUNNING job on the simulated backend: the cancel takes effect at the
+// next virtual-time event boundary (via sim.Inject), the job lands in
+// JobCanceled with ErrJobCanceled, and the co-tenant batch drains
+// normally. Before the fix this returned "cannot cancel running sim job".
+func TestRuntimeSimCancelRunning(t *testing.T) {
+	r, err := NewRuntime(runtimeConfig(transport.BackendSim, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The victim computes for 10 virtual minutes; the quick co-tenant
+	// finishes in microseconds and its completion callback cancels the
+	// victim mid-run, deterministically inside virtual time.
+	victim, err := r.Submit(computeJob(transport.BackendSim, 10*time.Minute), SubmitOpts{Tenant: "victim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quick, err := r.Submit(pingPongJob(transport.BackendSim, 2), SubmitOpts{Tenant: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cancelErr error
+	r.SetOnJobDone(func(st JobStatus) {
+		if st.ID == quick.Status().ID {
+			cancelErr = r.Cancel(victim.Status().ID)
+		}
+	})
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if cancelErr != nil {
+		t.Fatalf("cancel of running sim job: %v", cancelErr)
+	}
+	if _, err := victim.Wait(); !errors.Is(err, ErrJobCanceled) {
+		t.Fatalf("victim Wait: err=%v, want ErrJobCanceled", err)
+	}
+	st := victim.Status()
+	if st.State != JobCanceled {
+		t.Errorf("victim state %v, want canceled", st.State)
+	}
+	if st.FinishedAt <= 0 || st.FinishedAt >= 10*time.Minute {
+		t.Errorf("victim FinishedAt %v, want a mid-run event boundary", st.FinishedAt)
+	}
+	if _, err := quick.Wait(); err != nil {
+		t.Fatalf("co-tenant: %v", err)
+	}
+	snap := r.SchedSnapshot()
+	if snap.Counters["jobs_canceled"] != 1 || snap.Counters["jobs_done"] != 1 {
+		t.Errorf("scheduler counters = canceled %d done %d, want 1/1",
+			snap.Counters["jobs_canceled"], snap.Counters["jobs_done"])
+	}
+}
+
+// TestRuntimeCancelUnknownJob pins the error for canceling an id that was
+// never submitted.
+func TestRuntimeCancelUnknownJob(t *testing.T) {
+	r, err := NewRuntime(runtimeConfig(transport.BackendSim, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Cancel(424242); !errors.Is(err, ErrNoSuchJob) {
+		t.Fatalf("cancel unknown id: err=%v, want ErrNoSuchJob", err)
+	}
+	h, err := r.Submit(pingPongJob(transport.BackendSim, 1), SubmitOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRuntimeHTTPStatusCodes pins the control API's status-code
+// contract: 429 for admission-queue backpressure, 400 for invalid
+// submissions, 404 for canceling an unknown job — previously all 500/409.
+func TestRuntimeHTTPStatusCodes(t *testing.T) {
+	cfg := runtimeConfig(transport.BackendLive, 2)
+	cfg.MaxQueue = 1
+	cfg.DebugAddr = "127.0.0.1:0"
+	r, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RegisterTemplate("block", func() *Job {
+		job := NewJob(backendConfig(transport.BackendLive, 2, 1))
+		job.SetCPUKernel(func(c *CPUCtx) {
+			// Both ranks receive from each other: runs until canceled.
+			buf := make([]byte, 8)
+			c.Recv(1-c.Rank(), buf)
+		})
+		return job
+	})
+	r.RegisterTemplate("wide", func() *Job {
+		job := NewJob(backendConfig(transport.BackendLive, 3, 1))
+		job.SetCPUKernel(func(*CPUCtx) {})
+		return job
+	})
+	base := "http://" + r.ControlAddr()
+
+	post := func(path string) (int, int) {
+		t.Helper()
+		resp, err := http.Post(base+path, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			ID int `json:"id"`
+		}
+		_ = jsonDecode(resp, &st)
+		return resp.StatusCode, st.ID
+	}
+
+	// Fill the cluster, then the 1-slot queue, then overflow it.
+	code1, id1 := post("/runtime/submit?template=block")
+	if code1 != http.StatusOK {
+		t.Fatalf("first submit: HTTP %d", code1)
+	}
+	code2, id2 := post("/runtime/submit?template=block")
+	if code2 != http.StatusOK {
+		t.Fatalf("queued submit: HTTP %d", code2)
+	}
+	if code, _ := post("/runtime/submit?template=block"); code != http.StatusTooManyRequests {
+		t.Errorf("submit past MaxQueue: HTTP %d, want 429", code)
+	}
+	// Invalid submissions are the client's fault: 400, not 429 or 500.
+	if code, _ := post("/runtime/submit?template=wide"); code != http.StatusBadRequest {
+		t.Errorf("oversized job: HTTP %d, want 400", code)
+	}
+	if code, _ := post("/runtime/submit?template=block&weight=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad weight: HTTP %d, want 400", code)
+	}
+	// Cancel of a job that never existed: 404, not 409.
+	if code, _ := post("/runtime/cancel?id=424242"); code != http.StatusNotFound {
+		t.Errorf("cancel unknown id: HTTP %d, want 404", code)
+	}
+	for _, id := range []int{id2, id1} {
+		if code, _ := post(fmt.Sprintf("/runtime/cancel?id=%d", id)); code != http.StatusOK {
+			t.Errorf("cancel job %d: HTTP %d, want 200", id, code)
+		}
+	}
+	// Both cancellations must settle before Close.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sts := r.List()
+		settled := 0
+		for _, st := range sts {
+			if st.State == JobCanceled {
+				settled++
+			}
+		}
+		if settled == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancellations never settled: %+v", sts)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// jsonDecode decodes a response body and closes it; errors are ignored
+// by callers (error responses carry plain text).
+func jsonDecode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// TestRuntimeSimOpenLoopOverload floods a saturated 2-node cluster with
+// virtual-time arrivals well past MaxQueue: overflow is shed with
+// ErrQueueFull, admitted work starts in FIFO order within the single
+// priority band, and every completed job's buffer pool balances (no
+// leaks; the suite runs under -race in CI).
+func TestRuntimeSimOpenLoopOverload(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+	cfg := runtimeConfig(transport.BackendSim, 2)
+	cfg.MaxQueue = 3
+	r, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 12
+	var handles []*JobHandle
+	for i := 0; i < jobs; i++ {
+		h, err := r.SubmitAt(pingPongJob(transport.BackendSim, 50), SubmitOpts{},
+			time.Duration(i)*time.Microsecond)
+		if err != nil {
+			t.Fatalf("SubmitAt %d: %v", i, err)
+		}
+		handles = append(handles, h)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var completed, shed int
+	lastStart := time.Duration(-1)
+	for i, h := range handles {
+		rep, err := h.Wait()
+		switch {
+		case err == nil:
+			completed++
+			checkTenantReportInvariant(t, fmt.Sprintf("job %d", i), rep, 2)
+			if st := h.Status(); st.StartedAt < lastStart {
+				t.Errorf("job %d started at %v before its predecessor (%v): FIFO violated",
+					i, st.StartedAt, lastStart)
+			} else {
+				lastStart = st.StartedAt
+			}
+		case errors.Is(err, ErrQueueFull):
+			shed++
+			if st := h.Status().State; st != JobFailed {
+				t.Errorf("shed job %d state %v, want failed", i, st)
+			}
+		default:
+			t.Errorf("job %d: unexpected error %v", i, err)
+		}
+	}
+	if completed == 0 || shed == 0 || completed+shed != jobs {
+		t.Fatalf("completed %d, shed %d of %d: overload should both admit and shed", completed, shed, jobs)
+	}
+	snap := r.SchedSnapshot()
+	if int(snap.Counters["jobs_done"]) != completed || int(snap.Counters["jobs_rejected"]) != shed {
+		t.Errorf("scheduler counters done %d rejected %d, want %d/%d",
+			snap.Counters["jobs_done"], snap.Counters["jobs_rejected"], completed, shed)
+	}
+	if snap.Histograms["queue_wait_ns"].Count != uint64(completed) {
+		t.Errorf("queue-wait observations %d, want one per admitted job (%d)",
+			snap.Histograms["queue_wait_ns"].Count, completed)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// No goroutine leaks: everything the runtime spawned must wind down.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore+5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d, was %d before the run: leak", runtime.NumGoroutine(), goroutinesBefore)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

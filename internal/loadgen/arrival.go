@@ -1,0 +1,168 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Arrival process names.
+const (
+	// ArrivalPoisson is the memoryless open-loop process.
+	ArrivalPoisson = "poisson"
+	// ArrivalBursty is a 2-state MMPP: a calm state and a burst state with
+	// exponential dwell times, rate-scaled so the long-run mean matches
+	// Spec.Rate.
+	ArrivalBursty = "bursty"
+	// ArrivalDiurnal modulates a Poisson process sinusoidally over the run
+	// (one "day" per Duration), sampled by thinning.
+	ArrivalDiurnal = "diurnal"
+	// ArrivalClosed is the closed-loop process: Concurrency workers each
+	// submit a new job the moment their previous one finishes.
+	ArrivalClosed = "closed"
+)
+
+// Bursty (MMPP-2) shape: the burst state runs burstHi× the mean rate, the
+// calm state burstLo×, with mean dwell a tenth of the run in calm and a
+// thirtieth in burst. Exposed as constants so the trace schema pins them.
+const (
+	burstHi = 4.0
+	burstLo = 0.5
+)
+
+// diurnalDepth is the modulation amplitude of the diurnal process:
+// λ(t) = rate · (1 + depth·sin(2πt/Duration)).
+const diurnalDepth = 0.8
+
+// Arrival is one fully sampled offered job: when it arrives, which class
+// (tenant) it belongs to, and the concrete shape drawn from the class
+// distributions. Recording arrivals rather than distribution draws makes
+// trace replay exact.
+type Arrival struct {
+	// AtNs is the arrival time in nanoseconds from run start.
+	AtNs int64 `json:"at_ns"`
+	// Class is the tenant label of the sampled class.
+	Class string `json:"class"`
+	// Weight is the tenant's fair-share weight.
+	Weight int `json:"weight"`
+	// Nodes is the job's node count.
+	Nodes int `json:"nodes"`
+	// Fanout is the request messages per iteration.
+	Fanout int `json:"fanout"`
+	// Size is the payload bytes per message.
+	Size int `json:"size"`
+	// Iters is the number of request/reply rounds.
+	Iters int `json:"iters"`
+	// ServiceNs is the per-message worker compute time.
+	ServiceNs int64 `json:"service_ns"`
+}
+
+// At returns the arrival time as a duration.
+func (a Arrival) At() time.Duration { return time.Duration(a.AtNs) }
+
+// pickClass draws a class index by mix weight.
+func pickClass(classes []Class, rng *rand.Rand) int {
+	total := 0
+	for _, c := range classes {
+		total += c.Weight
+	}
+	n := rng.Intn(total)
+	for i, c := range classes {
+		n -= c.Weight
+		if n < 0 {
+			return i
+		}
+	}
+	return len(classes) - 1
+}
+
+// sampleJob fills an arrival's job shape from its class.
+func sampleJob(c Class, rng *rand.Rand) Arrival {
+	return Arrival{
+		Class:     c.Name,
+		Weight:    c.Weight,
+		Nodes:     c.Nodes,
+		Fanout:    sampleInt(c.Fanout, rng, 1),
+		Size:      sampleInt(c.Size, rng, 1),
+		Iters:     sampleInt(c.Iters, rng, 1),
+		ServiceNs: int64(sampleInt(c.Service, rng, 0)),
+	}
+}
+
+// GenArrivals materializes the offered trace for an open-loop spec: every
+// arrival within [0, Duration), in time order, fully sampled. Closed-loop
+// specs have no precomputable trace (arrivals depend on completions) and
+// return nil.
+func GenArrivals(spec Spec) []Arrival {
+	if spec.Arrival == ArrivalClosed {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	horizon := spec.Duration.Nanoseconds()
+	var out []Arrival
+
+	emit := func(at int64) {
+		a := sampleJob(spec.Classes[pickClass(spec.Classes, rng)], rng)
+		a.AtNs = at
+		out = append(out, a)
+	}
+	// expNs draws an exponential interarrival gap at `rate` jobs/sec.
+	expNs := func(rate float64) int64 {
+		return int64(rng.ExpFloat64() / rate * 1e9)
+	}
+
+	switch spec.Arrival {
+	case ArrivalPoisson:
+		for t := expNs(spec.Rate); t < horizon; t += expNs(spec.Rate) {
+			emit(t)
+		}
+	case ArrivalBursty:
+		// Two-state MMPP. State dwell times are exponential; rates are
+		// scaled so the dwell-weighted mean equals spec.Rate.
+		calmDwell := float64(horizon) / 10
+		burstDwell := float64(horizon) / 30
+		mean := (burstLo*calmDwell + burstHi*burstDwell) / (calmDwell + burstDwell)
+		scale := 1.0 / mean
+		inBurst := false
+		t := int64(0)
+		stateEnd := int64(rng.ExpFloat64() * calmDwell)
+		for t < horizon {
+			rate := spec.Rate * scale * burstLo
+			if inBurst {
+				rate = spec.Rate * scale * burstHi
+			}
+			t += expNs(rate)
+			for t >= stateEnd && stateEnd < horizon {
+				// State switch: restart the interarrival draw in the new
+				// state (approximation: memorylessness makes this exact for
+				// the exponential gaps).
+				inBurst = !inBurst
+				t = stateEnd
+				dwell := calmDwell
+				if inBurst {
+					dwell = burstDwell
+				}
+				stateEnd += int64(rng.ExpFloat64() * dwell)
+				rate = spec.Rate * scale * burstLo
+				if inBurst {
+					rate = spec.Rate * scale * burstHi
+				}
+				t += expNs(rate)
+			}
+			if t < horizon {
+				emit(t)
+			}
+		}
+	case ArrivalDiurnal:
+		// Thinning against the peak rate λmax = rate·(1+depth).
+		peak := spec.Rate * (1 + diurnalDepth)
+		for t := expNs(peak); t < horizon; t += expNs(peak) {
+			phase := 2 * math.Pi * float64(t) / float64(horizon)
+			lambda := spec.Rate * (1 + diurnalDepth*math.Sin(phase))
+			if rng.Float64()*peak <= lambda {
+				emit(t)
+			}
+		}
+	}
+	return out
+}

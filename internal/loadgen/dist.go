@@ -1,0 +1,70 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist is a seedable scalar distribution, JSON-serializable so traces can
+// commit the exact shapes they were generated from.
+type Dist struct {
+	// Kind is "const", "uniform" or "lognormal".
+	Kind string `json:"kind"`
+	// Value is the constant for Kind "const".
+	Value float64 `json:"value,omitempty"`
+	// Min and Max bound Kind "uniform" (inclusive, exclusive).
+	Min float64 `json:"min,omitempty"`
+	Max float64 `json:"max,omitempty"`
+	// Median and Sigma parameterize Kind "lognormal": exp(N(ln median,
+	// sigma)). Median (not mean) keeps the parameter intuitive for sizes.
+	Median float64 `json:"median,omitempty"`
+	Sigma  float64 `json:"sigma,omitempty"`
+}
+
+// Const is the degenerate distribution always sampling v.
+func Const(v float64) Dist { return Dist{Kind: "const", Value: v} }
+
+// Uniform samples uniformly from [min, max).
+func Uniform(min, max float64) Dist { return Dist{Kind: "uniform", Min: min, Max: max} }
+
+// LogNormal samples exp(N(ln median, sigma)) — heavy-tailed sizes with a
+// controllable median.
+func LogNormal(median, sigma float64) Dist {
+	return Dist{Kind: "lognormal", Median: median, Sigma: sigma}
+}
+
+// Sample draws one value using the given generator.
+func (d Dist) Sample(rng *rand.Rand) float64 {
+	switch d.Kind {
+	case "const":
+		return d.Value
+	case "uniform":
+		if d.Max <= d.Min {
+			return d.Min
+		}
+		return d.Min + rng.Float64()*(d.Max-d.Min)
+	case "lognormal":
+		return d.Median * math.Exp(d.Sigma*rng.NormFloat64())
+	}
+	return 0
+}
+
+// validate rejects unknown kinds early, before a run silently samples
+// zeros.
+func (d Dist) validate() error {
+	switch d.Kind {
+	case "const", "uniform", "lognormal":
+		return nil
+	}
+	return fmt.Errorf("loadgen: unknown distribution kind %q", d.Kind)
+}
+
+// sampleInt draws a value clamped to at least min.
+func sampleInt(d Dist, rng *rand.Rand, min int) int {
+	v := int(d.Sample(rng))
+	if v < min {
+		return min
+	}
+	return v
+}

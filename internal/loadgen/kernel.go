@@ -1,0 +1,69 @@
+package loadgen
+
+import (
+	"time"
+
+	"dcgn/internal/core"
+)
+
+// BuildJob turns one sampled arrival into a runnable serving job: rank 0
+// is the frontend, ranks 1..Nodes-1 are workers (one CPU kernel per
+// node). Each iteration the frontend scatters Fanout requests round-robin
+// over the workers, every worker charges ServiceNs of compute per request
+// and replies, and the frontend collects all replies — a fan-out/fan-in
+// request pattern whose match-wait and end-to-end latency are exactly
+// what the SLO report measures.
+func BuildJob(backend string, a Arrival) *core.Job {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = a.Nodes
+	cfg.CPUKernels = 1
+	cfg.GPUs = 0
+	cfg.Transport.Backend = backend
+	cfg.Metrics = true
+	job := core.NewJob(cfg)
+	job.SetCPUKernel(func(c *core.CPUCtx) { serve(c, a) })
+	return job
+}
+
+// serve is the per-rank kernel body. The request count each worker sees
+// is derived identically on both sides from (Fanout, worker count), so no
+// control messages are needed.
+func serve(c *core.CPUCtx, a Arrival) {
+	workers := c.Size() - 1
+	if workers <= 0 {
+		return
+	}
+	buf := make([]byte, a.Size)
+	if c.Rank() == 0 {
+		for it := 0; it < a.Iters; it++ {
+			for m := 0; m < a.Fanout; m++ {
+				if err := c.Send(1+m%workers, buf); err != nil {
+					return
+				}
+			}
+			for m := 0; m < a.Fanout; m++ {
+				if _, err := c.Recv(1+m%workers, buf); err != nil {
+					return
+				}
+			}
+		}
+		return
+	}
+	mine := 0
+	for m := 0; m < a.Fanout; m++ {
+		if 1+m%workers == c.Rank() {
+			mine++
+		}
+	}
+	for it := 0; it < a.Iters; it++ {
+		for m := 0; m < mine; m++ {
+			if _, err := c.Recv(0, buf); err != nil {
+				return
+			}
+			c.Compute(time.Duration(a.ServiceNs))
+			if err := c.Send(0, buf); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package loadgen is the seeded workload layer for the multi-tenant
+// Runtime: it turns an arrival process (open-loop Poisson / bursty /
+// diurnal, or closed-loop) and a mix of job classes into a deterministic
+// stream of submissions against either backend, and reports tail-latency
+// SLO figures (p50/p95/p99/p999 queue-wait, match-wait and end-to-end)
+// straight from the internal/obs histograms, per tenant and aggregate.
+//
+// On the simulated backend the whole offered trace is scheduled with
+// Runtime.SubmitAt and replayed in virtual time, so a fixed seed yields a
+// byte-identical SLO report; on the live backend arrivals are paced on
+// the wall clock. Traces can be recorded to a committed JSON schema and
+// replayed later, and FindMaxRate binary-searches for the knee where p99
+// end-to-end latency blows past a target SLO.
+package loadgen
+
+import (
+	"fmt"
+	"time"
+)
+
+// Backend-agnostic defaults; presets override per class.
+const (
+	// DefaultNodes is the shared cluster size when Spec.Nodes is zero.
+	DefaultNodes = 16
+	// DefaultRate is the open-loop arrival rate when Spec.Rate is zero.
+	DefaultRate = 200.0
+	// DefaultDuration is the offered-traffic window when Spec.Duration is
+	// zero.
+	DefaultDuration = 2 * time.Second
+	// DefaultConcurrency is the closed-loop worker count when
+	// Spec.Concurrency is zero.
+	DefaultConcurrency = 8
+)
+
+// Spec configures one load-generation run.
+type Spec struct {
+	// Backend is the transport backend ("sim" or "live").
+	Backend string
+	// Seed drives every sampled quantity (arrival times, class choice,
+	// sizes, fan-outs, service times). Same seed, same offered trace.
+	Seed int64
+	// Rate is the mean arrival rate in jobs/second (open-loop processes).
+	Rate float64
+	// Duration is the window during which traffic is offered; the run
+	// drains whatever is still queued afterwards.
+	Duration time.Duration
+	// Arrival picks the arrival process: "poisson", "bursty" (2-state
+	// MMPP), "diurnal" (sinusoidally modulated Poisson) or "closed"
+	// (Concurrency workers, submit-on-completion).
+	Arrival string
+	// Concurrency is the closed-loop worker count.
+	Concurrency int
+	// Preset names the job-class mix: "chat", "batch" or "mixed". Ignored
+	// when Classes is set explicitly.
+	Preset string
+	// Classes is the job-class mix; filled from Preset when empty.
+	Classes []Class
+	// Nodes is the shared cluster size.
+	Nodes int
+	// MaxQueue bounds the runtime admission queue (0 = runtime default);
+	// open-loop arrivals past it are shed and counted as rejected.
+	MaxQueue int
+}
+
+// Class describes one tenant's job shape: every arrival samples a
+// concrete job (fan-out, payload size, iteration count, per-message
+// service time) from the class distributions.
+type Class struct {
+	// Name doubles as the tenant label.
+	Name string
+	// Weight is both the mix weight (how often the class arrives) and the
+	// tenant's stride fair-share weight.
+	Weight int
+	// Nodes is the job's node count (>= 2: rank 0 is the frontend).
+	Nodes int
+	// Fanout samples the number of request messages per iteration.
+	Fanout Dist
+	// Size samples the request/reply payload bytes.
+	Size Dist
+	// Iters samples the number of request/reply rounds.
+	Iters Dist
+	// Service samples the per-message worker compute time in nanoseconds.
+	Service Dist
+}
+
+// Presets returns the named class mix. The shapes are loosely modeled on
+// serving traffic: "chat" is many small low-fanout interactive jobs,
+// "batch" fewer, larger, high-fanout ones, "mixed" an 80/20 blend.
+func Presets(name string) ([]Class, error) {
+	chat := Class{
+		Name:    "chat",
+		Weight:  4,
+		Nodes:   2,
+		Fanout:  Uniform(1, 4),
+		Size:    LogNormal(512, 0.8),
+		Iters:   Const(1),
+		Service: Uniform(50e3, 200e3), // 50–200 µs
+	}
+	batch := Class{
+		Name:    "batch",
+		Weight:  1,
+		Nodes:   4,
+		Fanout:  Const(8),
+		Size:    LogNormal(16384, 0.5),
+		Iters:   Const(4),
+		Service: Uniform(200e3, 1e6), // 0.2–1 ms
+	}
+	switch name {
+	case "", "chat":
+		chat.Weight = 1
+		return []Class{chat}, nil
+	case "batch":
+		batch.Weight = 1
+		return []Class{batch}, nil
+	case "mixed":
+		return []Class{chat, batch}, nil
+	}
+	return nil, fmt.Errorf("loadgen: unknown preset %q (want chat, batch or mixed)", name)
+}
+
+// normalize fills defaults and validates the spec in place.
+func (s *Spec) normalize() error {
+	if s.Backend == "" {
+		s.Backend = "sim"
+	}
+	if s.Backend != "sim" && s.Backend != "live" {
+		return fmt.Errorf("loadgen: unknown backend %q", s.Backend)
+	}
+	if s.Rate <= 0 {
+		s.Rate = DefaultRate
+	}
+	if s.Duration <= 0 {
+		s.Duration = DefaultDuration
+	}
+	if s.Concurrency <= 0 {
+		s.Concurrency = DefaultConcurrency
+	}
+	if s.Nodes <= 0 {
+		s.Nodes = DefaultNodes
+	}
+	switch s.Arrival {
+	case "":
+		s.Arrival = ArrivalPoisson
+	case ArrivalPoisson, ArrivalBursty, ArrivalDiurnal, ArrivalClosed:
+	default:
+		return fmt.Errorf("loadgen: unknown arrival process %q", s.Arrival)
+	}
+	if len(s.Classes) == 0 {
+		classes, err := Presets(s.Preset)
+		if err != nil {
+			return err
+		}
+		s.Classes = classes
+	} else if s.Preset == "" {
+		s.Preset = "custom"
+	}
+	if s.Preset == "" {
+		s.Preset = "chat"
+	}
+	for i, c := range s.Classes {
+		if c.Name == "" {
+			return fmt.Errorf("loadgen: class %d has no name", i)
+		}
+		if c.Nodes < 2 {
+			return fmt.Errorf("loadgen: class %q needs >= 2 nodes (frontend + workers), got %d", c.Name, c.Nodes)
+		}
+		if c.Nodes > s.Nodes {
+			return fmt.Errorf("loadgen: class %q wants %d nodes, cluster has %d", c.Name, c.Nodes, s.Nodes)
+		}
+		if c.Weight <= 0 {
+			return fmt.Errorf("loadgen: class %q needs a positive weight", c.Name)
+		}
+	}
+	return nil
+}

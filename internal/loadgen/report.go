@@ -1,0 +1,162 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"strings"
+
+	"dcgn/internal/obs"
+)
+
+// ReportSchema versions the SLO report format the CI smoke job checks.
+const ReportSchema = "dcgn-loadgen/v1"
+
+// LatencyStats summarizes one obs histogram with interpolated
+// percentiles (HistogramSnapshot.QuantileF), so tail figures are not
+// quantized to powers of two.
+type LatencyStats struct {
+	// Count is the number of observations.
+	Count uint64 `json:"count"`
+	// MeanNs through P999Ns are nanoseconds.
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P95Ns  float64 `json:"p95_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	P999Ns float64 `json:"p999_ns"`
+}
+
+// latencyStats extracts the standard percentile set from a snapshot.
+func latencyStats(h obs.HistogramSnapshot) LatencyStats {
+	return LatencyStats{
+		Count:  h.Count,
+		MeanNs: h.Mean(),
+		P50Ns:  h.QuantileF(0.50),
+		P95Ns:  h.QuantileF(0.95),
+		P99Ns:  h.QuantileF(0.99),
+		P999Ns: h.QuantileF(0.999),
+	}
+}
+
+// TenantStats is one tenant's (or the aggregate) SLO view.
+type TenantStats struct {
+	// Jobs is the completed-job count.
+	Jobs int `json:"jobs"`
+	// QueueWait is admission-queue wait (submit → node assignment).
+	QueueWait LatencyStats `json:"queue_wait"`
+	// MatchWait is per-message receive match wait inside completed jobs.
+	MatchWait LatencyStats `json:"match_wait"`
+	// E2E is submit → finish latency of completed jobs.
+	E2E LatencyStats `json:"e2e"`
+}
+
+// Report is the SLO report of one load-generation run. On the simulated
+// backend it contains no wall-clock quantity, so a fixed seed reproduces
+// it byte for byte.
+type Report struct {
+	// Schema is ReportSchema.
+	Schema string `json:"schema"`
+	// Backend, Preset, Arrival, Seed, RatePerSec and DurationS echo the
+	// spec.
+	Backend    string  `json:"backend"`
+	Preset     string  `json:"preset"`
+	Arrival    string  `json:"arrival"`
+	Seed       int64   `json:"seed"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	DurationS  float64 `json:"duration_s"`
+	// Offered counts submissions; Completed/Rejected/Failed/Canceled
+	// partition their outcomes (Rejected = shed by admission control).
+	Offered   int `json:"offered"`
+	Completed int `json:"completed"`
+	Rejected  int `json:"rejected"`
+	Failed    int `json:"failed"`
+	Canceled  int `json:"canceled"`
+	// AchievedRatePerSec is completed jobs per offered second.
+	AchievedRatePerSec float64 `json:"achieved_rate_per_sec"`
+	// Aggregate pools every tenant; Tenants breaks the same stats out per
+	// class.
+	Aggregate TenantStats            `json:"aggregate"`
+	Tenants   map[string]TenantStats `json:"tenants"`
+	// WallS is the live backend's wall-clock run time (absent on sim —
+	// it would break report determinism).
+	WallS float64 `json:"wall_s,omitempty"`
+}
+
+// JSON renders the report as indented, key-sorted JSON with a trailing
+// newline — the byte-stable form the determinism check diffs.
+func (r *Report) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "\t")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// collector accumulates per-tenant and aggregate outcome counts and
+// match-wait merges while handles resolve.
+type collector struct {
+	completed, rejected, failed, canceled int
+	jobs                                  map[string]int                   // completed per tenant
+	match                                 map[string]obs.HistogramSnapshot // merged match-wait per tenant
+	matchAll                              obs.HistogramSnapshot
+}
+
+func newCollector() *collector {
+	return &collector{
+		jobs:  make(map[string]int),
+		match: make(map[string]obs.HistogramSnapshot),
+	}
+}
+
+// addCompleted folds one completed job's report into the tenant and
+// aggregate match-wait accumulators.
+func (c *collector) addCompleted(tenant string, hists map[string]HistSnapshot) {
+	c.completed++
+	c.jobs[tenant]++
+	for name, h := range hists {
+		if !strings.HasPrefix(name, "match_wait_ns") {
+			continue
+		}
+		c.match[tenant] = c.match[tenant].Merge(h)
+		c.matchAll = c.matchAll.Merge(h)
+	}
+}
+
+// HistSnapshot aliases the core report's histogram snapshot type.
+type HistSnapshot = obs.HistogramSnapshot
+
+// buildReport assembles the final SLO report from the collector, the
+// runtime scheduling snapshot and the spec.
+func buildReport(spec Spec, offered int, c *collector, sched obs.Snapshot) *Report {
+	rep := &Report{
+		Schema:     ReportSchema,
+		Backend:    spec.Backend,
+		Preset:     spec.Preset,
+		Arrival:    spec.Arrival,
+		Seed:       spec.Seed,
+		RatePerSec: spec.Rate,
+		DurationS:  spec.Duration.Seconds(),
+		Offered:    offered,
+		Completed:  c.completed,
+		Rejected:   c.rejected,
+		Failed:     c.failed,
+		Canceled:   c.canceled,
+		Tenants:    make(map[string]TenantStats),
+	}
+	if spec.Duration > 0 {
+		rep.AchievedRatePerSec = float64(c.completed) / spec.Duration.Seconds()
+	}
+	rep.Aggregate = TenantStats{
+		Jobs:      c.completed,
+		QueueWait: latencyStats(sched.Histograms["queue_wait_ns"]),
+		MatchWait: latencyStats(c.matchAll),
+		E2E:       latencyStats(sched.Histograms["e2e_ns"]),
+	}
+	for tenant, n := range c.jobs {
+		rep.Tenants[tenant] = TenantStats{
+			Jobs:      n,
+			QueueWait: latencyStats(sched.Histograms["queue_wait_ns/tenant="+tenant]),
+			MatchWait: latencyStats(c.match[tenant]),
+			E2E:       latencyStats(sched.Histograms["e2e_ns/tenant="+tenant]),
+		}
+	}
+	return rep
+}

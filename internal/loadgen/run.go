@@ -1,0 +1,237 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dcgn/internal/core"
+	"dcgn/internal/transport"
+)
+
+// drainSlack is the extra virtual (sim) or wall (live watchdog) time the
+// runtime gets past the offered window to drain the bounded queue.
+const drainSlack = 30 * time.Second
+
+// Run executes one load-generation run for the spec and returns its SLO
+// report. Open-loop arrivals are precomputed from the seed; closed-loop
+// runs chain submissions off the runtime's completion callback.
+func Run(spec Spec) (*Report, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	if spec.Arrival == ArrivalClosed {
+		return runClosed(spec)
+	}
+	return runOpen(spec, GenArrivals(spec))
+}
+
+// RunTrace replays a recorded trace on the given backend ("" keeps the
+// trace's own backend).
+func RunTrace(t *Trace, backend string) (*Report, error) {
+	spec := t.Spec(backend)
+	if spec.Nodes <= 0 {
+		spec.Nodes = DefaultNodes
+	}
+	if spec.Backend != "sim" && spec.Backend != "live" {
+		return nil, fmt.Errorf("loadgen: unknown backend %q", spec.Backend)
+	}
+	for _, a := range t.Arrivals {
+		if a.Nodes > spec.Nodes {
+			return nil, fmt.Errorf("loadgen: trace arrival wants %d nodes, cluster has %d", a.Nodes, spec.Nodes)
+		}
+	}
+	return runOpen(spec, t.Arrivals)
+}
+
+// newRuntime builds the shared runtime for a run.
+func newRuntime(spec Spec) (*core.Runtime, error) {
+	return core.NewRuntime(core.RuntimeConfig{
+		Nodes:          spec.Nodes,
+		Transport:      transport.Config{Backend: spec.Backend},
+		MaxQueue:       spec.MaxQueue,
+		MaxVirtualTime: spec.Duration + drainSlack,
+	})
+}
+
+// submitOpts labels an arrival's submission with its tenant and weight.
+func submitOpts(a Arrival) core.SubmitOpts {
+	return core.SubmitOpts{Tenant: a.Class, Weight: a.Weight}
+}
+
+// runOpen drives a precomputed open-loop arrival stream.
+func runOpen(spec Spec, arrivals []Arrival) (*Report, error) {
+	rt, err := newRuntime(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+
+	type sub struct {
+		h *core.JobHandle
+		a Arrival
+	}
+	subs := make([]sub, 0, len(arrivals))
+	var wall time.Duration
+
+	if spec.Backend == "sim" {
+		// The whole offered trace is scheduled up front; SubmitAt replays
+		// it in virtual time and sheds arrivals that meet a full queue.
+		for _, a := range arrivals {
+			h, err := rt.SubmitAt(BuildJob(spec.Backend, a), submitOpts(a), a.At())
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, sub{h, a})
+		}
+		if err := rt.Run(); err != nil {
+			return nil, fmt.Errorf("loadgen: batch did not drain: %w", err)
+		}
+	} else {
+		// Live: pace the same schedule on the wall clock. A full queue
+		// rejects at Submit, which is the same shedding point.
+		start := time.Now()
+		for _, a := range arrivals {
+			if d := a.At() - time.Since(start); d > 0 {
+				time.Sleep(d)
+			}
+			h, err := rt.Submit(BuildJob(spec.Backend, a), submitOpts(a))
+			if errors.Is(err, core.ErrQueueFull) {
+				subs = append(subs, sub{nil, a})
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, sub{h, a})
+		}
+		wall = time.Since(start)
+	}
+
+	c := newCollector()
+	for _, s := range subs {
+		if s.h == nil {
+			c.rejected++
+			continue
+		}
+		rep, err := s.h.Wait()
+		switch {
+		case err == nil:
+			c.addCompleted(s.a.Class, rep.Histograms)
+		case errors.Is(err, core.ErrQueueFull):
+			c.rejected++
+		case errors.Is(err, core.ErrJobCanceled):
+			c.canceled++
+		default:
+			c.failed++
+		}
+	}
+	out := buildReport(spec, len(arrivals), c, rt.SchedSnapshot())
+	if spec.Backend == "live" {
+		out.WallS = wall.Seconds()
+	}
+	return out, nil
+}
+
+// runClosed drives Concurrency submit-on-completion chains: each finished
+// job triggers the next sampled submission until the offered window
+// closes. On the simulated backend the chain reaction happens in virtual
+// time inside Run (the completion callback is the only mid-batch
+// submission point); on the live backend it happens on job goroutines.
+func runClosed(spec Spec) (*Report, error) {
+	rt, err := newRuntime(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var (
+		mu      sync.Mutex
+		handles []*core.JobHandle
+		classes []string
+		stopped bool
+	)
+	// submitNextLocked samples and submits one follow-up job.
+	submitNextLocked := func() {
+		a := sampleJob(spec.Classes[pickClass(spec.Classes, rng)], rng)
+		h, err := rt.Submit(BuildJob(spec.Backend, a), submitOpts(a))
+		if err != nil {
+			// Queue full or runtime winding down: this chain ends here.
+			return
+		}
+		handles = append(handles, h)
+		classes = append(classes, a.Class)
+	}
+	rt.SetOnJobDone(func(st core.JobStatus) {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped || st.FinishedAt >= spec.Duration {
+			return
+		}
+		submitNextLocked()
+	})
+
+	mu.Lock()
+	for i := 0; i < spec.Concurrency; i++ {
+		submitNextLocked()
+	}
+	primed := len(handles)
+	mu.Unlock()
+	if primed == 0 {
+		return nil, fmt.Errorf("loadgen: closed-loop run could not prime any job")
+	}
+
+	start := time.Now()
+	if spec.Backend == "sim" {
+		if err := rt.Run(); err != nil {
+			return nil, fmt.Errorf("loadgen: batch did not drain: %w", err)
+		}
+	} else {
+		time.Sleep(spec.Duration)
+		mu.Lock()
+		stopped = true
+		mu.Unlock()
+	}
+
+	// Collect every chained handle; on live, chains may still be growing
+	// while we wait, so re-check the slice until it is stable and stopped.
+	c := newCollector()
+	i := 0
+	for {
+		mu.Lock()
+		if i >= len(handles) {
+			done := spec.Backend == "sim" || stopped
+			mu.Unlock()
+			if done {
+				break
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		h, tenant := handles[i], classes[i]
+		mu.Unlock()
+		rep, err := h.Wait()
+		switch {
+		case err == nil:
+			c.addCompleted(tenant, rep.Histograms)
+		case errors.Is(err, core.ErrQueueFull):
+			c.rejected++
+		case errors.Is(err, core.ErrJobCanceled):
+			c.canceled++
+		default:
+			c.failed++
+		}
+		i++
+	}
+	mu.Lock()
+	offered := len(handles)
+	mu.Unlock()
+	out := buildReport(spec, offered, c, rt.SchedSnapshot())
+	if spec.Backend == "live" {
+		out.WallS = time.Since(start).Seconds()
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+)
+
+// SearchSchema versions the max-sustainable-rate report format.
+const SearchSchema = "dcgn-loadgen-search/v1"
+
+// searchMaxProbes bounds the bracketing and bisection work; geometric
+// bisection to a 1.1× bracket from any practical starting point fits well
+// inside it.
+const searchMaxProbes = 40
+
+// Probe is one rate trial of the knee search.
+type Probe struct {
+	// RatePerSec is the probed arrival rate.
+	RatePerSec float64 `json:"rate_per_sec"`
+	// P99Ns is the aggregate end-to-end p99 at that rate.
+	P99Ns float64 `json:"p99_ns"`
+	// OK reports whether the probe met the SLO target.
+	OK bool `json:"ok"`
+}
+
+// SearchResult is the outcome of FindMaxRate: the knee bracketed to
+// within 10%.
+type SearchResult struct {
+	// Schema is SearchSchema.
+	Schema string `json:"schema"`
+	// Backend, Preset, Arrival and Seed echo the spec.
+	Backend string `json:"backend"`
+	Preset  string `json:"preset"`
+	Arrival string `json:"arrival"`
+	Seed    int64  `json:"seed"`
+	// SLOTargetNs is the p99 end-to-end target.
+	SLOTargetNs int64 `json:"slo_target_ns"`
+	// MaxRatePerSec is the highest probed rate meeting the SLO; the next
+	// probed rate KneeRatePerSec (≤ 1.1× higher) violated it.
+	MaxRatePerSec  float64 `json:"max_rate_per_sec"`
+	KneeRatePerSec float64 `json:"knee_rate_per_sec"`
+	// P99AtMaxNs / P99AtKneeNs are the measured tails at the bracket ends.
+	P99AtMaxNs  float64 `json:"p99_at_max_ns"`
+	P99AtKneeNs float64 `json:"p99_at_knee_ns"`
+	// Probes lists every trial in probe order.
+	Probes []Probe `json:"probes"`
+}
+
+// JSON renders the search result as indented JSON.
+func (r *SearchResult) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "\t")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// FindMaxRate binary-searches for the max sustainable rate: the knee
+// where aggregate p99 end-to-end latency blows past the SLO target. It
+// doubles from the spec's rate to bracket the knee, then bisects
+// geometrically until the bad rate is within 10% of the good one — so
+// p99 ≤ slo at MaxRatePerSec and p99 > slo at KneeRatePerSec ≤
+// 1.1·MaxRatePerSec. Every probe reruns the spec at the trial rate with
+// the same seed, so on the simulated backend the whole search is
+// deterministic.
+func FindMaxRate(spec Spec, slo time.Duration) (*SearchResult, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	if spec.Arrival == ArrivalClosed {
+		return nil, fmt.Errorf("loadgen: the knee search needs an open-loop arrival process (closed loops self-limit)")
+	}
+	if slo <= 0 {
+		return nil, fmt.Errorf("loadgen: the knee search needs a positive SLO target")
+	}
+	res := &SearchResult{
+		Schema:      SearchSchema,
+		Backend:     spec.Backend,
+		Preset:      spec.Preset,
+		Arrival:     spec.Arrival,
+		Seed:        spec.Seed,
+		SLOTargetNs: slo.Nanoseconds(),
+	}
+	probe := func(rate float64) (float64, bool, error) {
+		if len(res.Probes) >= searchMaxProbes {
+			return 0, false, fmt.Errorf("loadgen: knee search exceeded %d probes without converging", searchMaxProbes)
+		}
+		s := spec
+		s.Rate = rate
+		rep, err := Run(s)
+		if err != nil {
+			return 0, false, err
+		}
+		if rep.Completed == 0 {
+			// Everything shed or failed: clearly past the knee.
+			res.Probes = append(res.Probes, Probe{RatePerSec: rate, P99Ns: math.Inf(1), OK: false})
+			return math.Inf(1), false, nil
+		}
+		p99 := rep.Aggregate.E2E.P99Ns
+		ok := p99 <= float64(slo.Nanoseconds())
+		res.Probes = append(res.Probes, Probe{RatePerSec: rate, P99Ns: p99, OK: ok})
+		return p99, ok, nil
+	}
+
+	// Bracket: walk down until a rate meets the SLO, then up until one
+	// violates it.
+	lo, hi := 0.0, 0.0
+	var p99Lo, p99Hi float64
+	rate := spec.Rate
+	for {
+		p99, ok, err := probe(rate)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			lo, p99Lo = rate, p99
+			break
+		}
+		hi, p99Hi = rate, p99
+		rate /= 2
+		if rate < 1e-3 {
+			return nil, fmt.Errorf("loadgen: no rate meets the SLO target %v (intrinsic latency exceeds it)", slo)
+		}
+	}
+	for hi == 0 {
+		rate = lo * 2
+		p99, ok, err := probe(rate)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			lo, p99Lo = rate, p99
+		} else {
+			hi, p99Hi = rate, p99
+		}
+	}
+
+	// Bisect geometrically until hi is within 10% of lo.
+	for hi > lo*1.1 {
+		mid := math.Sqrt(lo * hi)
+		p99, ok, err := probe(mid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			lo, p99Lo = mid, p99
+		} else {
+			hi, p99Hi = mid, p99
+		}
+	}
+	res.MaxRatePerSec, res.P99AtMaxNs = lo, p99Lo
+	res.KneeRatePerSec, res.P99AtKneeNs = hi, p99Hi
+	return res, nil
+}

@@ -187,6 +187,74 @@ func (s HistogramSnapshot) Quantile(q float64) int64 {
 	return int64(uint64(1)<<len(s.Buckets) - 1)
 }
 
+// QuantileF returns the q-quantile with linear interpolation inside the
+// containing log2 bucket. Quantile reports only the bucket's inclusive
+// upper bound (a power of two minus one), which quantizes tail figures
+// like p999 to a factor-of-two grid; QuantileF instead assumes the
+// bucket's observations are uniformly spread over [2^(i-1), 2^i) and
+// interpolates by rank, which is what SLO reporting wants. Bucket 0
+// (v <= 0) still reports 0 exactly.
+func (s HistogramSnapshot) QuantileF(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count-1)
+	var cum uint64
+	for i, b := range s.Buckets {
+		if b == 0 {
+			cum += b
+			continue
+		}
+		lo, hi := float64(cum), float64(cum+b)
+		cum += b
+		if rank >= hi && cum < s.Count {
+			continue
+		}
+		if i == 0 {
+			return 0
+		}
+		vlo := float64(uint64(1) << (i - 1))
+		vhi := float64(uint64(1) << i)
+		// Position of rank within this bucket's [lo, hi) rank span.
+		frac := (rank - lo) / (hi - lo)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return vlo + frac*(vhi-vlo)
+	}
+	return 0
+}
+
+// Merge returns the bucket-wise sum of s and o, for aggregating the same
+// instrument across partitions (per-job or per-tenant registries) before
+// extracting percentiles. Bucket slices of different trimmed lengths are
+// aligned by index.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	n := len(s.Buckets)
+	if len(o.Buckets) > n {
+		n = len(o.Buckets)
+	}
+	out := HistogramSnapshot{
+		Count:   s.Count + o.Count,
+		Sum:     s.Sum + o.Sum,
+		Buckets: make([]uint64, n),
+	}
+	copy(out.Buckets, s.Buckets)
+	for i, b := range o.Buckets {
+		out.Buckets[i] += b
+	}
+	return out
+}
+
 // Snapshot is a point-in-time copy of a whole registry, ready for JSON
 // serialization (the debug endpoint) or report aggregation.
 type Snapshot struct {

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Inject and Kill: the event-boundary escape hatch external controllers
+// (job cancellation, the runtime control API) use to mutate simulation
+// state without racing the single-threaded kernel.
+
+// TestInjectRunsBeforeEvents: a thunk posted before Run executes at the
+// first scheduler boundary, ahead of any proc step.
+func TestInjectRunsBeforeEvents(t *testing.T) {
+	s := New()
+	var order []string
+	s.Spawn("worker", func(p *Proc) {
+		order = append(order, "worker")
+	})
+	if !s.Inject(func() { order = append(order, "inject") }) {
+		t.Fatal("Inject refused before Run")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "inject" || order[1] != "worker" {
+		t.Fatalf("execution order %v, want [inject worker]", order)
+	}
+}
+
+// TestInjectAfterShutdown: once the simulation has shut down, Inject
+// refuses the thunk instead of queueing it forever.
+func TestInjectAfterShutdown(t *testing.T) {
+	s := New()
+	s.Spawn("noop", func(p *Proc) {})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Inject(func() {}) {
+		t.Fatal("Inject accepted a thunk after shutdown")
+	}
+}
+
+// TestKillUnwindsProc: killing a proc that never got to run still marks
+// it done and adjusts the live count, so Run terminates at once instead
+// of waiting out the proc's timer.
+func TestKillUnwindsProc(t *testing.T) {
+	s := New()
+	var executed bool
+	victim := s.Spawn("victim", func(p *Proc) {
+		p.Sleep(time.Hour)
+		executed = true
+	})
+	s.Inject(func() { s.Kill(victim) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if executed {
+		t.Error("victim ran after being killed")
+	}
+	if s.Now() != 0 {
+		t.Errorf("virtual clock advanced to %v waiting on a killed proc", s.Now())
+	}
+}
+
+// TestKillAtEventBoundary: a kill injected mid-run takes effect at the
+// next virtual-time event boundary — the clock stops there, not at the
+// victim's distant wakeup — and the victim's defers run on the unwind.
+func TestKillAtEventBoundary(t *testing.T) {
+	s := New()
+	var executed, cleaned bool
+	victim := s.Spawn("victim", func(p *Proc) {
+		defer func() { cleaned = true }()
+		p.Sleep(time.Hour)
+		executed = true
+	})
+	s.Spawn("watcher", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		s.Inject(func() { s.Kill(victim) })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if executed {
+		t.Error("victim survived the injected kill")
+	}
+	if !cleaned {
+		t.Error("victim's defer did not run on kill")
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Errorf("run ended at %v, want the 10ms kill boundary", s.Now())
+	}
+}
+
+// TestKillFinishedProcIsNoOp: Kill after the proc already exited (or
+// after the run) must not panic or block.
+func TestKillFinishedProcIsNoOp(t *testing.T) {
+	s := New()
+	p := s.Spawn("quick", func(p *Proc) {})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s.Kill(p) // already done: no-op
+}

@@ -23,6 +23,8 @@ import (
 	"runtime/debug"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -145,6 +147,14 @@ type Sim struct {
 	rng        *rand.Rand
 	jitterFrac float64
 	maxTime    int64
+
+	// injected holds thunks posted by Inject from foreign goroutines;
+	// the scheduler drains them between events. injPending mirrors
+	// len(injected) so the hot loop can skip the mutex when empty.
+	injMu      sync.Mutex
+	injected   []func()
+	injPending atomic.Int32
+	injClosed  bool
 
 	// idleAt records the virtual time at which the live (non-daemon) proc
 	// count last dropped to zero. Sharded runs report elapsed time as the
@@ -366,6 +376,66 @@ func (s *Sim) runProc(p *Proc) {
 	s.current = nil
 }
 
+// Inject posts fn to be executed by the scheduler goroutine at the next
+// virtual-time event boundary (between proc steps, with no proc running).
+// It is the only Sim entry point that is safe to call from a foreign
+// goroutine, and exists so external controllers (job cancellation, a
+// control API) can mutate simulation state without racing the
+// single-threaded kernel. fn runs with the full rights of the scheduler:
+// it may Spawn and Kill procs. Inject reports whether the thunk was
+// accepted; it returns false once the simulation has shut down. An
+// accepted thunk runs only if the scheduler reaches another boundary, so
+// callers must tolerate thunks posted in the run's final instants being
+// dropped.
+func (s *Sim) Inject(fn func()) bool {
+	s.injMu.Lock()
+	defer s.injMu.Unlock()
+	if s.injClosed {
+		return false
+	}
+	s.injected = append(s.injected, fn)
+	s.injPending.Store(int32(len(s.injected)))
+	return true
+}
+
+// drainInjected runs every pending injected thunk in post order. Called
+// only from the scheduler between events.
+func (s *Sim) drainInjected() {
+	for s.injPending.Load() > 0 {
+		s.injMu.Lock()
+		fns := s.injected
+		s.injected = nil
+		s.injPending.Store(0)
+		s.injMu.Unlock()
+		for _, fn := range fns {
+			fn()
+		}
+	}
+}
+
+// Kill tears down a proc that has not finished: its goroutine unwinds via
+// the kill sentinel (running its defers) and the proc is marked done, with
+// the live count adjusted so Run's termination condition stays correct.
+// Pending timers and waiter-list entries for the proc become no-ops.
+// Kill must run in scheduler context — from an Inject thunk or between
+// Run calls — never from a running proc.
+func (s *Sim) Kill(p *Proc) {
+	if p.sim != s || p.state == stateDone {
+		return
+	}
+	if s.current != nil {
+		panic("sim: Kill called while a proc is running; use Inject")
+	}
+	p.resume <- resumeMsg{kill: true}
+	<-s.yieldCh
+	if !p.daemon {
+		s.live--
+		if s.live == 0 {
+			s.idleAt = s.now
+		}
+	}
+}
+
 // Run executes the simulation until every Proc has finished. It returns an
 // error if a Proc panicked or if the simulation deadlocked (some Procs are
 // blocked but no timer can wake anyone up). After Run returns, all remaining
@@ -373,6 +443,9 @@ func (s *Sim) runProc(p *Proc) {
 func (s *Sim) Run() error {
 	defer s.shutdown()
 	for {
+		if s.injPending.Load() > 0 {
+			s.drainInjected()
+		}
 		if s.failure != nil {
 			return s.failure
 		}
@@ -424,6 +497,9 @@ func (e *TimeoutError) Error() string {
 func (s *Sim) RunFor(deadline time.Duration) error {
 	defer s.shutdown()
 	for {
+		if s.injPending.Load() > 0 {
+			s.drainInjected()
+		}
 		if s.failure != nil {
 			return s.failure
 		}
@@ -461,6 +537,11 @@ func (s *Sim) shutdown() {
 		return
 	}
 	s.stopped = true
+	s.injMu.Lock()
+	s.injClosed = true
+	s.injected = nil
+	s.injPending.Store(0)
+	s.injMu.Unlock()
 	for _, p := range s.procs {
 		if p.state == stateDone || p.state == stateRunning {
 			continue
