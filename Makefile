@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt lintdoc test race race-live bench bench-json bench-onesided benchguard chaos onesided multitenant loadgen trace-export scale ci
+.PHONY: build vet fmt lintdoc test race race-live bench bench-json bench-onesided benchguard chaos onesided multitenant loadgen trace-export flows scale ci
 
 build:
 	$(GO) build ./...
@@ -108,4 +108,23 @@ trace-export:
 	$(GO) run ./cmd/dcgn-trace -nodes 4 -format csv -o /tmp/dcgn-trace.csv
 	$(GO) run ./cmd/dcgn-trace -nodes 4 -metrics > /dev/null
 
-ci: build vet fmt lintdoc test race race-live bench benchguard chaos onesided multitenant loadgen trace-export scale
+# Causal flow-tracing gate: the stitching/critical-path suites under the
+# race detector, the chaos differential with flows on, a seeded
+# determinism diff of the dcgn-trace critical-path text (two runs must
+# render byte-identically), a Perfetto flow-event schema check on the
+# exported chrome trace, and the flows-on loadgen determinism diff.
+flows:
+	$(GO) test -race ./internal/obs/flow/
+	$(GO) test -race ./internal/core/ -run 'Flow|ChaosDifferentialFlows'
+	$(GO) test ./internal/obs/ -run 'ChromeTraceFlowEvents'
+	$(GO) run ./cmd/dcgn-trace -nodes 4 -critical-path -format chrome -o /tmp/dcgn-flow.json > /tmp/dcgn-cp-a.txt
+	$(GO) run ./cmd/dcgn-trace -nodes 4 -critical-path -format chrome -o /tmp/dcgn-flow.json > /tmp/dcgn-cp-b.txt
+	diff /tmp/dcgn-cp-a.txt /tmp/dcgn-cp-b.txt
+	grep -q '"ph": *"s"' /tmp/dcgn-flow.json
+	grep -q '"ph": *"f"' /tmp/dcgn-flow.json
+	grep -q '"bp": *"e"' /tmp/dcgn-flow.json
+	$(GO) run ./cmd/dcgn-loadgen -preset chat -rate 300 -duration 1s -seed 7 -flows -o /tmp/dcgn-slo-flows-a.json
+	$(GO) run ./cmd/dcgn-loadgen -preset chat -rate 300 -duration 1s -seed 7 -flows -o /tmp/dcgn-slo-flows-b.json
+	diff /tmp/dcgn-slo-flows-a.json /tmp/dcgn-slo-flows-b.json
+
+ci: build vet fmt lintdoc test race race-live bench benchguard chaos onesided multitenant loadgen trace-export flows scale

@@ -346,7 +346,7 @@ func BenchmarkEnginePingPong(b *testing.B) {
 		iters   = 64
 		payload = 1024
 	)
-	run := func(b *testing.B, backend string, reliable, traced bool, shards int) {
+	run := func(b *testing.B, backend string, reliable, traced, flows bool, shards int) {
 		for i := 0; i < b.N; i++ {
 			cfg := dcgn.DefaultConfig()
 			cfg.Nodes, cfg.CPUKernels, cfg.GPUs = 2, 1, 0
@@ -354,6 +354,7 @@ func BenchmarkEnginePingPong(b *testing.B) {
 			cfg.Reliability.Enabled = reliable
 			cfg.Trace = traced
 			cfg.Metrics = traced
+			cfg.Flows = flows
 			cfg.Shards = shards
 			if backend == dcgn.BackendLive {
 				cfg.MaxVirtualTime = 30 * time.Second // wall-clock watchdog
@@ -387,21 +388,27 @@ func BenchmarkEnginePingPong(b *testing.B) {
 			b.ReportMetric(float64(rep.Requests)/float64(2*iters), "req-per-msg")
 		}
 	}
-	b.Run("sim", func(b *testing.B) { run(b, dcgn.BackendSim, false, false, 0) })
+	b.Run("sim", func(b *testing.B) { run(b, dcgn.BackendSim, false, false, false, 0) })
 	// sim-reliable guards the no-fault overhead of the seq/ack wire format:
 	// its allocs/op baseline keeps the reliability layer's clean-path cost
 	// (one ack frame + one retransmit timer per message) from creeping.
-	b.Run("sim-reliable", func(b *testing.B) { run(b, dcgn.BackendSim, true, false, 0) })
+	b.Run("sim-reliable", func(b *testing.B) { run(b, dcgn.BackendSim, true, false, false, 0) })
 	// sim-traced guards the full-observability request path: spans plus the
 	// metrics registry must cost a bounded, fixed number of allocations per
 	// run (ring buffers and cached instrument handles are set up once) —
 	// the old SpawnDaemon-per-record sink allocated per traced request.
-	b.Run("sim-traced", func(b *testing.B) { run(b, dcgn.BackendSim, false, true, 0) })
+	b.Run("sim-traced", func(b *testing.B) { run(b, dcgn.BackendSim, false, true, false, 0) })
+	// sim-flows adds causal flow tracing on top of sim-traced: trace/span
+	// ID assignment, wire-header context and stitching metadata must stay
+	// a fixed per-run cost (the ID counters live in the trace sink, wire
+	// frames grow by 16 header bytes from the same pools). With Flows off
+	// the sim row above is the zero-added-allocs guard.
+	b.Run("sim-flows", func(b *testing.B) { run(b, dcgn.BackendSim, false, true, true, 0) })
 	// sim-sharded drives the same ping-pong through the sharded engine (one
 	// shard per node): windows, outbox merges and the per-shard event loops
 	// must not add per-message allocations over the classic path.
-	b.Run("sim-sharded", func(b *testing.B) { run(b, dcgn.BackendSim, false, false, 2) })
-	b.Run("live", func(b *testing.B) { run(b, dcgn.BackendLive, false, false, 0) })
+	b.Run("sim-sharded", func(b *testing.B) { run(b, dcgn.BackendSim, false, false, false, 2) })
+	b.Run("live", func(b *testing.B) { run(b, dcgn.BackendLive, false, false, false, 0) })
 	// sim-onesided ping-pongs over the one-sided lane (Put + WinWait
 	// instead of Send + Recv): no matcher entry, no receive posting, and
 	// the allocs/op baseline guards the window apply path the same way sim

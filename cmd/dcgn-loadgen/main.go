@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"dcgn/internal/loadgen"
+	"dcgn/internal/obs/flow"
 )
 
 var (
@@ -40,7 +41,26 @@ var (
 	replayFlag  = flag.String("replay", "", "replay a recorded trace instead of generating arrivals")
 	findFlag    = flag.Bool("find-max-rate", false, "binary-search the max rate meeting the p99 SLO")
 	sloFlag     = flag.Duration("slo", 2*time.Millisecond, "p99 end-to-end SLO target for -find-max-rate")
+	flowsFlag   = flag.Bool("flows", false, "trace causal flows in every job and report per-phase latency attribution")
 )
+
+// kneePhase names the pipeline phase whose mean per-job latency grew
+// most between the max-sustainable probe and the knee probe — the stage
+// the extra load piled up in. Empty without -flows phase attribution.
+// Iteration follows the canonical phase order, so ties are
+// deterministic.
+func kneePhase(res *loadgen.SearchResult) (string, float64) {
+	if res.PhasesAtMaxNs == nil || res.PhasesAtKneeNs == nil {
+		return "", 0
+	}
+	best, growth := "", 0.0
+	for _, p := range flow.Phases {
+		if g := res.PhasesAtKneeNs[p] - res.PhasesAtMaxNs[p]; g > growth {
+			best, growth = p, g
+		}
+	}
+	return best, growth
+}
 
 func check(err error) {
 	if err != nil {
@@ -72,6 +92,7 @@ func main() {
 		Preset:      *presetFlag,
 		Nodes:       *nodesFlag,
 		MaxQueue:    *queueFlag,
+		Flows:       *flowsFlag,
 	}
 
 	switch {
@@ -91,6 +112,9 @@ func main() {
 		emit(doc)
 		fmt.Fprintf(os.Stderr, "dcgn-loadgen: max sustainable rate %.1f jobs/s (p99 %.2fms ≤ SLO %v); knee at %.1f jobs/s (p99 %.2fms)\n",
 			res.MaxRatePerSec, res.P99AtMaxNs/1e6, *sloFlag, res.KneeRatePerSec, res.P99AtKneeNs/1e6)
+		if phase, growth := kneePhase(res); phase != "" {
+			fmt.Fprintf(os.Stderr, "dcgn-loadgen: knee driven by %q (+%.2fms mean per job from max to knee)\n", phase, growth/1e6)
+		}
 	default:
 		if *recordFlag != "" {
 			tr, err := loadgen.RecordTrace(spec)

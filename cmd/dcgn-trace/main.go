@@ -14,6 +14,14 @@
 //
 // -metrics additionally prints the run's latency histograms (match wait,
 // queue depth, collective accumulation) from the metrics registry.
+//
+// -flows enables causal flow tracing (Config.Flows): spans carry trace
+// and span IDs, and the chrome format draws Perfetto flow arrows from
+// each wire send to its matched receive. -critical-path (implies -flows
+// and the reliability layer, so ack waits are visible) additionally
+// prints the run's critical path with per-phase attribution and the
+// -topk slowest stitched flows — both bit-deterministic per seed, which
+// is what the CI determinism check diffs.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"dcgn/internal/device"
 	"dcgn/internal/metrics"
 	"dcgn/internal/obs"
+	"dcgn/internal/obs/flow"
 )
 
 var (
@@ -37,6 +46,9 @@ var (
 	format      = flag.String("format", "table", "output format: table, chrome (Perfetto trace-event JSON), csv")
 	outPath     = flag.String("o", "", "write the trace to this file instead of stdout")
 	showMetrics = flag.Bool("metrics", false, "print the metrics-registry histograms after the trace (table format only)")
+	flows       = flag.Bool("flows", false, "enable causal flow tracing (chrome format draws flow arrows)")
+	critPath    = flag.Bool("critical-path", false, "print the critical path and slowest flows (implies -flows and reliability)")
+	topk        = flag.Int("topk", 5, "slowest flows to print with -critical-path")
 )
 
 const payload = 4096
@@ -44,12 +56,18 @@ const payload = 4096
 // traceConfig is the demo cluster: n nodes, one CPU-kernel thread and one
 // single-slot GPU per node, so ranks alternate cpu, gpu node by node
 // (rank 2i = CPU of node i, rank 2i+1 = its GPU).
-func traceConfig(n int, poll time.Duration, future, withMetrics bool) core.Config {
+func traceConfig(n int, poll time.Duration, future, withMetrics, withFlows, withCritPath bool) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Nodes, cfg.CPUKernels, cfg.GPUs, cfg.SlotsPerGPU = n, 1, 1, 1
 	cfg.PollInterval = poll
 	cfg.Trace = true
 	cfg.Metrics = withMetrics
+	cfg.Flows = withFlows || withCritPath
+	if withCritPath {
+		// The critical path attributes ack-wait time, so run the
+		// reliability layer to have acks at all.
+		cfg.Reliability.Enabled = true
+	}
 	if future {
 		cfg.FutureHW.DeviceSignal = true
 		cfg.FutureHW.GPUDirect = true
@@ -101,7 +119,7 @@ func main() {
 	if *nodes < 2 {
 		log.Fatal("dcgn-trace: -nodes must be >= 2 (the workload crosses the wire)")
 	}
-	rep, err := runTraceJob(traceConfig(*nodes, *poll, *future, *showMetrics))
+	rep, err := runTraceJob(traceConfig(*nodes, *poll, *future, *showMetrics, *flows, *critPath))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -146,5 +164,16 @@ func main() {
 		fmt.Fprintln(out, "-format chrome to inspect the same spans in Perfetto.")
 	default:
 		log.Fatalf("dcgn-trace: unknown -format %q (want table, chrome or csv)", *format)
+	}
+
+	// The critical-path analysis always prints to stdout: with -o the
+	// format output goes to the file and this stays on the terminal (and
+	// in CI, where the determinism check diffs it).
+	if *critPath {
+		fmt.Println()
+		flow.WritePath(os.Stdout, rep.CriticalPath)
+		top := flow.TopK(flow.Stitch(rep.Trace), *topk)
+		fmt.Printf("\ntop %d slowest flows:\n", len(top))
+		flow.WriteFlows(os.Stdout, top)
 	}
 }

@@ -14,7 +14,7 @@ import (
 // fixture the exporter checks below share.
 func fixtureReport(t *testing.T) (spans []obs.Span) {
 	t.Helper()
-	rep, err := runTraceJob(traceConfig(4, 120*time.Microsecond, false, false))
+	rep, err := runTraceJob(traceConfig(4, 120*time.Microsecond, false, false, false, false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestCSVExport(t *testing.T) {
 // golden determinism.
 func TestChromeTraceDeterminism(t *testing.T) {
 	render := func() []byte {
-		rep, err := runTraceJob(traceConfig(4, 120*time.Microsecond, false, false))
+		rep, err := runTraceJob(traceConfig(4, 120*time.Microsecond, false, false, false, false))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -48,6 +48,12 @@ type Options struct {
 	// (obs.WriteChromeTrace). Spans are bookkeeping only — a traced run
 	// executes the identical virtual-time schedule.
 	Trace bool
+	// Flows enables causal flow tracing (core Config.Flows, implies
+	// Trace): wire frames carry the 16-byte trace context, so this is
+	// the knob the differential uses to prove the flows wire extension
+	// survives drops, duplicates and reordering without corrupting
+	// application payloads.
+	Flows bool
 }
 
 // Result is one chaos run's outcome.
@@ -108,6 +114,7 @@ func Run(o Options) (Result, error) {
 	cfg.Transport.Backend = o.Backend
 	cfg.Faults = o.Faults
 	cfg.Trace = o.Trace
+	cfg.Flows = o.Flows
 	if o.AckTimeout > 0 {
 		cfg.Reliability.AckTimeout = o.AckTimeout
 	}

@@ -247,6 +247,12 @@ func (ns *nodeState) osApplyFetchReq(p transport.Proc, f *osFrame) {
 	}
 	operand := int64(binary.LittleEndian.Uint64(f.payload))
 	rep := &osFrame{kind: osFetchRep, src: f.dst, dst: f.src, win: f.win, token: f.token, postedNs: f.postedNs}
+	if ns.flowsOn && f.spanID != 0 {
+		// The reply joins the requesting fetch's flow (span minted for the
+		// serving rank, parent carried implicitly by trace membership).
+		rep.traceID = f.traceID
+		rep.spanID = ns.job.trace.newSpanID(f.dst)
+	}
 	old, ok := ns.atomicFetch(p, w, f.offset, AtomicOp(f.aux), operand)
 	var buf []byte
 	if ok {

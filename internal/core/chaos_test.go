@@ -156,6 +156,46 @@ func TestChaosDifferentialLive(t *testing.T) {
 	}
 }
 
+// TestChaosDifferentialFlows reruns the faulted differential with
+// causal flow tracing on: the 16-byte trace context in every wire frame
+// must not corrupt application payloads under drops, duplicates and
+// reordering, and the flows-on faulted digests must match both the
+// clean flows-on and the plain clean reference.
+func TestChaosDifferentialFlows(t *testing.T) {
+	opts := chaosOpts(transport.BackendSim, 24, 42, faults.Config{})
+	opts.Flows = true
+	cleanFlows, err := chaos.Run(opts)
+	if err != nil {
+		t.Fatalf("clean flows-on run: %v", err)
+	}
+	clean, err := chaos.Run(chaosOpts(transport.BackendSim, 24, 42, faults.Config{}))
+	if err != nil {
+		t.Fatalf("clean reference run: %v", err)
+	}
+	if !equalDigests(cleanFlows.Digests, clean.Digests) {
+		t.Fatalf("flow tracing alone changed application payloads:\nplain: %x\nflows: %x",
+			clean.Digests, cleanFlows.Digests)
+	}
+	faulted := chaosOpts(transport.BackendSim, 24, 42,
+		faults.Config{Seed: 42, Drop: 0.12, Dup: 0.08, Reorder: 0.08})
+	faulted.Flows = true
+	got, err := chaos.Run(faulted)
+	if err != nil {
+		t.Fatalf("faulted flows-on run: %v", err)
+	}
+	if !equalDigests(got.Digests, clean.Digests) {
+		t.Fatalf("digests diverged with flows on under faults:\nclean: %x\ngot:   %x",
+			clean.Digests, got.Digests)
+	}
+	if got.Report.Retransmits == 0 {
+		t.Error("no retransmits fired; the flows-under-faults differential proves nothing")
+	}
+	if got.Report.PoolAcquires != got.Report.PoolReleases {
+		t.Fatalf("pool leak with flows on under chaos: %d acquires vs %d releases",
+			got.Report.PoolAcquires, got.Report.PoolReleases)
+	}
+}
+
 // TestChaosCleanRunDeterminism pins that the harness itself is a pure
 // function of its options on the simulated backend: identical digests
 // AND identical virtual time across repeated runs.

@@ -63,6 +63,10 @@ type nodeState struct {
 	// observability stamp.
 	met   *nodeMetrics
 	obsOn bool
+	// flowsOn is true when Config.Flows is set: requests carry flow
+	// context, wire frames are flowCtxLen longer, and match points stitch
+	// receives onto their sender's trace.
+	flowsOn bool
 
 	// Stats.
 	requestsHandled int
@@ -133,12 +137,12 @@ func (ns *nodeState) runReceiver(p transport.Proc) {
 			ns.recvReliable(p, msg)
 			continue
 		}
-		src, dst, payload, err := unpackWire(msg)
+		src, dst, payload, traceID, spanID, err := unpackWire(msg, ns.flowsOn)
 		if err != nil {
 			panic(fmt.Sprintf("dcgn: receiver on node %d: %v", ns.node, err))
 		}
 		p.SleepJit(ns.job.cfg.Params.RemoteRelayCost)
-		ns.intake.postInbound(&inbound{src: src, dst: dst, data: payload, backing: msg})
+		ns.intake.postInbound(&inbound{src: src, dst: dst, data: payload, backing: msg, traceID: traceID, spanID: spanID})
 	}
 }
 

@@ -33,6 +33,7 @@ func (j *Job) startDebugServer() error {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/dcgn", obs.DebugHandler(j.metrics))
+	mux.Handle("/debug/dcgn/flows", j.flowsHandler())
 	srv := &http.Server{Handler: mux}
 	j.debug.mu.Lock()
 	j.debug.ln, j.debug.srv = ln, srv

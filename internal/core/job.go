@@ -10,6 +10,7 @@ import (
 	"dcgn/internal/fabric"
 	"dcgn/internal/mpi"
 	"dcgn/internal/obs"
+	"dcgn/internal/obs/flow"
 	"dcgn/internal/pcie"
 	"dcgn/internal/sim"
 	"dcgn/internal/transport"
@@ -56,6 +57,12 @@ type Job struct {
 	// debug is the live-inspection HTTP endpoint (Config.DebugAddr); see
 	// debug.go.
 	debug debugServer
+
+	// flowEpoch is the start of the critical-path analysis window: the
+	// job's admission instant on a multi-tenant runtime (whose simulated
+	// clock is shared across jobs), zero for exclusive and live runs
+	// (job-local clocks).
+	flowEpoch time.Duration
 
 	gpuGrid     int
 	gpuBlockDim int
@@ -227,6 +234,11 @@ type Report struct {
 	// TraceDropped counts spans overwritten in the fixed-size per-node
 	// rings; nonzero means Trace is a truncated (most-recent) window.
 	TraceDropped uint64
+	// CriticalPath is the job's critical path over its elapsed window when
+	// Config.Flows is on (internal/obs/flow): the chain of spans and
+	// compute gaps tiling the window exactly, so its per-phase totals sum
+	// to Elapsed.
+	CriticalPath flow.Path
 	// Counters / Gauges / Histograms snapshot the metrics registry when
 	// Config.Metrics is on: flat instrument names ("match_wait_ns/op=send/
 	// src=cpu/size=<2KiB") to final values. Histogram quantiles come from
@@ -285,7 +297,7 @@ func (j *Job) Run() (Report, error) {
 		return Report{}, fmt.Errorf("dcgn: no kernels installed")
 	}
 	if j.cfg.Trace {
-		j.trace = newTraceSink(j.cfg.Nodes, j.cfg.TraceCap)
+		j.trace = newTraceSink(j.cfg.Nodes, j.rmap.Total(), j.cfg.TraceCap, j.cfg.Flows)
 	}
 	if j.cfg.Metrics {
 		j.metrics = obs.NewRegistry()
@@ -365,6 +377,7 @@ func (j *Job) buildSimNode(n int, s *sim.Sim, rtv rt) *nodeState {
 		ns.met = newNodeMetrics(j.metrics)
 	}
 	ns.obsOn = j.trace != nil || j.metrics != nil
+	ns.flowsOn = j.cfg.Flows && j.trace != nil
 	ns.coll = newCollAccum(ns)
 	if j.cfg.OneSided {
 		ns.initOneSided()
@@ -465,6 +478,9 @@ func (j *Job) fillReport(rep *Report) {
 	if j.trace != nil {
 		rep.Trace = j.trace.spans()
 		rep.TraceDropped = j.trace.dropped()
+		if j.cfg.Flows && rep.Elapsed > 0 {
+			rep.CriticalPath = flow.CriticalPath(rep.Trace, j.flowEpoch, j.flowEpoch+rep.Elapsed)
+		}
 	}
 	if j.metrics != nil {
 		snap := j.metrics.Snapshot()

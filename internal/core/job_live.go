@@ -78,6 +78,7 @@ func (j *Job) runLiveEnv(env *liveEnv) (Report, error) {
 			ns.met = newNodeMetrics(j.metrics)
 		}
 		ns.obsOn = j.trace != nil || j.metrics != nil
+		ns.flowsOn = j.cfg.Flows && j.trace != nil
 		ns.coll = newCollAccum(ns)
 		if j.cfg.OneSided {
 			ns.initOneSided()

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dcgn/internal/device"
+	"dcgn/internal/obs"
 	"dcgn/internal/sim"
 	"dcgn/internal/transport"
 )
@@ -73,7 +75,18 @@ const osFlagTrunc = 1
 // no payload). posted-at feeds the remote-completion histogram: virtual
 // clocks are global on the simulated backend, so target-minus-origin is
 // exact there and best-effort on the live backend.
+//
+// With Config.Flows on, the flow context (trace ID u64, span ID u64)
+// follows at [72, 88) and the payload moves to offset 88.
 const osHeaderLen = 72
+
+// osLen returns the one-sided header length for the frame layout in use.
+func osLen(flows bool) int {
+	if flows {
+		return osHeaderLen + flowCtxLen
+	}
+	return osHeaderLen
+}
 
 // osFrame is one parsed one-sided frame; payload aliases backing, which
 // the consumer returns to the pool after the frame is applied.
@@ -89,11 +102,18 @@ type osFrame struct {
 	aux      uint64
 	payload  []byte
 	backing  []byte
+	// traceID and spanID are the flow context (Config.Flows): the causal
+	// flow this frame belongs to and the origin operation's span, which
+	// the target's apply span parents itself on. Zero with flows off.
+	traceID uint64
+	spanID  uint64
 }
 
-// packOSFrame builds a one-sided frame in a pooled buffer.
+// packOSFrame builds a one-sided frame in a pooled buffer, in the
+// flows-on layout when Config.Flows is set.
 func (ns *nodeState) packOSFrame(f *osFrame) []byte {
-	msg := ns.job.pool.Get(osHeaderLen + len(f.payload))
+	hdr := osLen(ns.flowsOn)
+	msg := ns.job.pool.Get(hdr + len(f.payload))
 	le := binary.LittleEndian
 	le.PutUint32(msg[0:], uint32(f.kind))
 	le.PutUint32(msg[4:], f.flags)
@@ -106,13 +126,18 @@ func (ns *nodeState) packOSFrame(f *osFrame) []byte {
 	le.PutUint64(msg[48:], f.seq)
 	le.PutUint64(msg[56:], uint64(f.postedNs))
 	le.PutUint64(msg[64:], f.aux)
-	copy(msg[osHeaderLen:], f.payload)
+	if ns.flowsOn {
+		le.PutUint64(msg[72:], f.traceID)
+		le.PutUint64(msg[80:], f.spanID)
+	}
+	copy(msg[hdr:], f.payload)
 	return msg
 }
 
 // unpackOSFrame parses a one-sided frame; the payload aliases msg.
-func unpackOSFrame(msg []byte) (*osFrame, error) {
-	if len(msg) < osHeaderLen {
+func unpackOSFrame(msg []byte, flows bool) (*osFrame, error) {
+	hdr := osLen(flows)
+	if len(msg) < hdr {
 		return nil, fmt.Errorf("core: short one-sided frame (%d bytes)", len(msg))
 	}
 	le := binary.LittleEndian
@@ -129,14 +154,18 @@ func unpackOSFrame(msg []byte) (*osFrame, error) {
 		aux:      le.Uint64(msg[64:]),
 		backing:  msg,
 	}
+	if flows {
+		f.traceID = le.Uint64(msg[72:])
+		f.spanID = le.Uint64(msg[80:])
+	}
 	n := int(le.Uint64(msg[40:]))
 	if f.kind < osPut || f.kind > osFetchRep {
 		return nil, fmt.Errorf("core: unknown one-sided frame kind %d", f.kind)
 	}
-	if osHeaderLen+n > len(msg) {
-		return nil, fmt.Errorf("core: one-sided frame truncated: header says %d, have %d", n, len(msg)-osHeaderLen)
+	if hdr+n > len(msg) {
+		return nil, fmt.Errorf("core: one-sided frame truncated: header says %d, have %d", n, len(msg)-hdr)
 	}
-	f.payload = msg[osHeaderLen : osHeaderLen+n]
+	f.payload = msg[hdr : hdr+n]
 	return f, nil
 }
 
@@ -386,6 +415,13 @@ func (ns *nodeState) readWindow(p transport.Proc, w *osWindow, offset, want int)
 // (sequenced and acknowledged under Config.Reliability).
 func (ns *nodeState) osPutFrom(p transport.Proc, srcRank, dstRank, winID, offset int, data []byte) error {
 	osw := ns.osRequire()
+	var post time.Duration
+	var traceID, spanID uint64
+	if ns.flowsOn {
+		post = p.Now()
+		spanID = ns.job.trace.newSpanID(srcRank)
+		traceID = spanID
+	}
 	p.SleepJit(ns.job.cfg.Params.DoorbellCost)
 	atomic.AddInt64(&osw.putsSent, 1)
 	if ns.met != nil {
@@ -401,10 +437,20 @@ func (ns *nodeState) osPutFrom(p transport.Proc, srcRank, dstRank, winID, offset
 			atomic.AddInt64(&osw.truncated, 1)
 		}
 		w.arrive(clipped)
+		ns.recordFlowSpan(obs.Span{
+			Op: "put", Node: ns.node, Rank: srcRank, Peer: dstRank, Bytes: len(data),
+			Post: post, Done: p.Now(), TraceID: traceID, SpanID: spanID,
+		})
 		return nil
 	}
-	f := &osFrame{kind: osPut, src: srcRank, dst: dstRank, win: winID, offset: offset, postedNs: int64(p.Now()), payload: data}
-	return ns.osSendFrame(p, dstNode, f)
+	f := &osFrame{kind: osPut, src: srcRank, dst: dstRank, win: winID, offset: offset, postedNs: int64(p.Now()), payload: data, traceID: traceID, spanID: spanID}
+	err := ns.osSendFrame(p, dstNode, f)
+	ns.recordFlowSpan(obs.Span{
+		Op: "put", Node: ns.node, Rank: srcRank, Peer: dstRank, Bytes: len(data),
+		Failed: err != nil, Post: post, WireSent: p.Now(), Done: p.Now(),
+		TraceID: traceID, SpanID: spanID,
+	})
+	return err
 }
 
 // osGetFrom is the origin side of a get on behalf of srcRank: it reads
@@ -413,6 +459,13 @@ func (ns *nodeState) osPutFrom(p transport.Proc, srcRank, dstRank, winID, offset
 // over-runs the window.
 func (ns *nodeState) osGetFrom(p transport.Proc, srcRank, dstRank, winID, offset int, dst []byte) (CommStatus, error) {
 	osw := ns.osRequire()
+	var post time.Duration
+	var traceID, spanID uint64
+	if ns.flowsOn {
+		post = p.Now()
+		spanID = ns.job.trace.newSpanID(srcRank)
+		traceID = spanID
+	}
 	p.SleepJit(ns.job.cfg.Params.DoorbellCost)
 	atomic.AddInt64(&osw.getsSent, 1)
 	if ns.met != nil {
@@ -426,6 +479,10 @@ func (ns *nodeState) osGetFrom(p transport.Proc, srcRank, dstRank, winID, offset
 		n := copy(dst, buf)
 		ns.job.pool.Put(buf)
 		st := CommStatus{Source: dstRank, Bytes: n}
+		ns.recordFlowSpan(obs.Span{
+			Op: "get", Node: ns.node, Rank: srcRank, Peer: dstRank, Bytes: n,
+			Failed: clipped, Post: post, Done: p.Now(), TraceID: traceID, SpanID: spanID,
+		})
 		if clipped {
 			return st, ErrTruncate
 		}
@@ -437,14 +494,23 @@ func (ns *nodeState) osGetFrom(p transport.Proc, srcRank, dstRank, winID, offset
 	token := osw.nextToken
 	osw.gets[token] = g
 	osw.getMu.Unlock()
-	f := &osFrame{kind: osGetReq, src: srcRank, dst: dstRank, win: winID, token: token, offset: offset, postedNs: int64(p.Now()), aux: uint64(len(dst))}
+	f := &osFrame{kind: osGetReq, src: srcRank, dst: dstRank, win: winID, token: token, offset: offset, postedNs: int64(p.Now()), aux: uint64(len(dst)), traceID: traceID, spanID: spanID}
 	if err := ns.osSendFrame(p, dstNode, f); err != nil {
 		osw.getMu.Lock()
 		delete(osw.gets, token)
 		osw.getMu.Unlock()
 		return CommStatus{}, err
 	}
+	wireSent := time.Duration(0)
+	if ns.flowsOn {
+		wireSent = p.Now()
+	}
 	g.done.Wait(p)
+	ns.recordFlowSpan(obs.Span{
+		Op: "get", Node: ns.node, Rank: srcRank, Peer: dstRank, Bytes: g.status.Bytes,
+		Failed: g.err != nil, Post: post, WireSent: wireSent, Done: p.Now(),
+		TraceID: traceID, SpanID: spanID,
+	})
 	return g.status, g.err
 }
 
@@ -454,6 +520,15 @@ func (ns *nodeState) osGetFrom(p transport.Proc, srcRank, dstRank, winID, offset
 // number for the node pair and blocks until acknowledged.
 func (ns *nodeState) osSendFrame(p transport.Proc, dstNode int, f *osFrame) error {
 	osw := ns.osw
+	if ns.flowsOn && f.spanID == 0 {
+		// Catch-all flow-context assignment for frames whose producer did
+		// not set one (GPU-triggered descriptors fired by the NIC daemon):
+		// the frame roots a new flow at the issuing rank.
+		f.spanID = ns.job.trace.newSpanID(f.src)
+		if f.traceID == 0 {
+			f.traceID = f.spanID
+		}
+	}
 	if ns.rel == nil {
 		frame := ns.packOSFrame(f)
 		err := osw.tr.SendOneSided(p, dstNode, frame)
@@ -482,7 +557,7 @@ func (ns *nodeState) runOneSidedReceiver(p transport.Proc) {
 			}
 			panic(fmt.Sprintf("dcgn: one-sided receiver on node %d: %v", ns.node, err))
 		}
-		f, err := unpackOSFrame(raw)
+		f, err := unpackOSFrame(raw, ns.flowsOn)
 		if err != nil {
 			panic(fmt.Sprintf("dcgn: one-sided receiver on node %d: %v", ns.node, err))
 		}
@@ -521,6 +596,10 @@ func (ns *nodeState) osDispatch(p transport.Proc, f *osFrame) {
 // completion.
 func (ns *nodeState) osApplyPut(p transport.Proc, f *osFrame) {
 	osw := ns.osw
+	var post time.Duration
+	if ns.flowsOn {
+		post = p.Now()
+	}
 	w := osw.window(f.dst, f.win)
 	p.SleepJit(ns.job.cfg.Params.OneSidedApplyCost)
 	_, clipped := ns.writeWindow(p, w, f.offset, f.payload)
@@ -533,6 +612,15 @@ func (ns *nodeState) osApplyPut(p transport.Proc, f *osFrame) {
 			ns.met.osRemoteComplete.Observe(lat)
 		}
 	}
+	if ns.flowsOn && f.spanID != 0 {
+		// Target-side apply span, parented on the origin put's span so the
+		// stitched flow crosses the wire.
+		ns.recordFlowSpan(obs.Span{
+			Op: "put-apply", Node: ns.node, Rank: f.dst, Peer: f.src, Bytes: len(f.payload),
+			Failed: clipped, Post: post, Done: p.Now(),
+			TraceID: f.traceID, SpanID: ns.job.trace.newSpanID(f.dst), ParentID: f.spanID,
+		})
+	}
 	w.arrive(clipped)
 }
 
@@ -540,11 +628,27 @@ func (ns *nodeState) osApplyPut(p transport.Proc, f *osFrame) {
 // a spawned helper so the sink daemon never blocks in a transport send.
 func (ns *nodeState) osApplyGetReq(p transport.Proc, f *osFrame) {
 	osw := ns.osw
+	var post time.Duration
+	if ns.flowsOn {
+		post = p.Now()
+	}
 	w := osw.window(f.dst, f.win)
 	p.SleepJit(ns.job.cfg.Params.OneSidedApplyCost)
 	buf, clipped := ns.readWindow(p, w, f.offset, int(f.aux))
 	atomic.AddInt64(&osw.applied, 1)
 	rep := &osFrame{kind: osGetRep, src: f.dst, dst: f.src, win: f.win, token: f.token, postedNs: f.postedNs, payload: buf}
+	if ns.flowsOn && f.spanID != 0 {
+		// The reply joins the requesting get's flow; its own span (minted
+		// for the serving rank) parents on the request and is recorded as
+		// the target-side serve span.
+		rep.traceID = f.traceID
+		rep.spanID = ns.job.trace.newSpanID(f.dst)
+		ns.recordFlowSpan(obs.Span{
+			Op: "get-serve", Node: ns.node, Rank: f.dst, Peer: f.src, Bytes: len(buf),
+			Failed: clipped, Post: post, Done: p.Now(),
+			TraceID: f.traceID, SpanID: rep.spanID, ParentID: f.spanID,
+		})
+	}
 	if clipped {
 		rep.flags = osFlagTrunc
 	}
@@ -651,6 +755,13 @@ func (c *CPUCtx) NewPersistentPut(dst, winID, offset int, data []byte) *Persiste
 	osw := c.ns.osRequire()
 	_ = osw
 	f := &osFrame{kind: osPut, src: c.rank, dst: dst, win: winID, offset: offset, payload: data}
+	if c.ns.flowsOn {
+		// A persistent handle is one flow: every fire (and every
+		// retransmission) carries the context packed here, so the target's
+		// apply spans all stitch onto it.
+		f.spanID = c.ns.job.trace.newSpanID(c.rank)
+		f.traceID = f.spanID
+	}
 	return &PersistentPut{
 		c:       c,
 		dstNode: c.ns.job.rmap.Node(dst),
@@ -673,7 +784,7 @@ func (pp *PersistentPut) Start() error {
 	}
 	le := binary.LittleEndian
 	if pp.dstNode == ns.node {
-		f, err := unpackOSFrame(pp.frame)
+		f, err := unpackOSFrame(pp.frame, ns.flowsOn)
 		if err != nil {
 			panic(fmt.Sprintf("dcgn: persistent put frame corrupt: %v", err))
 		}
@@ -687,7 +798,7 @@ func (pp *PersistentPut) Start() error {
 		w.arrive(clipped)
 		return nil
 	}
-	copy(pp.frame[osHeaderLen:], pp.data)
+	copy(pp.frame[osLen(ns.flowsOn):], pp.data)
 	le.PutUint64(pp.frame[56:], uint64(int64(p.Now())))
 	if ns.rel == nil {
 		return osw.tr.SendOneSided(p, pp.dstNode, pp.frame)

@@ -24,6 +24,13 @@ func (ns *nodeState) handleSendrecv(p transport.Proc, req *request) {
 		op: opRecv, rank: req.rank, peer: req.peer2, buf: req.recvBuf,
 		done: rt.NewEventID("srv-recv", req.rank), ns: ns, gpu: req.gpu,
 	}
+	if ns.flowsOn {
+		// The outgoing half carries the parent exchange's flow context; the
+		// parent itself inherits whatever flow the matched inbound half
+		// joins it to (copied back in the join below).
+		sendPart.traceID = req.traceID
+		sendPart.spanID = req.spanID
+	}
 	ns.handleRecv(p, recvPart)
 	ns.handleSend(p, sendPart)
 	rt.Spawn("dcgn-sendrecv-join", func(h transport.Proc) {
@@ -32,6 +39,10 @@ func (ns *nodeState) handleSendrecv(p transport.Proc, req *request) {
 		err := sendPart.err
 		if err == nil {
 			err = recvPart.err
+		}
+		if ns.flowsOn && recvPart.parentID != 0 {
+			req.traceID = recvPart.traceID
+			req.parentID = recvPart.parentID
 		}
 		req.complete(recvPart.status.Source, recvPart.status.Bytes, err)
 	})
@@ -50,7 +61,7 @@ func (ns *nodeState) handleSend(p transport.Proc, req *request) {
 			// these numbers and FIFO matching survives any wire order.
 			seq := ns.rel.nextTx[dstNode]
 			ns.rel.nextTx[dstNode]++
-			msg := packRelData(ns.job.pool, req.rank, req.peer, seq, req.buf)
+			msg := packRelData(ns.job.pool, req.rank, req.peer, seq, req.buf, ns.flowsOn, req.traceID, req.spanID)
 			ns.rt.SpawnID("dcgn-tx", ns.node, func(h transport.Proc) {
 				ns.sendReliable(h, req, dstNode, seq, msg)
 			})
@@ -60,7 +71,7 @@ func (ns *nodeState) handleSend(p transport.Proc, req *request) {
 		// so the comm thread keeps draining its queue; completion is signaled
 		// when the underlying send completes, as in the paper's dataflow
 		// (Fig. 2, steps 2-3).
-		msg := packWire(ns.job.pool, req.rank, req.peer, req.buf)
+		msg := packWire(ns.job.pool, req.rank, req.peer, req.buf, ns.flowsOn, req.traceID, req.spanID)
 		ns.rt.SpawnID("dcgn-tx", ns.node, func(h transport.Proc) {
 			h.SleepJit(ns.job.cfg.Params.RemoteRelayCost)
 			err := ns.tr.Send(h, dstNode, msg)
@@ -178,6 +189,11 @@ func (ns *nodeState) deliverLocal(p transport.Proc, send, recv *request) {
 	}
 	ns.chargeMemcpy(p, n)
 	copy(recv.buf[:n], send.buf[:n])
+	if ns.flowsOn && send.spanID != 0 {
+		// Stitch: the matched receive joins the send's flow.
+		recv.traceID = send.traceID
+		recv.parentID = send.spanID
+	}
 	p.SleepJit(ns.job.cfg.Params.NotifyCost)
 	send.complete(send.rank, len(send.buf), nil)
 	p.SleepJit(ns.job.cfg.Params.NotifyCost)
@@ -199,6 +215,11 @@ func (ns *nodeState) deliverInbound(p transport.Proc, in *inbound, recv *request
 		ns.chargeMemcpy(p, n)
 	}
 	copy(recv.buf[:n], in.data[:n])
+	if ns.flowsOn && in.spanID != 0 {
+		// Stitch: the receive joins the flow carried in the wire header.
+		recv.traceID = in.traceID
+		recv.parentID = in.spanID
+	}
 	if in.backing != nil {
 		ns.job.pool.Put(in.backing)
 		in.backing, in.data = nil, nil

@@ -213,6 +213,17 @@ type Config struct {
 	// spans are overwritten and Report.TraceDropped counts them.
 	TraceCap int
 
+	// Flows enables causal message-flow tracing (internal/obs/flow): every
+	// traced span gets a trace ID and span ID, wire frames on both
+	// transports and the one-sided lane carry the 16-byte flow context so
+	// receives inherit their sender's trace, Report.CriticalPath attributes
+	// the job's elapsed time phase by phase, and the Chrome exporter emits
+	// Perfetto flow arrows linking send→recv→ack across nodes. Implies
+	// Trace. Off by default: the context lengthens every wire frame, so
+	// flows-on runs are deterministic per seed but not byte-identical to
+	// flows-off runs.
+	Flows bool
+
 	// Metrics enables the job-wide metrics registry: counters, gauges and
 	// log2-bucketed histograms (match wait, queue depth, poll efficiency,
 	// retransmit backoff, collective-accumulation wait), snapshotted into
@@ -305,6 +316,9 @@ func (c *Config) validate() {
 	}
 	if c.DebugAddr != "" {
 		c.Metrics = true
+	}
+	if c.Flows {
+		c.Trace = true
 	}
 }
 

@@ -160,12 +160,20 @@ func TestRankMapBijectionProperty(t *testing.T) {
 	}
 }
 
-// Property: the wire format round-trips arbitrary payloads and rank pairs.
+// Property: the wire format round-trips arbitrary payloads and rank
+// pairs, in both the legacy and the flows-on layout (where the carried
+// flow context must round-trip too).
 func TestWireRoundtripProperty(t *testing.T) {
-	f := func(src, dst uint16, payload []byte) bool {
-		msg := packWire(bufpool.New(), int(src), int(dst), payload)
-		s, d, p, err := unpackWire(msg)
+	f := func(src, dst uint16, payload []byte, flows bool, traceID, spanID uint64) bool {
+		msg := packWire(bufpool.New(), int(src), int(dst), payload, flows, traceID, spanID)
+		s, d, p, tr, sp, err := unpackWire(msg, flows)
 		if err != nil || s != int(src) || d != int(dst) {
+			return false
+		}
+		if flows && (tr != traceID || sp != spanID) {
+			return false
+		}
+		if !flows && (tr != 0 || sp != 0) {
 			return false
 		}
 		if len(p) != len(payload) {
@@ -184,12 +192,16 @@ func TestWireRoundtripProperty(t *testing.T) {
 }
 
 func TestUnpackWireRejectsGarbage(t *testing.T) {
-	if _, _, _, err := unpackWire([]byte{1, 2, 3}); err == nil {
+	if _, _, _, _, _, err := unpackWire([]byte{1, 2, 3}, false); err == nil {
 		t.Fatal("short message accepted")
 	}
-	msg := packWire(bufpool.New(), 1, 2, []byte("hello"))
-	if _, _, _, err := unpackWire(msg[:len(msg)-2]); err == nil {
+	msg := packWire(bufpool.New(), 1, 2, []byte("hello"), false, 0, 0)
+	if _, _, _, _, _, err := unpackWire(msg[:len(msg)-2], false); err == nil {
 		t.Fatal("truncated payload accepted")
+	}
+	flowMsg := packWire(bufpool.New(), 1, 2, []byte("hello"), true, 7, 9)
+	if _, _, _, _, _, err := unpackWire(flowMsg[:wireHeaderLen+4], true); err == nil {
+		t.Fatal("short flows header accepted")
 	}
 }
 

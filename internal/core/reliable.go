@@ -39,16 +39,34 @@ const (
 	relKindAck  = 2 // acknowledgment; src is the acking NODE id, no payload
 )
 
-// packRelData builds a sequenced data frame in a pooled buffer.
-func packRelData(pool *bufpool.Pool, src, dst int, seq uint64, payload []byte) []byte {
-	msg := pool.Get(relHeaderLen + len(payload))
+// relLen returns the sequenced data-frame header length: the flow
+// context, when on, sits after the frame kind so acks (which never
+// carry it) still parse at the fixed legacy offsets.
+func relLen(flows bool) int {
+	if flows {
+		return relHeaderLen + flowCtxLen
+	}
+	return relHeaderLen
+}
+
+// packRelData builds a sequenced data frame in a pooled buffer. With
+// flows on the header carries the sending request's flow context;
+// retransmissions resend these exact bytes, so a retried frame keeps
+// its original trace ID by construction.
+func packRelData(pool *bufpool.Pool, src, dst int, seq uint64, payload []byte, flows bool, traceID, spanID uint64) []byte {
+	hdr := relLen(flows)
+	msg := pool.Get(hdr + len(payload))
 	le := binary.LittleEndian
 	le.PutUint64(msg[0:], uint64(int64(src)))
 	le.PutUint64(msg[8:], uint64(int64(dst)))
 	le.PutUint64(msg[16:], uint64(len(payload)))
 	le.PutUint64(msg[24:], seq)
 	le.PutUint64(msg[32:], relKindData)
-	copy(msg[relHeaderLen:], payload)
+	if flows {
+		le.PutUint64(msg[40:], traceID)
+		le.PutUint64(msg[48:], spanID)
+	}
+	copy(msg[hdr:], payload)
 	return msg
 }
 
@@ -66,10 +84,12 @@ func packRelAck(pool *bufpool.Pool, ackerNode int, seq uint64) []byte {
 	return msg
 }
 
-// unpackRel splits a sequenced frame. The returned payload aliases msg.
-func unpackRel(msg []byte) (kind int, src, dst int, seq uint64, payload []byte, err error) {
+// unpackRel splits a sequenced frame. The returned payload aliases msg;
+// traceID/spanID are the carried flow context (zero on acks and with
+// flows off).
+func unpackRel(msg []byte, flows bool) (kind int, src, dst int, seq uint64, payload []byte, traceID, spanID uint64, err error) {
 	if len(msg) < relHeaderLen {
-		return 0, 0, 0, 0, nil, fmt.Errorf("core: short sequenced frame (%d bytes)", len(msg))
+		return 0, 0, 0, 0, nil, 0, 0, fmt.Errorf("core: short sequenced frame (%d bytes)", len(msg))
 	}
 	le := binary.LittleEndian
 	src = int(int64(le.Uint64(msg[0:])))
@@ -78,12 +98,21 @@ func unpackRel(msg []byte) (kind int, src, dst int, seq uint64, payload []byte, 
 	seq = le.Uint64(msg[24:])
 	kind = int(le.Uint64(msg[32:]))
 	if kind != relKindData && kind != relKindAck {
-		return 0, 0, 0, 0, nil, fmt.Errorf("core: unknown frame kind %d", kind)
+		return 0, 0, 0, 0, nil, 0, 0, fmt.Errorf("core: unknown frame kind %d", kind)
 	}
-	if relHeaderLen+n > len(msg) {
-		return 0, 0, 0, 0, nil, fmt.Errorf("core: sequenced frame truncated: header says %d, have %d", n, len(msg)-relHeaderLen)
+	hdr := relHeaderLen
+	if flows && kind == relKindData {
+		hdr = relLen(true)
+		if len(msg) < hdr {
+			return 0, 0, 0, 0, nil, 0, 0, fmt.Errorf("core: short sequenced flow frame (%d bytes)", len(msg))
+		}
+		traceID = le.Uint64(msg[40:])
+		spanID = le.Uint64(msg[48:])
 	}
-	return kind, src, dst, seq, msg[relHeaderLen : relHeaderLen+n], nil
+	if hdr+n > len(msg) {
+		return 0, 0, 0, 0, nil, 0, 0, fmt.Errorf("core: sequenced frame truncated: header says %d, have %d", n, len(msg)-hdr)
+	}
+	return kind, src, dst, seq, msg[hdr : hdr+n], traceID, spanID, nil
 }
 
 // relKey identifies one in-flight frame: the peer node and the sequence
@@ -256,7 +285,7 @@ func (ns *nodeState) sendAck(peerNode int, seq uint64) {
 // resequenced so the comm thread observes per-node-pair FIFO delivery no
 // matter what order the wire produced.
 func (ns *nodeState) recvReliable(p transport.Proc, msg []byte) {
-	kind, src, dst, seq, payload, err := unpackRel(msg)
+	kind, src, dst, seq, payload, traceID, spanID, err := unpackRel(msg, ns.flowsOn)
 	if err != nil {
 		panic(fmt.Sprintf("dcgn: receiver on node %d: %v", ns.node, err))
 	}
@@ -276,7 +305,7 @@ func (ns *nodeState) recvReliable(p transport.Proc, msg []byte) {
 		ns.job.pool.Put(msg)
 	case seq == rel.nextRx[srcNode]:
 		p.SleepJit(ns.job.cfg.Params.RemoteRelayCost)
-		ns.intake.postInbound(&inbound{src: src, dst: dst, data: payload, backing: msg})
+		ns.intake.postInbound(&inbound{src: src, dst: dst, data: payload, backing: msg, traceID: traceID, spanID: spanID})
 		rel.nextRx[srcNode]++
 		for {
 			in, ok := rel.held[srcNode][rel.nextRx[srcNode]]
@@ -295,7 +324,7 @@ func (ns *nodeState) recvReliable(p transport.Proc, msg []byte) {
 			atomic.AddInt64(&rel.dupFrames, 1)
 			ns.job.pool.Put(msg)
 		} else {
-			rel.held[srcNode][seq] = &inbound{src: src, dst: dst, data: payload, backing: msg}
+			rel.held[srcNode][seq] = &inbound{src: src, dst: dst, data: payload, backing: msg, traceID: traceID, spanID: spanID}
 		}
 	}
 }

@@ -107,6 +107,15 @@ type request struct {
 	wireSentAt time.Duration
 	ackedAt    time.Duration
 	queueDepth int
+
+	// Flow context (Config.Flows): traceID identifies the causal message
+	// flow (the root span's spanID), spanID this request's own span, and
+	// parentID the causally-preceding span — for a matched receive, the
+	// send that produced its payload. Assigned by traceSink.record and
+	// propagated through wire frames; all zero with flows off.
+	traceID  uint64
+	spanID   uint64
+	parentID uint64
 }
 
 // complete finishes a request and wakes its issuer. Traced requests record
@@ -132,6 +141,11 @@ type inbound struct {
 	// The comm thread returns it to the job pool once the payload has been
 	// copied into the matched receive buffer.
 	backing []byte
+	// traceID and spanID carry the sending request's flow context across
+	// the wire (Config.Flows), so the matched receive inherits the trace
+	// and parents itself on the send's span. Zero with flows off.
+	traceID uint64
+	spanID  uint64
 }
 
 // commMsg is what flows through a node's comm-thread queue.
@@ -155,31 +169,58 @@ func unpackPeers(v int64) (dst, src int) {
 // wireHeaderLen is the length of the DCGN message header on the wire.
 const wireHeaderLen = 24
 
+// flowCtxLen is the flow context appended to every wire header when
+// Config.Flows is on: trace ID then parent span ID, 8 bytes each,
+// little-endian. Both ends of a job share one Config, so frame layout
+// never has to be negotiated.
+const flowCtxLen = 16
+
+// wireLen returns the legacy header length plus the flow context when
+// flows is on.
+func wireLen(flows bool) int {
+	if flows {
+		return wireHeaderLen + flowCtxLen
+	}
+	return wireHeaderLen
+}
+
 // packWire builds header+payload for one inter-node DCGN message in a
 // pooled buffer; the sender helper returns it to the pool once the
-// underlying MPI send has buffered or delivered it.
-func packWire(pool *bufpool.Pool, src, dst int, payload []byte) []byte {
-	msg := pool.Get(wireHeaderLen + len(payload))
+// underlying MPI send has buffered or delivered it. With flows on the
+// header carries the sending request's flow context (trace ID + span ID)
+// so the remote match can stitch the receive onto the send's flow.
+func packWire(pool *bufpool.Pool, src, dst int, payload []byte, flows bool, traceID, spanID uint64) []byte {
+	hdr := wireLen(flows)
+	msg := pool.Get(hdr + len(payload))
 	le := binary.LittleEndian
 	le.PutUint64(msg[0:], uint64(int64(src)))
 	le.PutUint64(msg[8:], uint64(int64(dst)))
 	le.PutUint64(msg[16:], uint64(len(payload)))
-	copy(msg[wireHeaderLen:], payload)
+	if flows {
+		le.PutUint64(msg[24:], traceID)
+		le.PutUint64(msg[32:], spanID)
+	}
+	copy(msg[hdr:], payload)
 	return msg
 }
 
 // unpackWire splits a received DCGN message. The returned payload aliases
-// msg.
-func unpackWire(msg []byte) (src, dst int, payload []byte, err error) {
-	if len(msg) < wireHeaderLen {
-		return 0, 0, nil, fmt.Errorf("core: short DCGN message (%d bytes)", len(msg))
+// msg; traceID/spanID are the carried flow context (zero with flows off).
+func unpackWire(msg []byte, flows bool) (src, dst int, payload []byte, traceID, spanID uint64, err error) {
+	hdr := wireLen(flows)
+	if len(msg) < hdr {
+		return 0, 0, nil, 0, 0, fmt.Errorf("core: short DCGN message (%d bytes)", len(msg))
 	}
 	le := binary.LittleEndian
 	src = int(int64(le.Uint64(msg[0:])))
 	dst = int(int64(le.Uint64(msg[8:])))
 	n := int(le.Uint64(msg[16:]))
-	if wireHeaderLen+n > len(msg) {
-		return 0, 0, nil, fmt.Errorf("core: DCGN message truncated: header says %d, have %d", n, len(msg)-wireHeaderLen)
+	if flows {
+		traceID = le.Uint64(msg[24:])
+		spanID = le.Uint64(msg[32:])
 	}
-	return src, dst, msg[wireHeaderLen : wireHeaderLen+n], nil
+	if hdr+n > len(msg) {
+		return 0, 0, nil, 0, 0, fmt.Errorf("core: DCGN message truncated: header says %d, have %d", n, len(msg)-hdr)
+	}
+	return src, dst, msg[hdr : hdr+n], traceID, spanID, nil
 }

@@ -742,7 +742,7 @@ func (r *Runtime) chargeTenantLocked(c *rtJob) {
 func (r *Runtime) setupObsLocked(c *rtJob) {
 	j := c.job
 	if j.cfg.Trace {
-		j.trace = newTraceSink(j.cfg.Nodes, j.cfg.TraceCap)
+		j.trace = newTraceSink(j.cfg.Nodes, j.rmap.Total(), j.cfg.TraceCap, j.cfg.Flows)
 	}
 	if j.cfg.Metrics {
 		c.partKey = fmt.Sprintf("%s/job-%d", c.tenant, c.id)
@@ -1088,6 +1088,9 @@ func (r *Runtime) admitSimJobLocked(c *rtJob, placement []int) {
 	c.placement = placement
 	c.state = JobRunning
 	c.startedAt = r.sim.Now()
+	// The runtime's simulated clock is shared across tenants, so the
+	// critical-path window of this job starts at its admission instant.
+	j.flowEpoch = c.startedAt
 	r.schedAdmittedLocked(c)
 
 	j.sim = r.sim
@@ -1193,6 +1196,12 @@ func (r *Runtime) finishSimJob(c *rtJob) {
 		NetBytes:   c.simGroup.Bytes(),
 	}
 	j.fillReport(&rep)
+	// The report owns the spans now; releasing the sink frees the
+	// preallocated per-node rings, which a long-lived runtime retaining
+	// every rtJob would otherwise hold forever. Safe here: the job's procs
+	// have all exited (this runs at the zero-crossing) and the sim event
+	// loop is single-threaded.
+	j.trace = nil
 	r.mu.Lock()
 	c.report = rep
 	c.state = JobDone

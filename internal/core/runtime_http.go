@@ -16,6 +16,7 @@ import (
 // the metrics endpoint:
 //
 //	GET  /debug/dcgn          merged per-tenant metrics snapshot
+//	GET  /debug/dcgn/flows    top-k slowest stitched flows (?k=, Config.Flows)
 //	GET  /runtime/jobs        every submission's JobStatus, submit order
 //	POST /runtime/submit      submit a registered template
 //	                          (?template=NAME&name=&tenant=&weight=&priority=)
@@ -57,6 +58,7 @@ func (r *Runtime) startControl() error {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/dcgn", obs.PartitionedDebugHandler(r.obsParts))
+	mux.HandleFunc("/debug/dcgn/flows", r.handleFlows)
 	mux.HandleFunc("/runtime/jobs", r.handleJobs)
 	mux.HandleFunc("/runtime/submit", r.handleSubmit)
 	mux.HandleFunc("/runtime/cancel", r.handleCancel)

@@ -194,6 +194,91 @@ func TestRuntimeHTTPStatusCodes(t *testing.T) {
 	}
 }
 
+// TestRuntimeHTTPContentType pins the control API's media-type contract
+// alongside the status-code suite: every GET endpoint replies
+// application/json, and the flows document decodes into its published
+// shape with real stitched flows once a Config.Flows job has run.
+func TestRuntimeHTTPContentType(t *testing.T) {
+	cfg := runtimeConfig(transport.BackendLive, 2)
+	cfg.DebugAddr = "127.0.0.1:0"
+	r, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobCfg := backendConfig(transport.BackendLive, 2, 1)
+	jobCfg.Flows = true
+	job := NewJob(jobCfg)
+	job.SetCPUKernel(func(c *CPUCtx) {
+		buf := make([]byte, 64)
+		switch c.Rank() {
+		case 0:
+			c.Send(1, buf)
+			c.Recv(1, buf)
+		case 1:
+			c.Recv(0, buf)
+			c.Send(0, buf)
+		}
+	})
+	h, err := r.Submit(job, SubmitOpts{Tenant: "flows"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + r.ControlAddr()
+	for _, path := range []string{"/debug/dcgn", "/debug/dcgn/flows", "/runtime/jobs"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: HTTP %d, want 200", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("GET %s: Content-Type %q, want application/json", path, ct)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(base + "/debug/dcgn/flows?k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Flows int `json:"flows"`
+		Top   []struct {
+			Tenant    string           `json:"tenant"`
+			TraceID   uint64           `json:"trace_id"`
+			LatencyNs int64            `json:"latency_ns"`
+			Spans     int              `json:"spans"`
+			PhasesNs  map[string]int64 `json:"phases_ns"`
+		} `json:"top"`
+	}
+	if err := jsonDecode(resp, &doc); err != nil {
+		t.Fatalf("flows document does not decode: %v", err)
+	}
+	if doc.Flows == 0 || len(doc.Top) == 0 {
+		t.Fatalf("flows-on job ran, but the document is empty: %+v", doc)
+	}
+	if len(doc.Top) > 3 {
+		t.Errorf("?k=3 returned %d flows", len(doc.Top))
+	}
+	for i, f := range doc.Top {
+		if f.TraceID == 0 || f.Spans == 0 || len(f.PhasesNs) == 0 {
+			t.Errorf("flow %d missing fields: %+v", i, f)
+		}
+		if f.Tenant != "flows" {
+			t.Errorf("flow %d tenant %q, want \"flows\"", i, f.Tenant)
+		}
+		if i > 0 && f.LatencyNs > doc.Top[i-1].LatencyNs {
+			t.Errorf("flows not latency-descending at %d", i)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // jsonDecode decodes a response body and closes it; errors are ignored
 // by callers (error responses carry plain text).
 func jsonDecode(resp *http.Response, v any) error {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"dcgn/internal/obs"
@@ -25,20 +26,48 @@ type TraceRecord = obs.Span
 // backend it was a goroutine per message.
 type traceSink struct {
 	rings []*obs.Ring
+	// flows enables causal flow tracing (Config.Flows): record assigns
+	// every request a span ID and a trace ID from nextSpan.
+	flows bool
+	// nextSpan holds one span-sequence counter per virtual rank, bumped
+	// atomically: one-sided get replies mint spans for the *target* rank
+	// from the origin's daemon, which on the live backend can race the
+	// target's own kernel thread. On the simulator each counter is only
+	// touched from its rank's shard, so atomics cost nothing and the
+	// sequence stays bit-deterministic.
+	nextSpan []uint64
 }
 
-// newTraceSink creates one span ring per node; capPerNode <= 0 selects
+// newTraceSink creates one span ring per node and, with flows on, one
+// span-ID counter per virtual rank; capPerNode <= 0 selects
 // obs.DefaultRingCap.
-func newTraceSink(nodes, capPerNode int) *traceSink {
-	ts := &traceSink{rings: make([]*obs.Ring, nodes)}
+func newTraceSink(nodes, ranks, capPerNode int, flows bool) *traceSink {
+	ts := &traceSink{rings: make([]*obs.Ring, nodes), flows: flows}
 	for i := range ts.rings {
 		ts.rings[i] = obs.NewRing(capPerNode)
+	}
+	if flows {
+		ts.nextSpan = make([]uint64, ranks)
 	}
 	return ts
 }
 
+// newSpanID mints the next span ID for a rank: rank+1 in the high 32
+// bits (so an ID is never zero) and the rank's sequence number in the
+// low 32. Returns zero (no flow) on a released or flows-off sink, so
+// engine daemons outliving a runtime job's sink stay safe.
+func (ts *traceSink) newSpanID(rank int) uint64 {
+	if ts == nil || ts.nextSpan == nil {
+		return 0
+	}
+	seq := atomic.AddUint64(&ts.nextSpan[rank], 1)
+	return uint64(rank+1)<<32 | (seq & 0xffffffff)
+}
+
 // record marks a freshly-built request for span collection and stamps its
-// posting time on the issuing node's substrate clock. The span itself is
+// posting time on the issuing node's substrate clock. With flows on it
+// also assigns the request's span ID and — when the request is not
+// already part of a flow — roots a new trace at it. The span itself is
 // appended when the request completes.
 func (ts *traceSink) record(rt rt, req *request) {
 	if ts == nil {
@@ -46,6 +75,12 @@ func (ts *traceSink) record(rt rt, req *request) {
 	}
 	req.traced = true
 	req.postedAt = rt.Now()
+	if ts.flows {
+		req.spanID = ts.newSpanID(req.rank)
+		if req.traceID == 0 {
+			req.traceID = req.spanID
+		}
+	}
 }
 
 // spans merges the per-node rings, node by node, into one slice for
@@ -96,9 +131,23 @@ func (ns *nodeState) recordSpan(req *request) {
 		WireSent:   req.wireSentAt,
 		Acked:      req.ackedAt,
 		Done:       ns.rt.Now(),
+		TraceID:    req.traceID,
+		SpanID:     req.spanID,
+		ParentID:   req.parentID,
 		QueueDepth: req.queueDepth,
 		MatchWait:  wait,
 	})
+}
+
+// recordFlowSpan appends a hand-built span to the node's trace ring.
+// The one-sided lane bypasses the request path (no request struct, no
+// complete()), so its origin and apply spans are recorded directly;
+// no-op unless flow tracing is on.
+func (ns *nodeState) recordFlowSpan(sp obs.Span) {
+	if !ns.flowsOn || ns.job.trace == nil {
+		return
+	}
+	ns.job.trace.rings[ns.node].Append(sp)
 }
 
 // WriteTrace renders the trace as a chronological table. The sort is

@@ -12,14 +12,23 @@ import (
 // over the workers, every worker charges ServiceNs of compute per request
 // and replies, and the frontend collects all replies — a fan-out/fan-in
 // request pattern whose match-wait and end-to-end latency are exactly
-// what the SLO report measures.
-func BuildJob(backend string, a Arrival) *core.Job {
+// what the SLO report measures. With flows on, the job also carries
+// causal flow tracing (Config.Flows) with a bounded span ring, so its
+// report includes the critical path the SLO phase attribution is built
+// from.
+func BuildJob(backend string, a Arrival, flows bool) *core.Job {
 	cfg := core.DefaultConfig()
 	cfg.Nodes = a.Nodes
 	cfg.CPUKernels = 1
 	cfg.GPUs = 0
 	cfg.Transport.Backend = backend
 	cfg.Metrics = true
+	if flows {
+		cfg.Flows = true
+		// Serving jobs are small (a few dozen spans each); a modest ring
+		// bounds the per-job preallocation while never dropping spans.
+		cfg.TraceCap = 512
+	}
 	job := core.NewJob(cfg)
 	job.SetCPUKernel(func(c *core.CPUCtx) { serve(c, a) })
 	return job

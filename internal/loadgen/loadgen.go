@@ -60,6 +60,13 @@ type Spec struct {
 	// MaxQueue bounds the runtime admission queue (0 = runtime default);
 	// open-loop arrivals past it are shed and counted as rejected.
 	MaxQueue int
+	// Flows enables causal flow tracing (core.Config.Flows) on every
+	// submitted job and adds per-tenant critical-path phase attribution
+	// to the SLO report: each completed job's end-to-end latency is split
+	// into the canonical pipeline phases (admission wait, queueing,
+	// matching, wire, ack, compute, ...), and the per-phase means sum
+	// exactly to the mean end-to-end latency.
+	Flows bool
 }
 
 // Class describes one tenant's job shape: every arrival samples a

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"dcgn/internal/obs/flow"
 )
 
 // The workload layer's own gate: report determinism on the simulated
@@ -295,6 +297,97 @@ func TestFindMaxRateValidation(t *testing.T) {
 	}
 	if _, err := FindMaxRate(Spec{Backend: "sim"}, 0); err == nil {
 		t.Error("zero SLO accepted")
+	}
+}
+
+// TestFlowsPhaseAttribution is the ISSUE acceptance gate for the
+// loadgen integration: on the chat preset with Spec.Flows, per-phase
+// mean attribution sums to the mean end-to-end latency within 1% for
+// the aggregate and every tenant (the construction makes it exact),
+// every canonical phase column is present, and the report stays
+// byte-deterministic per seed.
+func TestFlowsPhaseAttribution(t *testing.T) {
+	spec := Spec{
+		Backend:  "sim",
+		Seed:     42,
+		Rate:     400,
+		Duration: 500 * time.Millisecond,
+		Preset:   "chat",
+		Flows:    true,
+	}
+	var docs [][]byte
+	var rep *Report
+	for i := 0; i < 2; i++ {
+		r, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := r.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, doc)
+		rep = r
+	}
+	if !bytes.Equal(docs[0], docs[1]) {
+		t.Fatal("flows-on SLO reports are not byte-deterministic per seed")
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no job completed")
+	}
+	check := func(label string, ts TenantStats) {
+		t.Helper()
+		if len(ts.Phases) != len(flow.Phases) {
+			t.Fatalf("%s: %d phase columns, want %d: %v", label, len(ts.Phases), len(flow.Phases), ts.Phases)
+		}
+		var sum float64
+		for _, p := range flow.Phases {
+			ps, ok := ts.Phases[p]
+			if !ok {
+				t.Fatalf("%s: phase %q missing", label, p)
+			}
+			if ps.Count != uint64(ts.Jobs) {
+				t.Fatalf("%s: phase %q observed %d times for %d jobs", label, p, ps.Count, ts.Jobs)
+			}
+			sum += ps.MeanNs
+		}
+		e2e := ts.E2E.MeanNs
+		if e2e <= 0 {
+			t.Fatalf("%s: empty e2e stats", label)
+		}
+		if diff := sum - e2e; diff > 0.01*e2e || diff < -0.01*e2e {
+			t.Fatalf("%s: phase means sum to %.0fns, e2e mean %.0fns (off %.2f%%)",
+				label, sum, e2e, 100*(sum-e2e)/e2e)
+		}
+	}
+	check("aggregate", rep.Aggregate)
+	for tenant, ts := range rep.Tenants {
+		check("tenant "+tenant, ts)
+	}
+}
+
+// TestFlowsOffOmitsPhases pins the opt-in contract at the report level:
+// without Spec.Flows no phase column appears (omitempty keeps the JSON
+// identical to the pre-flows schema).
+func TestFlowsOffOmitsPhases(t *testing.T) {
+	rep, err := Run(simSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aggregate.Phases != nil {
+		t.Fatalf("flows off, but aggregate grew phase columns: %v", rep.Aggregate.Phases)
+	}
+	for tenant, ts := range rep.Tenants {
+		if ts.Phases != nil {
+			t.Fatalf("flows off, but tenant %s grew phase columns", tenant)
+		}
+	}
+	doc, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(doc, []byte(`"phases"`)) {
+		t.Fatal("flows off, but the report JSON carries a phases key")
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"strings"
 
+	"dcgn/internal/core"
 	"dcgn/internal/obs"
+	"dcgn/internal/obs/flow"
 )
 
 // ReportSchema versions the SLO report format the CI smoke job checks.
@@ -46,6 +48,13 @@ type TenantStats struct {
 	MatchWait LatencyStats `json:"match_wait"`
 	// E2E is submit → finish latency of completed jobs.
 	E2E LatencyStats `json:"e2e"`
+	// Phases attributes end-to-end latency to the canonical pipeline
+	// phases (flow.Phases), one LatencyStats per phase, when Spec.Flows
+	// is on. Every completed job observes every phase (zero when absent),
+	// so the per-phase MeanNs values sum exactly to E2E.MeanNs:
+	// "sched_wait" is admission-queue wait and the rest is the job's
+	// critical path (compute, queueing, match wait, wire, ack, ...).
+	Phases map[string]LatencyStats `json:"phases,omitempty"`
 }
 
 // Report is the SLO report of one load-generation run. On the simulated
@@ -90,33 +99,58 @@ func (r *Report) JSON() ([]byte, error) {
 	return append(out, '\n'), nil
 }
 
-// collector accumulates per-tenant and aggregate outcome counts and
-// match-wait merges while handles resolve.
+// collector accumulates per-tenant and aggregate outcome counts,
+// match-wait merges and (with flows on) per-phase critical-path
+// attribution while handles resolve.
 type collector struct {
 	completed, rejected, failed, canceled int
 	jobs                                  map[string]int                   // completed per tenant
 	match                                 map[string]obs.HistogramSnapshot // merged match-wait per tenant
 	matchAll                              obs.HistogramSnapshot
+	// phases holds one histogram per canonical phase, aggregate and per
+	// tenant ("phase_ns/phase=P[/tenant=T]"); nil when flows are off.
+	phases *obs.Registry
 }
 
-func newCollector() *collector {
-	return &collector{
+func newCollector(flows bool) *collector {
+	c := &collector{
 		jobs:  make(map[string]int),
 		match: make(map[string]obs.HistogramSnapshot),
 	}
+	if flows {
+		c.phases = obs.NewRegistry()
+	}
+	return c
 }
 
 // addCompleted folds one completed job's report into the tenant and
-// aggregate match-wait accumulators.
-func (c *collector) addCompleted(tenant string, hists map[string]HistSnapshot) {
+// aggregate accumulators. With flows on it also splits the job's
+// end-to-end latency across the canonical phases: admission-queue wait
+// ("sched_wait", from the job's status timestamps) plus the report's
+// critical-path phase totals, which tile the job's run window exactly —
+// so per job, the observed phase values sum to its end-to-end latency.
+// Every canonical phase is observed every job (zero when absent), which
+// keeps the per-phase means summable.
+func (c *collector) addCompleted(tenant string, rep core.Report, st core.JobStatus) {
 	c.completed++
 	c.jobs[tenant]++
-	for name, h := range hists {
+	for name, h := range rep.Histograms {
 		if !strings.HasPrefix(name, "match_wait_ns") {
 			continue
 		}
 		c.match[tenant] = c.match[tenant].Merge(h)
 		c.matchAll = c.matchAll.Merge(h)
+	}
+	if c.phases == nil {
+		return
+	}
+	for _, p := range flow.Phases {
+		v := rep.CriticalPath.Phases[p].Nanoseconds()
+		if p == flow.PhaseSchedWait {
+			v = (st.StartedAt - st.SubmittedAt).Nanoseconds()
+		}
+		c.phases.Histogram("phase_ns/phase=" + p).Observe(v)
+		c.phases.Histogram("phase_ns/phase=" + p + "/tenant=" + tenant).Observe(v)
 	}
 }
 
@@ -149,6 +183,7 @@ func buildReport(spec Spec, offered int, c *collector, sched obs.Snapshot) *Repo
 		QueueWait: latencyStats(sched.Histograms["queue_wait_ns"]),
 		MatchWait: latencyStats(c.matchAll),
 		E2E:       latencyStats(sched.Histograms["e2e_ns"]),
+		Phases:    phaseStats(c, ""),
 	}
 	for tenant, n := range c.jobs {
 		rep.Tenants[tenant] = TenantStats{
@@ -156,7 +191,27 @@ func buildReport(spec Spec, offered int, c *collector, sched obs.Snapshot) *Repo
 			QueueWait: latencyStats(sched.Histograms["queue_wait_ns/tenant="+tenant]),
 			MatchWait: latencyStats(c.match[tenant]),
 			E2E:       latencyStats(sched.Histograms["e2e_ns/tenant="+tenant]),
+			Phases:    phaseStats(c, tenant),
 		}
 	}
 	return rep
+}
+
+// phaseStats extracts one LatencyStats per canonical phase from the
+// collector's phase registry — aggregate for an empty tenant, else that
+// tenant's series. Nil when flows are off.
+func phaseStats(c *collector, tenant string) map[string]LatencyStats {
+	if c.phases == nil {
+		return nil
+	}
+	snap := c.phases.Snapshot()
+	out := make(map[string]LatencyStats, len(flow.Phases))
+	for _, p := range flow.Phases {
+		name := "phase_ns/phase=" + p
+		if tenant != "" {
+			name += "/tenant=" + tenant
+		}
+		out[p] = latencyStats(snap.Histograms[name])
+	}
+	return out
 }

@@ -80,7 +80,7 @@ func runOpen(spec Spec, arrivals []Arrival) (*Report, error) {
 		// The whole offered trace is scheduled up front; SubmitAt replays
 		// it in virtual time and sheds arrivals that meet a full queue.
 		for _, a := range arrivals {
-			h, err := rt.SubmitAt(BuildJob(spec.Backend, a), submitOpts(a), a.At())
+			h, err := rt.SubmitAt(BuildJob(spec.Backend, a, spec.Flows), submitOpts(a), a.At())
 			if err != nil {
 				return nil, err
 			}
@@ -97,7 +97,7 @@ func runOpen(spec Spec, arrivals []Arrival) (*Report, error) {
 			if d := a.At() - time.Since(start); d > 0 {
 				time.Sleep(d)
 			}
-			h, err := rt.Submit(BuildJob(spec.Backend, a), submitOpts(a))
+			h, err := rt.Submit(BuildJob(spec.Backend, a, spec.Flows), submitOpts(a))
 			if errors.Is(err, core.ErrQueueFull) {
 				subs = append(subs, sub{nil, a})
 				continue
@@ -110,7 +110,7 @@ func runOpen(spec Spec, arrivals []Arrival) (*Report, error) {
 		wall = time.Since(start)
 	}
 
-	c := newCollector()
+	c := newCollector(spec.Flows)
 	for _, s := range subs {
 		if s.h == nil {
 			c.rejected++
@@ -119,7 +119,7 @@ func runOpen(spec Spec, arrivals []Arrival) (*Report, error) {
 		rep, err := s.h.Wait()
 		switch {
 		case err == nil:
-			c.addCompleted(s.a.Class, rep.Histograms)
+			c.addCompleted(s.a.Class, rep, s.h.Status())
 		case errors.Is(err, core.ErrQueueFull):
 			c.rejected++
 		case errors.Is(err, core.ErrJobCanceled):
@@ -157,7 +157,7 @@ func runClosed(spec Spec) (*Report, error) {
 	// submitNextLocked samples and submits one follow-up job.
 	submitNextLocked := func() {
 		a := sampleJob(spec.Classes[pickClass(spec.Classes, rng)], rng)
-		h, err := rt.Submit(BuildJob(spec.Backend, a), submitOpts(a))
+		h, err := rt.Submit(BuildJob(spec.Backend, a, spec.Flows), submitOpts(a))
 		if err != nil {
 			// Queue full or runtime winding down: this chain ends here.
 			return
@@ -198,7 +198,7 @@ func runClosed(spec Spec) (*Report, error) {
 
 	// Collect every chained handle; on live, chains may still be growing
 	// while we wait, so re-check the slice until it is stable and stopped.
-	c := newCollector()
+	c := newCollector(spec.Flows)
 	i := 0
 	for {
 		mu.Lock()
@@ -216,7 +216,7 @@ func runClosed(spec Spec) (*Report, error) {
 		rep, err := h.Wait()
 		switch {
 		case err == nil:
-			c.addCompleted(tenant, rep.Histograms)
+			c.addCompleted(tenant, rep, h.Status())
 		case errors.Is(err, core.ErrQueueFull):
 			c.rejected++
 		case errors.Is(err, core.ErrJobCanceled):

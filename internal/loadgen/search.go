@@ -44,6 +44,12 @@ type SearchResult struct {
 	// P99AtMaxNs / P99AtKneeNs are the measured tails at the bracket ends.
 	P99AtMaxNs  float64 `json:"p99_at_max_ns"`
 	P99AtKneeNs float64 `json:"p99_at_knee_ns"`
+	// PhasesAtMaxNs / PhasesAtKneeNs attribute the mean end-to-end
+	// latency at the bracket ends to the canonical pipeline phases
+	// (Spec.Flows only): comparing the two says where the knee comes
+	// from — the phase whose share grows is the saturating stage.
+	PhasesAtMaxNs  map[string]float64 `json:"phases_at_max_ns,omitempty"`
+	PhasesAtKneeNs map[string]float64 `json:"phases_at_knee_ns,omitempty"`
 	// Probes lists every trial in probe order.
 	Probes []Probe `json:"probes"`
 }
@@ -83,42 +89,43 @@ func FindMaxRate(spec Spec, slo time.Duration) (*SearchResult, error) {
 		Seed:        spec.Seed,
 		SLOTargetNs: slo.Nanoseconds(),
 	}
-	probe := func(rate float64) (float64, bool, error) {
+	probe := func(rate float64) (float64, bool, *Report, error) {
 		if len(res.Probes) >= searchMaxProbes {
-			return 0, false, fmt.Errorf("loadgen: knee search exceeded %d probes without converging", searchMaxProbes)
+			return 0, false, nil, fmt.Errorf("loadgen: knee search exceeded %d probes without converging", searchMaxProbes)
 		}
 		s := spec
 		s.Rate = rate
 		rep, err := Run(s)
 		if err != nil {
-			return 0, false, err
+			return 0, false, nil, err
 		}
 		if rep.Completed == 0 {
 			// Everything shed or failed: clearly past the knee.
 			res.Probes = append(res.Probes, Probe{RatePerSec: rate, P99Ns: math.Inf(1), OK: false})
-			return math.Inf(1), false, nil
+			return math.Inf(1), false, nil, nil
 		}
 		p99 := rep.Aggregate.E2E.P99Ns
 		ok := p99 <= float64(slo.Nanoseconds())
 		res.Probes = append(res.Probes, Probe{RatePerSec: rate, P99Ns: p99, OK: ok})
-		return p99, ok, nil
+		return p99, ok, rep, nil
 	}
 
 	// Bracket: walk down until a rate meets the SLO, then up until one
 	// violates it.
 	lo, hi := 0.0, 0.0
 	var p99Lo, p99Hi float64
+	var repLo, repHi *Report
 	rate := spec.Rate
 	for {
-		p99, ok, err := probe(rate)
+		p99, ok, rep, err := probe(rate)
 		if err != nil {
 			return nil, err
 		}
 		if ok {
-			lo, p99Lo = rate, p99
+			lo, p99Lo, repLo = rate, p99, rep
 			break
 		}
-		hi, p99Hi = rate, p99
+		hi, p99Hi, repHi = rate, p99, rep
 		rate /= 2
 		if rate < 1e-3 {
 			return nil, fmt.Errorf("loadgen: no rate meets the SLO target %v (intrinsic latency exceeds it)", slo)
@@ -126,31 +133,47 @@ func FindMaxRate(spec Spec, slo time.Duration) (*SearchResult, error) {
 	}
 	for hi == 0 {
 		rate = lo * 2
-		p99, ok, err := probe(rate)
+		p99, ok, rep, err := probe(rate)
 		if err != nil {
 			return nil, err
 		}
 		if ok {
-			lo, p99Lo = rate, p99
+			lo, p99Lo, repLo = rate, p99, rep
 		} else {
-			hi, p99Hi = rate, p99
+			hi, p99Hi, repHi = rate, p99, rep
 		}
 	}
 
 	// Bisect geometrically until hi is within 10% of lo.
 	for hi > lo*1.1 {
 		mid := math.Sqrt(lo * hi)
-		p99, ok, err := probe(mid)
+		p99, ok, rep, err := probe(mid)
 		if err != nil {
 			return nil, err
 		}
 		if ok {
-			lo, p99Lo = mid, p99
+			lo, p99Lo, repLo = mid, p99, rep
 		} else {
-			hi, p99Hi = mid, p99
+			hi, p99Hi, repHi = mid, p99, rep
 		}
 	}
 	res.MaxRatePerSec, res.P99AtMaxNs = lo, p99Lo
 	res.KneeRatePerSec, res.P99AtKneeNs = hi, p99Hi
+	res.PhasesAtMaxNs = phaseMeans(repLo)
+	res.PhasesAtKneeNs = phaseMeans(repHi)
 	return res, nil
+}
+
+// phaseMeans flattens a probe report's aggregate phase attribution to
+// mean nanoseconds per phase; nil when the report carried none (flows
+// off, or the probe completed nothing).
+func phaseMeans(r *Report) map[string]float64 {
+	if r == nil || r.Aggregate.Phases == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(r.Aggregate.Phases))
+	for p, s := range r.Aggregate.Phases {
+		out[p] = s.MeanNs
+	}
+	return out
 }

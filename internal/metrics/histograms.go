@@ -12,9 +12,11 @@ import (
 
 // WriteHistograms renders a run's metric distributions (Report.Histograms)
 // as an aligned table sorted by instrument name: observation count, mean,
-// and the log2-bucket p50/p90/p99 upper bounds. Instruments whose name
-// carries a "_ns" suffix before any "/label=value" tags are formatted as
-// durations; everything else (queue depths, counts) prints raw.
+// the log2-bucket p50/p90/p99 upper bounds, and the interpolated
+// p50f/p90f/p99f estimates (QuantileF), which are not quantized to
+// powers of two. Instruments whose name carries a "_ns" suffix before
+// any "/label=value" tags are formatted as durations; everything else
+// (queue depths, counts) prints raw.
 func WriteHistograms(w io.Writer, hists map[string]obs.HistogramSnapshot) {
 	names := make([]string, 0, len(hists))
 	for name := range hists {
@@ -37,9 +39,12 @@ func WriteHistograms(w io.Writer, hists map[string]obs.HistogramSnapshot) {
 			val(float64(h.Quantile(0.50))),
 			val(float64(h.Quantile(0.90))),
 			val(float64(h.Quantile(0.99))),
+			val(h.QuantileF(0.50)),
+			val(h.QuantileF(0.90)),
+			val(h.QuantileF(0.99)),
 		})
 	}
-	WriteAligned(w, []string{"histogram", "count", "mean", "p50", "p90", "p99"}, rows)
+	WriteAligned(w, []string{"histogram", "count", "mean", "p50", "p90", "p99", "p50f", "p90f", "p99f"}, rows)
 }
 
 // isDurationMetric reports whether an instrument name denotes nanosecond

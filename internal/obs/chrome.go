@@ -49,12 +49,14 @@ type ChromeTrace struct {
 	DisplayTimeUnit string `json:"displayTimeUnit"`
 }
 
-// ChromeEvent is one trace event: a complete slice (ph "X") or a
-// metadata record (ph "M").
+// ChromeEvent is one trace event: a complete slice (ph "X"), a metadata
+// record (ph "M"), or a flow event (ph "s"/"t"/"f") — the arrows
+// Perfetto draws between causally-linked slices across processes.
 type ChromeEvent struct {
 	// Name is the slice label (the op) or the metadata kind.
 	Name string `json:"name"`
-	// Ph is the event phase: "X" for complete slices, "M" for metadata.
+	// Ph is the event phase: "X" for complete slices, "M" for metadata,
+	// "s"/"t"/"f" for flow start/step/finish.
 	Ph string `json:"ph"`
 	// Ts is the start timestamp in microseconds from the run epoch.
 	Ts float64 `json:"ts"`
@@ -66,6 +68,12 @@ type ChromeEvent struct {
 	Tid int `json:"tid"`
 	// Cat is the event category ("dcgn").
 	Cat string `json:"cat,omitempty"`
+	// ID correlates the flow events of one arrow (flow events only): the
+	// sending span's SpanID.
+	ID uint64 `json:"id,omitempty"`
+	// BP is the flow binding point; "e" binds a flow finish to the
+	// enclosing slice rather than the next one (ph "f" only).
+	BP string `json:"bp,omitempty"`
 	// Args carries per-event details.
 	Args *ChromeArgs `json:"args,omitempty"`
 }
@@ -154,6 +162,35 @@ func BuildChromeTrace(spans []Span) ChromeTrace {
 		}
 		if s.Acked > 0 && s.WireSent > 0 {
 			slice(TrackAck, s.WireSent, s.Acked)
+		}
+		// Flow arrows (Config.Flows): a wire-crossing send starts an arrow
+		// at its transport send ("s", id = its own SpanID); the matched
+		// receive steps it at match time ("t", id = the ParentID linking
+		// back to the send); an acked send closes the arrow back onto its
+		// own slice ("f" with bp "e"). Without flow tracing every ID is
+		// zero and no flow event is emitted, so legacy traces are
+		// byte-identical.
+		if s.SpanID != 0 && s.WireSent > 0 {
+			tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+				Name: "flow", Ph: "s", Cat: "dcgn", Ts: usOf(s.WireSent),
+				Pid: s.Node, Tid: TrackRequest, ID: s.SpanID,
+			})
+			if s.Acked > 0 {
+				tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+					Name: "flow", Ph: "f", BP: "e", Cat: "dcgn", Ts: usOf(s.Acked),
+					Pid: s.Node, Tid: TrackRequest, ID: s.SpanID,
+				})
+			}
+		}
+		if s.ParentID != 0 {
+			at := s.Matched
+			if at == 0 {
+				at = s.Done
+			}
+			tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+				Name: "flow", Ph: "t", Cat: "dcgn", Ts: usOf(at),
+				Pid: s.Node, Tid: TrackRequest, ID: s.ParentID,
+			})
 		}
 	}
 	return tr

@@ -30,6 +30,12 @@ type DebugHistogram struct {
 	P50 int64 `json:"p50"`
 	P90 int64 `json:"p90"`
 	P99 int64 `json:"p99"`
+	// P50F, P90F and P99F are the interpolated quantiles
+	// (HistogramSnapshot.QuantileF): estimated within the bucket rather
+	// than quantized to its power-of-two upper bound.
+	P50F float64 `json:"p50f"`
+	P90F float64 `json:"p90f"`
+	P99F float64 `json:"p99f"`
 	// Buckets holds the raw per-log2-bucket counts.
 	Buckets []uint64 `json:"buckets"`
 }
@@ -49,6 +55,9 @@ func DebugSnapshot(s Snapshot) DebugState {
 			P50:     h.Quantile(0.50),
 			P90:     h.Quantile(0.90),
 			P99:     h.Quantile(0.99),
+			P50F:    h.QuantileF(0.50),
+			P90F:    h.QuantileF(0.90),
+			P99F:    h.QuantileF(0.99),
 			Buckets: h.Buckets,
 		}
 	}

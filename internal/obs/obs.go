@@ -61,6 +61,20 @@ type Span struct {
 	// Done is when the request's issuer was released.
 	Done time.Duration
 
+	// TraceID identifies the causal message flow this span belongs to
+	// (Config.Flows); it is the SpanID of the flow's root span and zero
+	// when flow tracing is off.
+	TraceID uint64
+	// SpanID uniquely identifies this span within its job: the issuing
+	// rank in the high 32 bits (offset by one so the id is never zero) and
+	// a per-rank sequence number in the low 32. Zero when flow tracing is
+	// off.
+	SpanID uint64
+	// ParentID is the SpanID of the causally-preceding span — for a
+	// matched receive, the send that produced its payload. Zero for flow
+	// roots and when flow tracing is off.
+	ParentID uint64
+
 	// QueueDepth is the number of pending entries in the node's matching
 	// index when the comm thread first handled the request.
 	QueueDepth int

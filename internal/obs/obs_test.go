@@ -224,6 +224,71 @@ func TestWriteChromeTraceRoundTrips(t *testing.T) {
 	}
 }
 
+// TestChromeTraceFlowEvents pins the flow-arrow schema: a flowed
+// wire-send emits "s" at its transport send and "f" (bp "e") at its
+// ack, both carrying its SpanID; the stitched receive emits "t" at its
+// match time carrying the ParentID that links back. Zero-ID spans —
+// flow tracing off — must emit no flow event at all, keeping legacy
+// traces byte-identical.
+func TestChromeTraceFlowEvents(t *testing.T) {
+	spans := sampleSpans()
+	legacy := BuildChromeTrace(spans)
+	for _, ev := range legacy.TraceEvents {
+		if ev.Ph == "s" || ev.Ph == "t" || ev.Ph == "f" {
+			t.Fatalf("zero-ID span emitted a flow event: %+v", ev)
+		}
+	}
+	spans[0].TraceID, spans[0].SpanID = 0x100000001, 0x100000001
+	spans[1].TraceID, spans[1].SpanID, spans[1].ParentID = 0x100000001, 0x300000001, 0x100000001
+	tr := BuildChromeTrace(spans)
+	flows := map[string]ChromeEvent{}
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "s", "t", "f":
+			if ev.Name != "flow" || ev.Cat != "dcgn" {
+				t.Errorf("flow event name/cat = %q/%q, want flow/dcgn", ev.Name, ev.Cat)
+			}
+			flows[ev.Ph] = ev
+		}
+	}
+	start, ok := flows["s"]
+	if !ok || start.ID != spans[0].SpanID || start.Ts != usOf(spans[0].WireSent) || start.Pid != 0 {
+		t.Fatalf("flow start = %+v (present %v), want id %#x at ts %v on pid 0",
+			start, ok, spans[0].SpanID, usOf(spans[0].WireSent))
+	}
+	step, ok := flows["t"]
+	if !ok || step.ID != spans[1].ParentID || step.Ts != usOf(spans[1].Matched) || step.Pid != 1 {
+		t.Fatalf("flow step = %+v (present %v), want id %#x at ts %v on pid 1",
+			step, ok, spans[1].ParentID, usOf(spans[1].Matched))
+	}
+	finish, ok := flows["f"]
+	if !ok || finish.ID != spans[0].SpanID || finish.BP != "e" || finish.Ts != usOf(spans[0].Acked) {
+		t.Fatalf("flow finish = %+v (present %v), want id %#x bp e at ts %v",
+			finish, ok, spans[0].SpanID, usOf(spans[0].Acked))
+	}
+	// The arrow ID space and slice schema must survive a JSON round trip.
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var decoded ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("flowed trace is not valid trace-event JSON: %v", err)
+	}
+	var arrows int
+	for _, ev := range decoded.TraceEvents {
+		if ev.Ph == "s" || ev.Ph == "t" || ev.Ph == "f" {
+			arrows++
+			if ev.ID == 0 {
+				t.Errorf("decoded flow event lost its ID: %+v", ev)
+			}
+		}
+	}
+	if arrows != 3 {
+		t.Errorf("decoded %d flow events, want 3", arrows)
+	}
+}
+
 func TestWriteCSV(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteCSV(&buf, sampleSpans()); err != nil {
